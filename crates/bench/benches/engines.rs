@@ -1,0 +1,41 @@
+//! Engine comparison benchmarks: the same algorithm through all six
+//! programming models on the same graph. The *measured* ordering here is
+//! what grounds the simulated Figure 4 ordering: the dataflow engine
+//! re-materializes datasets, the Pregel engine churns messages, while the
+//! native/SpMV engines stream arrays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use graphalytics_core::params::AlgorithmParams;
+use graphalytics_core::{Algorithm, Csr};
+use graphalytics_engines::all_platforms;
+use graphalytics_graph500::Graph500Config;
+
+fn graph() -> Csr {
+    Graph500Config::new(11).with_seed(3).with_weights(true).generate().to_csr()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let csr = graph();
+    let params = AlgorithmParams::with_source(csr.id_of(0));
+    for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
+        let mut group = c.benchmark_group(format!("engines/{algorithm}"));
+        group.sample_size(10);
+        for platform in all_platforms() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(platform.name()),
+                &csr,
+                |b, csr| {
+                    b.iter(|| {
+                        black_box(platform.execute(csr, algorithm, &params, 2).expect("runs"))
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

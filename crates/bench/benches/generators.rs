@@ -1,0 +1,29 @@
+//! Generator throughput benchmarks: Graph500 Kronecker sampling and both
+//! Datagen execution flows (the Figure 3 / Section 4.8 machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use graphalytics_datagen::{DatagenConfig, FlowKind};
+use graphalytics_graph500::Graph500Config;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("graph500-scale12", |b| {
+        b.iter(|| black_box(Graph500Config::new(12).with_seed(1).generate()))
+    });
+    group.bench_function("datagen-2000-old-flow", |b| {
+        b.iter(|| black_box(DatagenConfig::with_persons(2000).with_flow(FlowKind::Old).generate()))
+    });
+    group.bench_function("datagen-2000-new-flow", |b| {
+        b.iter(|| black_box(DatagenConfig::with_persons(2000).with_flow(FlowKind::New).generate()))
+    });
+    group.bench_function("datagen-2000-cc-target", |b| {
+        b.iter(|| black_box(DatagenConfig::with_persons(2000).with_target_cc(0.2).generate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the reference algorithm kernels on a Graph500
+//! scale-12 instance (the real code paths behind validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use graphalytics_core::algorithms;
+use graphalytics_core::Csr;
+use graphalytics_graph500::Graph500Config;
+
+fn graph() -> Csr {
+    Graph500Config::new(12).with_seed(7).with_weights(true).generate().to_csr()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let csr = graph();
+    let mut group = c.benchmark_group("reference-kernels");
+    group.sample_size(10);
+    group.bench_function("bfs", |b| b.iter(|| black_box(algorithms::bfs(&csr, 0))));
+    group.bench_function("pagerank-10", |b| {
+        b.iter(|| black_box(algorithms::pagerank(&csr, 10, 0.85)))
+    });
+    group.bench_function("wcc", |b| b.iter(|| black_box(algorithms::wcc(&csr))));
+    group.bench_function("cdlp-5", |b| b.iter(|| black_box(algorithms::cdlp(&csr, 5))));
+    group.bench_function("sssp", |b| b.iter(|| black_box(algorithms::sssp(&csr, 0))));
+    group.finish();
+
+    // LCC is quadratic in degree: bench on a smaller instance.
+    let small = Graph500Config::new(10).with_seed(7).generate().to_csr();
+    let mut group = c.benchmark_group("reference-kernels-heavy");
+    group.sample_size(10);
+    group.bench_function("lcc", |b| b.iter(|| black_box(algorithms::lcc(&small))));
+    group.bench_function("louvain", |b| b.iter(|| black_box(algorithms::louvain(&small))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

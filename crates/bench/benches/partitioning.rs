@@ -1,0 +1,28 @@
+//! Partitioner benchmarks: the edge-cut and vertex-cut assignments whose
+//! measured cut fractions / replication factors feed the distributed cost
+//! model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use graphalytics_cluster::partition::{edge_cut, vertex_cut, PartitionStrategy};
+use graphalytics_graph500::Graph500Config;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let csr = Graph500Config::new(12).with_seed(9).generate().to_csr();
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    group.bench_function("hash-edge-cut-16", |b| {
+        b.iter(|| black_box(edge_cut(&csr, 16, PartitionStrategy::HashEdgeCut)))
+    });
+    group.bench_function("range-edge-cut-16", |b| {
+        b.iter(|| black_box(edge_cut(&csr, 16, PartitionStrategy::RangeEdgeCut)))
+    });
+    group.bench_function("greedy-vertex-cut-16", |b| {
+        b.iter(|| black_box(vertex_cut(&csr, 16)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs every table/figure reproduction in paper order.
+
+use graphalytics_harness::experiments::{
+    algorithm_variety, baseline, datagen_selftest, stress, strong, variability, vertical, weak,
+};
+
+fn main() {
+    let suite = graphalytics_bench::suite();
+    let quiet = graphalytics_bench::quiet_suite();
+
+    graphalytics_bench::banner(
+        "the full LDBC Graphalytics evaluation (Tables 8-11, Figures 4-10)",
+        "Sections 4.1-4.8",
+    );
+
+    let dv = baseline::run(&suite);
+    println!("{}", dv.render_fig4());
+    println!("{}", dv.render_fig5());
+    println!("{}", dv.render_table8());
+    println!();
+
+    let av = algorithm_variety::run(&suite);
+    println!("{}", av.render_fig6());
+
+    let v = vertical::run(&quiet);
+    println!("{}", v.render_fig7());
+    println!("{}", v.render_table9());
+    println!();
+
+    let s = strong::run(&suite);
+    println!("{}", s.render_fig8());
+
+    let w = weak::run(&suite);
+    println!("{}", w.render_fig9());
+
+    let st = stress::run(&suite);
+    println!("{}", stress::render_table10(&st));
+    println!();
+
+    let var = variability::run(&suite);
+    println!("{}", variability::render_table11(&var));
+    println!();
+
+    println!("{}", datagen_selftest::render_fig10());
+}

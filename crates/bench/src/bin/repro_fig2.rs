@@ -1,0 +1,42 @@
+//! Figure 2: Datagen graphs generated with different target clustering
+//! coefficients, with communities detected by the Louvain method.
+//!
+//! The paper renders two small graphs visually; we generate them for real
+//! and report the measured statistics instead: average clustering
+//! coefficient, Louvain community count and modularity. The finding to
+//! reproduce: both graphs exhibit community structure, and the higher
+//! cc-target yields the better-defined communities (higher modularity).
+
+use graphalytics_core::algorithms::louvain;
+use graphalytics_core::graph::GraphStats;
+use graphalytics_datagen::DatagenConfig;
+use graphalytics_harness::report::TextTable;
+
+fn main() {
+    graphalytics_bench::banner(
+        "Figure 2: Datagen with tunable clustering coefficient",
+        "Section 2.5.1, Figure 2",
+    );
+    let mut table = TextTable::new(
+        "Datagen (1000 persons), Louvain community detection",
+        &["target cc", "measured avg cc", "communities", "modularity", "components"],
+    );
+    for target in [0.05, 0.3] {
+        let graph = DatagenConfig::with_persons(1000).with_target_cc(target).generate();
+        let csr = graph.to_csr();
+        let stats = GraphStats::compute(&csr);
+        let communities = louvain(&csr);
+        table.add_row(vec![
+            format!("{target:.2}"),
+            format!("{:.3}", stats.avg_clustering_coefficient),
+            communities.community_count.to_string(),
+            format!("{:.3}", communities.modularity),
+            stats.components.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Finding check: the cc=0.3 graph should show higher modularity\n\
+         (better-defined communities), as in the paper's right-hand panel."
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 4: dataset variety — T_proc for BFS and PageRank.
+
+use graphalytics_harness::experiments::baseline;
+
+fn main() {
+    graphalytics_bench::banner("Figure 4: dataset variety (Tproc)", "Section 4.1, Figure 4");
+    let dv = baseline::run(&graphalytics_bench::suite());
+    println!("{}", dv.render_fig4());
+}

@@ -1,0 +1,9 @@
+//! Figure 5: dataset variety — EPS and EVPS for BFS.
+
+use graphalytics_harness::experiments::baseline;
+
+fn main() {
+    graphalytics_bench::banner("Figure 5: EPS and EVPS for BFS", "Section 4.1, Figure 5");
+    let dv = baseline::run(&graphalytics_bench::suite());
+    println!("{}", dv.render_fig5());
+}

@@ -1,0 +1,10 @@
+//! Figure 6: algorithm variety on R4(S) and D300(L).
+
+use graphalytics_harness::experiments::algorithm_variety;
+
+fn main() {
+    graphalytics_bench::banner("Figure 6: algorithm variety (Tproc)", "Section 4.2, Figure 6");
+    let av = algorithm_variety::run(&graphalytics_bench::suite());
+    println!("{}", av.render_fig6());
+    println!("F = failed (out of memory / SLA); NA = not implemented (LCC on PGX.D).");
+}

@@ -1,0 +1,9 @@
+//! Figure 7: vertical scalability — T_proc vs threads on D300(L).
+
+use graphalytics_harness::experiments::vertical;
+
+fn main() {
+    graphalytics_bench::banner("Figure 7: vertical scalability", "Section 4.3, Figure 7");
+    let v = vertical::run(&graphalytics_bench::quiet_suite());
+    println!("{}", v.render_fig7());
+}

@@ -1,0 +1,10 @@
+//! Figure 8: strong horizontal scalability on D1000(XL).
+
+use graphalytics_harness::experiments::strong;
+
+fn main() {
+    graphalytics_bench::banner("Figure 8: strong scalability", "Section 4.4, Figure 8");
+    let s = strong::run(&graphalytics_bench::suite());
+    println!("{}", s.render_fig8());
+    println!("F = failure (PGX.D exceeds single-machine memory; GraphX needs >= 2 machines).");
+}

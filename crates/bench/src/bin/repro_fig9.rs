@@ -1,0 +1,10 @@
+//! Figure 9: weak horizontal scalability on graph500-22..26.
+
+use graphalytics_harness::experiments::weak;
+
+fn main() {
+    graphalytics_bench::banner("Figure 9: weak scalability", "Section 4.5, Figure 9");
+    let w = weak::run(&graphalytics_bench::suite());
+    println!("{}", w.render_fig9());
+    println!("Ideal weak scaling would be a constant row; slowdowns are the paper's metric.");
+}

@@ -1,0 +1,28 @@
+//! Table 1: results of the two algorithm surveys and the workload the
+//! two-stage selection process yields.
+
+use graphalytics_harness::report::TextTable;
+use graphalytics_harness::survey::{selected_workload, SurveyKind, SURVEY};
+
+fn main() {
+    graphalytics_bench::banner("Table 1: surveys of graph algorithms", "Section 2.2.2, Table 1");
+    for (kind, label) in [
+        (SurveyKind::Unweighted, "Unweighted survey (124 articles)"),
+        (SurveyKind::Weighted, "Weighted survey (44 articles)"),
+    ] {
+        let mut table = TextTable::new(label, &["class", "selected", "#", "%"]);
+        for class in SURVEY.iter().filter(|c| c.survey == kind) {
+            let selected: Vec<String> =
+                class.selected.iter().map(|a| a.acronym().to_uppercase()).collect();
+            table.add_row(vec![
+                class.name.to_string(),
+                if selected.is_empty() { "-".into() } else { selected.join(", ") },
+                class.count.to_string(),
+                format!("{:.1}%", class.percent),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    let workload: Vec<&str> = selected_workload().iter().map(|a| a.acronym()).collect();
+    println!("Two-stage selection yields the core workload: {}", workload.join(", "));
+}

@@ -1,0 +1,11 @@
+//! Table 10: stress test — smallest dataset failing BFS per platform.
+
+use graphalytics_harness::experiments::stress;
+
+fn main() {
+    graphalytics_bench::banner("Table 10: stress test", "Section 4.6, Table 10");
+    let outcomes = stress::run(&graphalytics_bench::suite());
+    println!("{}", stress::render_table10(&outcomes));
+    println!("\nPaper values: Giraph G26(9.0), GraphX G25(8.7), P'graph R5(9.3),");
+    println!("              G'Mat G26(9.0), OpenG R5(9.3), PGX.D G25(8.7).");
+}

@@ -1,0 +1,10 @@
+//! Table 11: performance variability (mean and CV over 10 runs).
+
+use graphalytics_harness::experiments::variability;
+
+fn main() {
+    graphalytics_bench::banner("Table 11: variability", "Section 4.7, Table 11");
+    let v = variability::run(&graphalytics_bench::suite());
+    println!("{}", variability::render_table11(&v));
+    println!("\nPaper CVs: S 5.0/2.6/1.5/9.7/4.8/8.2 %; D 9.8/4.5/4.5/5.7/-/7.1 %.");
+}

@@ -1,0 +1,38 @@
+//! Tables 2-4: scale classes and the dataset registry.
+
+use graphalytics_core::datasets::all_datasets;
+use graphalytics_core::SizeClass;
+use graphalytics_harness::report::TextTable;
+
+fn main() {
+    graphalytics_bench::banner(
+        "Tables 2-4: T-shirt scale classes and datasets",
+        "Section 2.2.4, Tables 2, 3 and 4",
+    );
+
+    let mut t2 = TextTable::new("Table 2: scale ranges to labels", &["scale range", "label"]);
+    let bounds = ["< 7.0", "[7.0, 7.5)", "[7.5, 8.0)", "[8.0, 8.5)", "[8.5, 9.0)", "[9.0, 9.5)", ">= 9.5"];
+    for (class, range) in SizeClass::ALL.iter().zip(bounds) {
+        t2.add_row(vec![range.to_string(), class.label().to_string()]);
+    }
+    println!("{}", t2.render());
+
+    let mut t34 = TextTable::new(
+        "Tables 3-4: Graphalytics datasets",
+        &["ID", "name", "|V|", "|E|", "scale", "class", "domain", "directed", "weighted"],
+    );
+    for d in all_datasets() {
+        t34.add_row(vec![
+            d.id.to_string(),
+            d.name.to_string(),
+            format!("{:.2}M", d.vertices as f64 / 1e6),
+            format!("{:.2}M", d.edges as f64 / 1e6),
+            format!("{:.1}", d.scale()),
+            d.class().label().to_string(),
+            d.domain.to_string(),
+            if d.directed { "yes" } else { "no" }.into(),
+            if d.weighted { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{}", t34.render());
+}

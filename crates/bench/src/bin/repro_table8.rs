@@ -1,0 +1,11 @@
+//! Table 8: T_proc and makespan for BFS on D300(L).
+
+use graphalytics_harness::experiments::baseline;
+
+fn main() {
+    graphalytics_bench::banner("Table 8: Tproc vs makespan", "Section 4.1, Table 8");
+    let dv = baseline::run(&graphalytics_bench::suite());
+    println!("{}", dv.render_table8());
+    println!("\nPaper values: makespan 276.6/298.3/214.7/22.8/5.4/268.7 s;");
+    println!("              Tproc    22.3/101.5/2.1/0.3/1.8/0.5 s.");
+}

@@ -1,0 +1,10 @@
+//! Table 9: maximum vertical speedups (1-32 threads).
+
+use graphalytics_harness::experiments::vertical;
+
+fn main() {
+    graphalytics_bench::banner("Table 9: vertical speedups", "Section 4.3, Table 9");
+    let v = vertical::run(&graphalytics_bench::quiet_suite());
+    println!("{}", v.render_table9());
+    println!("\nPaper values: BFS 6.0/4.5/11.8/6.9/6.3/15.0; PR 8.1/2.9/10.3/11.3/6.4/13.9.");
+}

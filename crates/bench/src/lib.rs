@@ -1,0 +1,52 @@
+//! # graphalytics-bench
+//!
+//! Reproduction targets for every table and figure in the paper's
+//! evaluation, plus Criterion micro-benchmarks.
+//!
+//! One binary per artifact (run with `cargo run --release -p
+//! graphalytics-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `repro_table1`  | Table 1 — algorithm-class surveys + 2-stage selection |
+//! | `repro_table2`  | Tables 2–4 — scale classes and the dataset registry |
+//! | `repro_fig2`    | Figure 2 — Datagen clustering-coefficient tuning (runs real generation + Louvain) |
+//! | `repro_fig4`    | Figure 4 — dataset variety, T_proc |
+//! | `repro_fig5`    | Figure 5 — EPS / EVPS |
+//! | `repro_fig6`    | Figure 6 — algorithm variety |
+//! | `repro_fig7`    | Figure 7 — vertical scalability |
+//! | `repro_fig8`    | Figure 8 — strong horizontal scalability |
+//! | `repro_fig9`    | Figure 9 — weak horizontal scalability |
+//! | `repro_fig10`   | Figure 10 — Datagen flows and cluster scaling |
+//! | `repro_table8`  | Table 8 — makespan vs T_proc breakdown |
+//! | `repro_table9`  | Table 9 — vertical speedups |
+//! | `repro_table10` | Table 10 — stress-test failure points |
+//! | `repro_table11` | Table 11 — variability (mean, CV) |
+//! | `repro_all`     | everything above, in order |
+//!
+//! Criterion benches (`cargo bench -p graphalytics-bench`) cover the real
+//! execution paths: reference kernels, all six engines, both generators
+//! and the partitioners.
+
+use graphalytics_harness::experiments::ExperimentSuite;
+
+/// The suite used by all reproduction binaries: deterministic noise on
+/// (variability needs it; other figures tolerate the ±CV jitter exactly
+/// like the paper's measurements do).
+pub fn suite() -> ExperimentSuite {
+    ExperimentSuite::new()
+}
+
+/// Noise-free suite for speedup tables (pure model output).
+pub fn quiet_suite() -> ExperimentSuite {
+    ExperimentSuite::without_noise()
+}
+
+/// Prints a standard header for a reproduction binary.
+pub fn banner(what: &str, source: &str) {
+    println!("================================================================");
+    println!("Reproducing {what}");
+    println!("Paper reference: {source}");
+    println!("Mode: analytic (published dataset sizes, simulated DAS-5)");
+    println!("================================================================\n");
+}

@@ -1,0 +1,101 @@
+//! Work counters populated by engines during execution.
+//!
+//! Counters are the bridge between *real execution* and *simulated cost*:
+//! every engine increments them while actually computing, and the cost
+//! model converts them into simulated processing time for a given cluster.
+//! Because the counters come from genuine executions, differences between
+//! programming models (e.g. the dataflow engine's join-induced message
+//! blow-up versus the native engine's frontier-only traversal) flow into
+//! the simulated numbers without any per-figure tuning.
+
+use serde::Serialize;
+
+/// Aggregate work performed by one algorithm execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct WorkCounters {
+    /// Vertex-program invocations / vertex visits.
+    pub vertices_processed: u64,
+    /// Adjacency entries scanned.
+    pub edges_scanned: u64,
+    /// Logical messages produced (Pregel messages, GAS gather contributions,
+    /// SpMV non-zero products, dataflow shuffle records...).
+    pub messages: u64,
+    /// Payload bytes those messages would serialize to.
+    pub message_bytes: u64,
+    /// Global synchronization barriers (supersteps, iterations).
+    pub supersteps: u64,
+    /// Random (non-sequential) memory accesses, for engines whose cost is
+    /// dominated by gather-side cache misses.
+    pub random_accesses: u64,
+}
+
+impl WorkCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `other` into `self` (used when merging per-thread or
+    /// per-partition counters).
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.vertices_processed += other.vertices_processed;
+        self.edges_scanned += other.edges_scanned;
+        self.messages += other.messages;
+        self.message_bytes += other.message_bytes;
+        self.supersteps = self.supersteps.max(other.supersteps);
+        self.random_accesses += other.random_accesses;
+    }
+
+    /// Records `n` messages of `bytes_each` payload bytes.
+    #[inline]
+    pub fn add_messages(&mut self, n: u64, bytes_each: u64) {
+        self.messages += n;
+        self.message_bytes += n * bytes_each;
+    }
+
+    /// Total "work units" — a scalar used by sanity checks and reports.
+    pub fn total_work(&self) -> u64 {
+        self.vertices_processed + self.edges_scanned + self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_and_maxes_supersteps() {
+        let mut a = WorkCounters {
+            vertices_processed: 10,
+            edges_scanned: 100,
+            messages: 5,
+            message_bytes: 40,
+            supersteps: 3,
+            random_accesses: 7,
+        };
+        let b = WorkCounters {
+            vertices_processed: 1,
+            edges_scanned: 2,
+            messages: 3,
+            message_bytes: 24,
+            supersteps: 9,
+            random_accesses: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.vertices_processed, 11);
+        assert_eq!(a.edges_scanned, 102);
+        assert_eq!(a.messages, 8);
+        assert_eq!(a.message_bytes, 64);
+        assert_eq!(a.supersteps, 9, "supersteps are global, not additive");
+        assert_eq!(a.random_accesses, 8);
+    }
+
+    #[test]
+    fn add_messages_tracks_bytes() {
+        let mut c = WorkCounters::new();
+        c.add_messages(10, 8);
+        assert_eq!(c.messages, 10);
+        assert_eq!(c.message_bytes, 80);
+        assert_eq!(c.total_work(), 10);
+    }
+}

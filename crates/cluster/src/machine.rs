@@ -1,0 +1,75 @@
+//! Machine specifications (Table 7 of the paper).
+
+/// One compute node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Physical cores (DAS-5: 2 × 8).
+    pub cores: u32,
+    /// Hardware threads with Hyper-Threading (DAS-5: 32).
+    pub hw_threads: u32,
+    /// Fraction of a core's throughput an extra Hyper-Thread adds.
+    /// The paper observes "minor or no performance gains from
+    /// Hyper-Threading" (Section 4.3) — a small yield models exactly that.
+    pub ht_yield: f64,
+    /// Main memory in bytes (DAS-5: 64 GiB).
+    pub memory_bytes: u64,
+}
+
+impl MachineSpec {
+    /// The DAS-5 node of Table 7: 2× Intel Xeon E5-2630 (16 cores, 32
+    /// threads), 64 GiB RAM.
+    pub fn das5() -> Self {
+        MachineSpec {
+            cores: 16,
+            hw_threads: 32,
+            ht_yield: 0.15,
+            memory_bytes: 64 * (1 << 30),
+        }
+    }
+
+    /// Effective parallelism when running `threads` software threads:
+    /// full yield up to `cores`, then `ht_yield` per Hyper-Thread, capped
+    /// at the hardware thread count.
+    pub fn effective_parallelism(&self, threads: u32) -> f64 {
+        let t = threads.min(self.hw_threads);
+        let physical = t.min(self.cores) as f64;
+        let hyper = t.saturating_sub(self.cores) as f64;
+        physical + hyper * self.ht_yield
+    }
+
+    /// Memory in GiB (for reports).
+    pub fn memory_gib(&self) -> f64 {
+        self.memory_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn das5_matches_table7() {
+        let m = MachineSpec::das5();
+        assert_eq!(m.cores, 16);
+        assert_eq!(m.hw_threads, 32);
+        assert_eq!(m.memory_gib(), 64.0);
+    }
+
+    #[test]
+    fn parallelism_saturates() {
+        let m = MachineSpec::das5();
+        assert_eq!(m.effective_parallelism(1), 1.0);
+        assert_eq!(m.effective_parallelism(16), 16.0);
+        let at32 = m.effective_parallelism(32);
+        assert!(at32 > 16.0 && at32 < 22.0, "HT yield should be modest, got {at32}");
+        // Beyond hardware threads: no further gain.
+        assert_eq!(m.effective_parallelism(64), at32);
+    }
+
+    #[test]
+    fn hyper_threading_gain_is_minor() {
+        let m = MachineSpec::das5();
+        let gain = m.effective_parallelism(32) / m.effective_parallelism(16);
+        assert!(gain < 1.25, "paper: minor or no HT gains, got {gain:.2}x");
+    }
+}

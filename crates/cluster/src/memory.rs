@@ -1,0 +1,162 @@
+//! Memory footprint model.
+//!
+//! The robustness experiments hinge on memory behaviour: the stress test
+//! (Section 4.6, Table 10) finds the smallest dataset each platform cannot
+//! process on one machine, and several scalability anomalies are memory
+//! effects (GraphMat's single-machine PR outlier is "most likely because of
+//! swapping", Section 4.4; PGX.D "fails in multiple configurations due to
+//! memory limitations", Section 4.5).
+//!
+//! The model:
+//!
+//! ```text
+//! footprint/machine = base
+//!                   + (|V| · b_v · replication) / machines
+//!                   + (|E| · b_e · (1 + s·log10(skew))) / machines
+//! ```
+//!
+//! The skew term captures why platforms fail on a Graph500 graph but
+//! succeed on a Datagen graph *of the same scale* (Table 10's key finding):
+//! hub vertices inflate buffer and replication footprints on skewed graphs.
+
+use serde::Serialize;
+
+/// What happens when the footprint exceeds machine memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OomBehavior {
+    /// The job crashes (JVM heap exhaustion, bad_alloc...).
+    Crash,
+    /// The OS swaps: the job survives up to `limit_factor`× memory but all
+    /// work slows by `slowdown`× (GraphMat's observed behaviour).
+    Swap { limit_factor: f64, slowdown: f64 },
+}
+
+/// Per-engine memory model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Fixed runtime footprint (JVM heap base, buffers), bytes.
+    pub base_bytes: f64,
+    /// Bytes per vertex (per replica for vertex-cut engines).
+    pub bytes_per_vertex: f64,
+    /// Bytes per edge.
+    pub bytes_per_edge: f64,
+    /// Skew sensitivity `s` in `1 + s·log10(skew)`.
+    pub skew_sensitivity: f64,
+    pub oom: OomBehavior,
+}
+
+/// The verdict of a memory check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum MemoryOutcome {
+    /// Fits in memory.
+    Fits { footprint_bytes: u64 },
+    /// Over memory but within swap range: completes with a slowdown factor.
+    Swapping { footprint_bytes: u64, slowdown: f64 },
+    /// Cannot run.
+    OutOfMemory { required_bytes: u64, available_bytes: u64 },
+}
+
+impl MemoryModel {
+    /// Per-machine footprint for a graph of `vertices`/`edges` with degree
+    /// skew `skew`, spread over `machines` with vertex `replication`
+    /// (1.0 for edge-cut engines).
+    pub fn footprint_per_machine(
+        &self,
+        vertices: u64,
+        edges: u64,
+        skew: f64,
+        machines: u32,
+        replication: f64,
+    ) -> u64 {
+        let m = machines.max(1) as f64;
+        let skew_factor = 1.0 + self.skew_sensitivity * skew.max(1.0).log10();
+        let bytes = self.base_bytes
+            + vertices as f64 * self.bytes_per_vertex * replication.max(1.0) / m
+            + edges as f64 * self.bytes_per_edge * skew_factor / m;
+        bytes as u64
+    }
+
+    /// Checks a footprint against per-machine memory.
+    pub fn check(&self, footprint_bytes: u64, machine_memory_bytes: u64) -> MemoryOutcome {
+        if footprint_bytes <= machine_memory_bytes {
+            return MemoryOutcome::Fits { footprint_bytes };
+        }
+        if let OomBehavior::Swap { limit_factor, slowdown } = self.oom {
+            if (footprint_bytes as f64) <= machine_memory_bytes as f64 * limit_factor {
+                return MemoryOutcome::Swapping { footprint_bytes, slowdown };
+            }
+        }
+        MemoryOutcome::OutOfMemory {
+            required_bytes: footprint_bytes,
+            available_bytes: machine_memory_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn model(oom: OomBehavior) -> MemoryModel {
+        MemoryModel {
+            base_bytes: 1.0e9,
+            bytes_per_vertex: 64.0,
+            bytes_per_edge: 50.0,
+            skew_sensitivity: 0.07,
+            oom,
+        }
+    }
+
+    #[test]
+    fn footprint_scales_down_with_machines() {
+        let m = model(OomBehavior::Crash);
+        let one = m.footprint_per_machine(10_000_000, 1_000_000_000, 20.0, 1, 1.0);
+        let four = m.footprint_per_machine(10_000_000, 1_000_000_000, 20.0, 4, 1.0);
+        assert!(four < one / 2);
+    }
+
+    #[test]
+    fn skew_inflates_footprint() {
+        let m = model(OomBehavior::Crash);
+        let social = m.footprint_per_machine(10_000_000, 1_000_000_000, 20.0, 1, 1.0);
+        let kron = m.footprint_per_machine(10_000_000, 1_000_000_000, 3.0e4, 1, 1.0);
+        assert!(
+            kron as f64 > social as f64 * 1.15,
+            "same |V|,|E| but skew must cost: {social} vs {kron}"
+        );
+    }
+
+    #[test]
+    fn replication_inflates_vertex_term() {
+        let m = model(OomBehavior::Crash);
+        let r1 = m.footprint_per_machine(100_000_000, 1_000_000, 10.0, 4, 1.0);
+        let r3 = m.footprint_per_machine(100_000_000, 1_000_000, 10.0, 4, 3.0);
+        assert!(r3 > r1);
+    }
+
+    #[test]
+    fn crash_vs_swap() {
+        let crash = model(OomBehavior::Crash);
+        match crash.check(70 * GIB, 64 * GIB) {
+            MemoryOutcome::OutOfMemory { required_bytes, available_bytes } => {
+                assert!(required_bytes > available_bytes);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        let swap = model(OomBehavior::Swap { limit_factor: 1.2, slowdown: 20.0 });
+        match swap.check(70 * GIB, 64 * GIB) {
+            MemoryOutcome::Swapping { slowdown, .. } => assert_eq!(slowdown, 20.0),
+            other => panic!("expected swap, got {other:?}"),
+        }
+        match swap.check(90 * GIB, 64 * GIB) {
+            MemoryOutcome::OutOfMemory { .. } => {}
+            other => panic!("expected OOM beyond swap limit, got {other:?}"),
+        }
+        match swap.check(10 * GIB, 64 * GIB) {
+            MemoryOutcome::Fits { footprint_bytes } => assert_eq!(footprint_bytes, 10 * GIB),
+            other => panic!("expected fit, got {other:?}"),
+        }
+    }
+}

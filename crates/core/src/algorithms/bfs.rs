@@ -1,0 +1,81 @@
+//! Breadth-first search reference implementation.
+//!
+//! For every vertex, the minimum number of hops required to reach it from the
+//! source vertex, following *outgoing* edges (undirected graphs treat every
+//! edge as bidirectional). Unreachable vertices are assigned `i64::MAX`,
+//! matching the reference-output convention of the benchmark.
+
+use std::collections::VecDeque;
+
+use crate::graph::Csr;
+
+/// Depth assigned to unreachable vertices.
+pub const UNREACHABLE: i64 = i64::MAX;
+
+/// Computes BFS depths from dense vertex index `root`.
+pub fn bfs(csr: &Csr, root: u32) -> Vec<i64> {
+    let n = csr.num_vertices();
+    let mut depth = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    depth[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        let next = depth[u as usize] + 1;
+        for &v in csr.out_neighbors(u) {
+            if depth[v as usize] == UNREACHABLE {
+                depth[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn directed_chain() {
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 2); // 3 unreachable from 0
+        let csr = b.build().unwrap().to_csr();
+        assert_eq!(bfs(&csr, 0), vec![0, 1, 2, UNREACHABLE]);
+    }
+
+    #[test]
+    fn undirected_edges_are_bidirectional() {
+        let mut b = GraphBuilder::new(false);
+        b.add_vertex_range(3);
+        b.add_edge(2, 1);
+        b.add_edge(1, 0);
+        let csr = b.build().unwrap().to_csr();
+        assert_eq!(bfs(&csr, 2), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn shortest_of_multiple_paths() {
+        // 0 -> 1 -> 2 -> 3 and 0 -> 3 directly.
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(0, 3);
+        let csr = b.build().unwrap().to_csr();
+        assert_eq!(bfs(&csr, 0)[3], 1);
+    }
+
+    #[test]
+    fn direction_respected() {
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(2);
+        b.add_edge(0, 1);
+        let csr = b.build().unwrap().to_csr();
+        assert_eq!(bfs(&csr, 1), vec![UNREACHABLE, 0]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Compressed-sparse-row adjacency, the compute representation shared by the
+//! reference implementations and all six platform engines.
+
+use super::{Graph, VertexId};
+
+/// CSR adjacency in both directions with dense `u32` vertex indices.
+///
+/// Sparse dataset identifiers are mapped to dense indices `0..n` in sorted
+/// order; [`Csr::id_of`] and [`Csr::index_of`] convert between the two.
+/// For undirected graphs every edge is materialized in both rows of the
+/// *out* structure and the *in* structure aliases it, so algorithms can be
+/// written uniformly against `out_*`/`in_*`.
+///
+/// Adjacency rows are sorted by target index, enabling `O(log d)` edge
+/// membership tests ([`Csr::has_out_edge`]) used by LCC.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    directed: bool,
+    weighted: bool,
+    vertex_ids: Box<[VertexId]>,
+    out_offsets: Box<[u64]>,
+    out_targets: Box<[u32]>,
+    out_weights: Box<[f64]>,
+    // Empty (aliased to out) for undirected graphs.
+    in_offsets: Box<[u64]>,
+    in_targets: Box<[u32]>,
+    in_weights: Box<[f64]>,
+}
+
+impl Csr {
+    /// Builds the CSR form of `g`.
+    pub fn from_graph(g: &Graph) -> Csr {
+        let n = g.vertex_count();
+        let vertex_ids: Box<[VertexId]> = g.vertices().into();
+        let index_of = |v: VertexId| -> u32 {
+            vertex_ids.binary_search(&v).expect("edge endpoint is a declared vertex") as u32
+        };
+
+        let directed = g.is_directed();
+        let weighted = g.is_weighted();
+
+        // Degree counting.
+        let mut out_deg = vec![0u64; n];
+        let mut in_deg = vec![0u64; if directed { n } else { 0 }];
+        let mut endpoints = Vec::with_capacity(g.edge_count());
+        for e in g.edges() {
+            let (s, d) = (index_of(e.src), index_of(e.dst));
+            endpoints.push((s, d, e.weight));
+            if directed {
+                out_deg[s as usize] += 1;
+                in_deg[d as usize] += 1;
+            } else {
+                out_deg[s as usize] += 1;
+                out_deg[d as usize] += 1;
+            }
+        }
+
+        let prefix = |deg: &[u64]| -> Vec<u64> {
+            let mut off = Vec::with_capacity(deg.len() + 1);
+            let mut acc = 0u64;
+            off.push(0);
+            for &d in deg {
+                acc += d;
+                off.push(acc);
+            }
+            off
+        };
+        let out_offsets = prefix(&out_deg);
+        let stored_out = *out_offsets.last().unwrap() as usize;
+        let mut out_targets = vec![0u32; stored_out];
+        let mut out_weights = vec![1.0f64; stored_out];
+        let mut out_cursor: Vec<u64> = out_offsets[..n].to_vec();
+
+        let (in_offsets, mut in_targets, mut in_weights, mut in_cursor);
+        if directed {
+            let off = prefix(&in_deg);
+            let stored_in = *off.last().unwrap() as usize;
+            in_targets = vec![0u32; stored_in];
+            in_weights = vec![1.0f64; stored_in];
+            in_cursor = off[..n].to_vec();
+            in_offsets = off;
+        } else {
+            in_offsets = Vec::new();
+            in_targets = Vec::new();
+            in_weights = Vec::new();
+            in_cursor = Vec::new();
+        }
+
+        for &(s, d, w) in &endpoints {
+            let c = out_cursor[s as usize] as usize;
+            out_targets[c] = d;
+            out_weights[c] = w;
+            out_cursor[s as usize] += 1;
+            if directed {
+                let c = in_cursor[d as usize] as usize;
+                in_targets[c] = s;
+                in_weights[c] = w;
+                in_cursor[d as usize] += 1;
+            } else {
+                let c = out_cursor[d as usize] as usize;
+                out_targets[c] = s;
+                out_weights[c] = w;
+                out_cursor[d as usize] += 1;
+            }
+        }
+
+        // Sort every row by target for deterministic layout + binary search.
+        let sort_rows = |offsets: &[u64], targets: &mut [u32], weights: &mut [f64]| {
+            for i in 0..n {
+                let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                if hi - lo > 1 {
+                    let mut row: Vec<(u32, f64)> = targets[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(weights[lo..hi].iter().copied())
+                        .collect();
+                    row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                    for (k, (t, w)) in row.into_iter().enumerate() {
+                        targets[lo + k] = t;
+                        weights[lo + k] = w;
+                    }
+                }
+            }
+        };
+        sort_rows(&out_offsets, &mut out_targets, &mut out_weights);
+        if directed {
+            sort_rows(&in_offsets, &mut in_targets, &mut in_weights);
+        }
+
+        Csr {
+            directed,
+            weighted,
+            vertex_ids,
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            out_weights: out_weights.into(),
+            in_offsets: in_offsets.into(),
+            in_targets: in_targets.into(),
+            in_weights: in_weights.into(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_ids.len()
+    }
+
+    /// Number of *logical* edges (undirected edges counted once), matching
+    /// the dataset's `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        let stored = self.out_targets.len();
+        if self.directed {
+            stored
+        } else {
+            stored / 2
+        }
+    }
+
+    /// Number of stored arcs (2·|E| for undirected graphs). This is the unit
+    /// the engines' work counters use for "edges scanned".
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// True for directed graphs.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// True when edge weights are meaningful.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Sparse id of dense index `u`.
+    #[inline]
+    pub fn id_of(&self, u: u32) -> VertexId {
+        self.vertex_ids[u as usize]
+    }
+
+    /// All sparse ids, sorted (dense order).
+    #[inline]
+    pub fn vertex_ids(&self) -> &[VertexId] {
+        &self.vertex_ids
+    }
+
+    /// Dense index of a sparse id, if present.
+    #[inline]
+    pub fn index_of(&self, v: VertexId) -> Option<u32> {
+        self.vertex_ids.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// Out-neighbour row of `u` (sorted). For undirected graphs this is the
+    /// full neighbourhood.
+    #[inline]
+    pub fn out_neighbors(&self, u: u32) -> &[u32] {
+        let (lo, hi) = self.out_range(u);
+        &self.out_targets[lo..hi]
+    }
+
+    /// Weights parallel to [`Csr::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, u: u32) -> &[f64] {
+        let (lo, hi) = self.out_range(u);
+        &self.out_weights[lo..hi]
+    }
+
+    /// In-neighbour row of `u` (sorted); aliases the out row for undirected
+    /// graphs.
+    #[inline]
+    pub fn in_neighbors(&self, u: u32) -> &[u32] {
+        if self.directed {
+            let (lo, hi) = self.in_range(u);
+            &self.in_targets[lo..hi]
+        } else {
+            self.out_neighbors(u)
+        }
+    }
+
+    /// Weights parallel to [`Csr::in_neighbors`].
+    #[inline]
+    pub fn in_weights(&self, u: u32) -> &[f64] {
+        if self.directed {
+            let (lo, hi) = self.in_range(u);
+            &self.in_weights[lo..hi]
+        } else {
+            self.out_weights(u)
+        }
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> usize {
+        let (lo, hi) = self.out_range(u);
+        hi - lo
+    }
+
+    /// In-degree of `u` (== out-degree for undirected graphs).
+    #[inline]
+    pub fn in_degree(&self, u: u32) -> usize {
+        if self.directed {
+            let (lo, hi) = self.in_range(u);
+            hi - lo
+        } else {
+            self.out_degree(u)
+        }
+    }
+
+    /// True if the arc `u -> v` exists (`O(log d)`).
+    #[inline]
+    pub fn has_out_edge(&self, u: u32, v: u32) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The *union* neighbourhood of `u` — distinct vertices adjacent via an
+    /// in- or out-edge, excluding `u` itself. This is `N(v)` in the LCC
+    /// definition. Sorted output.
+    pub fn neighborhood_union(&self, u: u32) -> Vec<u32> {
+        if !self.directed {
+            // Rows are sorted and self loops are excluded by the data model.
+            return self.out_neighbors(u).to_vec();
+        }
+        let out = self.out_neighbors(u);
+        let inn = self.in_neighbors(u);
+        let mut merged = Vec::with_capacity(out.len() + inn.len());
+        let (mut i, mut j) = (0, 0);
+        while i < out.len() && j < inn.len() {
+            match out[i].cmp(&inn[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(out[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(inn[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(out[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&out[i..]);
+        merged.extend_from_slice(&inn[j..]);
+        merged.dedup();
+        merged
+    }
+
+    /// Estimated resident size in bytes; used by upload-phase accounting.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.vertex_ids.len() * 8
+            + (self.out_offsets.len() + self.in_offsets.len()) * 8
+            + (self.out_targets.len() + self.in_targets.len()) * 4
+            + (self.out_weights.len() + self.in_weights.len()) * 8) as u64
+    }
+
+    #[inline]
+    fn out_range(&self, u: u32) -> (usize, usize) {
+        (self.out_offsets[u as usize] as usize, self.out_offsets[u as usize + 1] as usize)
+    }
+
+    #[inline]
+    fn in_range(&self, u: u32) -> (usize, usize) {
+        (self.in_offsets[u as usize] as usize, self.in_offsets[u as usize + 1] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn directed_graph() -> Graph {
+        // 10 -> 20, 10 -> 30, 20 -> 30, 30 -> 10
+        let mut b = GraphBuilder::new(true);
+        for v in [10u64, 20, 30] {
+            b.add_vertex(v);
+        }
+        b.add_edge(10, 20);
+        b.add_edge(10, 30);
+        b.add_edge(20, 30);
+        b.add_edge(30, 10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dense_mapping_is_sorted_order() {
+        let csr = directed_graph().to_csr();
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.id_of(0), 10);
+        assert_eq!(csr.id_of(2), 30);
+        assert_eq!(csr.index_of(20), Some(1));
+        assert_eq!(csr.index_of(99), None);
+    }
+
+    #[test]
+    fn directed_adjacency() {
+        let csr = directed_graph().to_csr();
+        assert_eq!(csr.out_neighbors(0), &[1, 2]); // 10 -> {20, 30}
+        assert_eq!(csr.out_neighbors(2), &[0]); // 30 -> {10}
+        assert_eq!(csr.in_neighbors(2), &[0, 1]); // 30 <- {10, 20}
+        assert_eq!(csr.in_degree(0), 1);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.num_arcs(), 4);
+        assert!(csr.has_out_edge(0, 1));
+        assert!(!csr.has_out_edge(1, 0));
+    }
+
+    #[test]
+    fn undirected_adjacency_symmetric() {
+        let mut b = GraphBuilder::new(false);
+        b.add_vertex_range(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 3);
+        let g = b.build().unwrap();
+        let csr = g.to_csr();
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.num_arcs(), 6);
+        assert_eq!(csr.out_neighbors(1), &[0, 2]);
+        assert_eq!(csr.in_neighbors(1), &[0, 2]);
+        assert_eq!(csr.out_degree(0), 2);
+        assert!(csr.has_out_edge(3, 0));
+    }
+
+    #[test]
+    fn weights_follow_sorted_targets() {
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(3);
+        b.set_weighted(true);
+        b.add_weighted_edge(0, 2, 2.5);
+        b.add_weighted_edge(0, 1, 1.5);
+        let csr = b.build().unwrap().to_csr();
+        assert_eq!(csr.out_neighbors(0), &[1, 2]);
+        assert_eq!(csr.out_weights(0), &[1.5, 2.5]);
+        assert_eq!(csr.in_weights(2), &[2.5]);
+    }
+
+    #[test]
+    fn neighborhood_union_directed() {
+        // 0 -> 1, 1 -> 0 (reciprocal), 0 -> 2, 3 -> 0
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 2);
+        b.add_edge(3, 0);
+        let csr = b.build().unwrap().to_csr();
+        assert_eq!(csr.neighborhood_union(0), vec![1, 2, 3]);
+        assert_eq!(csr.neighborhood_union(2), vec![0]);
+    }
+
+    #[test]
+    fn resident_bytes_positive_and_monotone() {
+        let small = directed_graph().to_csr();
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(100);
+        for i in 0..99u64 {
+            b.add_edge(i, i + 1);
+        }
+        let big = b.build().unwrap().to_csr();
+        assert!(big.resident_bytes() > small.resident_bytes());
+    }
+}

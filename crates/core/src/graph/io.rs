@@ -1,0 +1,220 @@
+//! EVL graph file I/O — the exchange format of the Graphalytics benchmark.
+//!
+//! A dataset is a pair of text files:
+//!
+//! * a **vertex file** (`.v`): one vertex id per line;
+//! * an **edge file** (`.e`): `source target` per line, plus a third
+//!   whitespace-separated column with the `f64` weight for weighted graphs.
+//!
+//! Lines are `\n`-terminated; blank lines and `#` comments are permitted.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use super::{Graph, GraphBuilder, VertexId};
+use crate::error::{Error, Result};
+
+/// Reads a vertex file into sorted, deduplicated ids.
+pub fn read_vertex_file(path: &Path) -> Result<Vec<VertexId>> {
+    let file = std::fs::File::open(path)?;
+    parse_vertices(BufReader::new(file), &path.display().to_string())
+}
+
+/// Reads an edge file, appending edges to `builder`.
+///
+/// `weighted` selects whether a third column is required (`true`) or
+/// forbidden (`false`).
+pub fn read_edge_file(path: &Path, builder: &mut GraphBuilder, weighted: bool) -> Result<()> {
+    let file = std::fs::File::open(path)?;
+    parse_edges(BufReader::new(file), &path.display().to_string(), builder, weighted)
+}
+
+/// Loads a full graph from a vertex file and an edge file.
+pub fn read_graph(vertex_path: &Path, edge_path: &Path, directed: bool, weighted: bool) -> Result<Graph> {
+    let mut builder = GraphBuilder::new(directed);
+    builder.set_weighted(weighted);
+    for v in read_vertex_file(vertex_path)? {
+        builder.add_vertex(v);
+    }
+    read_edge_file(edge_path, &mut builder, weighted)?;
+    builder.build()
+}
+
+/// Writes the vertex file for `g`.
+pub fn write_vertex_file(g: &Graph, path: &Path) -> Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for v in g.vertices() {
+        writeln!(out, "{v}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes the edge file for `g` (three columns when the graph is weighted).
+pub fn write_edge_file(g: &Graph, path: &Path) -> Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    let weighted = g.is_weighted();
+    for e in g.edges() {
+        if weighted {
+            writeln!(out, "{} {} {}", e.src, e.dst, e.weight)?;
+        } else {
+            writeln!(out, "{} {}", e.src, e.dst)?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+fn parse_vertices<R: Read>(reader: BufReader<R>, file: &str) -> Result<Vec<VertexId>> {
+    let mut vertices = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let content = strip(&line);
+        if content.is_empty() {
+            continue;
+        }
+        let v = content.parse::<VertexId>().map_err(|e| Error::Parse {
+            file: file.to_string(),
+            line: lineno as u64 + 1,
+            message: format!("bad vertex id {content:?}: {e}"),
+        })?;
+        vertices.push(v);
+    }
+    vertices.sort_unstable();
+    vertices.dedup();
+    Ok(vertices)
+}
+
+fn parse_edges<R: Read>(
+    reader: BufReader<R>,
+    file: &str,
+    builder: &mut GraphBuilder,
+    weighted: bool,
+) -> Result<()> {
+    let err = |lineno: usize, message: String| Error::Parse {
+        file: file.to_string(),
+        line: lineno as u64 + 1,
+        message,
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let content = strip(&line);
+        if content.is_empty() {
+            continue;
+        }
+        let mut cols = content.split_ascii_whitespace();
+        let src: VertexId = cols
+            .next()
+            .ok_or_else(|| err(lineno, "missing source column".into()))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad source: {e}")))?;
+        let dst: VertexId = cols
+            .next()
+            .ok_or_else(|| err(lineno, "missing target column".into()))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad target: {e}")))?;
+        let weight = if weighted {
+            let w: f64 = cols
+                .next()
+                .ok_or_else(|| err(lineno, "missing weight column".into()))?
+                .parse()
+                .map_err(|e| err(lineno, format!("bad weight: {e}")))?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(err(lineno, format!("weight {w} is not a finite non-negative number")));
+            }
+            w
+        } else {
+            if cols.next().is_some() {
+                return Err(err(lineno, "unexpected third column in unweighted edge file".into()));
+            }
+            1.0
+        };
+        builder.add_weighted_edge(src, dst, weight);
+    }
+    Ok(())
+}
+
+fn strip(line: &str) -> &str {
+    let line = match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    line.trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_vertices_handles_comments_and_blanks() {
+        let data = "1\n\n# comment\n3\n2\n3\n";
+        let v = parse_vertices(BufReader::new(data.as_bytes()), "mem").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let data = "1\nfoo\n";
+        let e = parse_vertices(BufReader::new(data.as_bytes()), "mem").unwrap_err();
+        assert!(e.to_string().contains("mem:2"));
+    }
+
+    #[test]
+    fn parse_edges_weighted_and_unweighted() {
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(4);
+        parse_edges(BufReader::new("0 1\n2 3 # tail comment\n".as_bytes()), "mem", &mut b, false)
+            .unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(2);
+        b.set_weighted(true);
+        parse_edges(BufReader::new("0 1 2.5\n".as_bytes()), "mem", &mut b, true).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edges()[0].weight, 2.5);
+    }
+
+    #[test]
+    fn parse_edges_rejects_bad_columns() {
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(2);
+        assert!(parse_edges(BufReader::new("0\n".as_bytes()), "m", &mut b, false).is_err());
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(2);
+        assert!(parse_edges(BufReader::new("0 1 9.0\n".as_bytes()), "m", &mut b, false).is_err());
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(2);
+        assert!(parse_edges(BufReader::new("0 1\n".as_bytes()), "m", &mut b, true).is_err());
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(2);
+        assert!(parse_edges(BufReader::new("0 1 -4\n".as_bytes()), "m", &mut b, true).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("galy-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = GraphBuilder::new(false);
+        b.set_weighted(true);
+        for v in [7u64, 3, 9] {
+            b.add_vertex(v);
+        }
+        b.add_weighted_edge(7, 3, 0.5);
+        b.add_weighted_edge(9, 7, 1.25);
+        let g = b.build().unwrap();
+
+        let vp = dir.join("g.v");
+        let ep = dir.join("g.e");
+        write_vertex_file(&g, &vp).unwrap();
+        write_edge_file(&g, &ep).unwrap();
+        let g2 = read_graph(&vp, &ep, false, true).unwrap();
+        assert_eq!(g2.vertices(), g.vertices());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.edges()[0].weight, g.edges()[0].weight);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

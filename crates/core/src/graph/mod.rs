@@ -1,0 +1,257 @@
+//! The Graphalytics graph data model (Section 2.2.1).
+//!
+//! A graph is a set of vertices, each identified by a unique (sparse) integer,
+//! and a set of edges between distinct vertices. Graphs are directed or
+//! undirected; every edge is unique (for undirected graphs, unique up to
+//! orientation); vertices and edges may carry properties — the benchmark
+//! itself only uses `f64` edge weights (for SSSP).
+//!
+//! Two representations are provided:
+//!
+//! * [`Graph`] — vertex list + edge list, the exchange format produced by
+//!   generators and file loaders and consumed by platform "upload" phases;
+//! * [`Csr`] — compressed sparse row adjacency (both directions), the format
+//!   the reference implementations and the engines compute on.
+
+mod builder;
+mod csr;
+mod io;
+mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use io::{read_edge_file, read_graph, read_vertex_file, write_edge_file, write_vertex_file};
+pub use stats::GraphStats;
+
+use crate::error::{Error, Result};
+
+/// Sparse vertex identifier as it appears in datasets (unique integer).
+pub type VertexId = u64;
+
+/// A directed or undirected edge with an optional weight.
+///
+/// For undirected graphs the stored orientation is canonical
+/// (`src < dst`); [`GraphBuilder`] enforces this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    /// Edge weight; `NaN`-free by construction. Unweighted graphs use 1.0.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// An unweighted edge (weight 1.0).
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst, weight: 1.0 }
+    }
+
+    /// A weighted edge.
+    pub fn weighted(src: VertexId, dst: VertexId, weight: f64) -> Self {
+        Edge { src, dst, weight }
+    }
+}
+
+/// An in-memory property graph in vertex-list/edge-list form.
+///
+/// Invariants (enforced by [`GraphBuilder`] and checked by
+/// [`Graph::validate`]):
+///
+/// * `vertices` is sorted and duplicate-free;
+/// * every edge endpoint is a declared vertex;
+/// * no self loops;
+/// * edges are unique; undirected edges are stored with `src < dst`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    directed: bool,
+    weighted: bool,
+    vertices: Vec<VertexId>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Starts an empty builder.
+    pub fn builder(directed: bool) -> GraphBuilder {
+        GraphBuilder::new(directed)
+    }
+
+    pub(crate) fn from_parts(
+        directed: bool,
+        weighted: bool,
+        vertices: Vec<VertexId>,
+        edges: Vec<Edge>,
+    ) -> Self {
+        Graph { directed, weighted, vertices, edges }
+    }
+
+    /// True for directed graphs (ordered edge pairs).
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// True when the graph carries meaningful edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Number of vertices, `|V|`.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges, `|E|` (undirected edges counted once).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorted slice of vertex identifiers.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Edge list (canonical orientation for undirected graphs).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The benchmark scale of this graph, `log10(|V|+|E|)` rounded to one
+    /// decimal (Section 2.2.4).
+    pub fn scale(&self) -> f64 {
+        crate::scale::scale_of(self.vertex_count() as u64, self.edge_count() as u64)
+    }
+
+    /// True if `v` is a vertex of this graph.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Re-checks all data-model invariants; used by tests and by the harness
+    /// when it ingests user-provided graphs.
+    pub fn validate(&self) -> Result<()> {
+        if self.vertices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::InvalidGraph("vertex list not sorted/unique".into()));
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        for e in &self.edges {
+            if e.src == e.dst {
+                return Err(Error::InvalidGraph(format!("self loop at vertex {}", e.src)));
+            }
+            if !self.contains_vertex(e.src) || !self.contains_vertex(e.dst) {
+                return Err(Error::InvalidGraph(format!(
+                    "edge ({}, {}) references undeclared vertex",
+                    e.src, e.dst
+                )));
+            }
+            let key = if self.directed { (e.src, e.dst) } else { (e.src.min(e.dst), e.src.max(e.dst)) };
+            if !seen.insert(key) {
+                return Err(Error::InvalidGraph(format!("duplicate edge ({}, {})", e.src, e.dst)));
+            }
+            if !self.directed && e.src > e.dst {
+                return Err(Error::InvalidGraph(format!(
+                    "undirected edge ({}, {}) not in canonical orientation",
+                    e.src, e.dst
+                )));
+            }
+            if e.weight.is_nan() || e.weight < 0.0 {
+                return Err(Error::InvalidGraph(format!(
+                    "edge ({}, {}) has invalid weight {}",
+                    e.src, e.dst, e.weight
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the CSR form used by algorithms and engines.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_graph(self)
+    }
+
+    /// Returns a copy of this graph with direction dropped (used by the
+    /// harness for algorithms defined on the underlying undirected graph).
+    pub fn as_undirected(&self) -> Graph {
+        if !self.directed {
+            return self.clone();
+        }
+        let mut b = GraphBuilder::new(false);
+        b.set_weighted(self.weighted);
+        for &v in &self.vertices {
+            b.add_vertex(v);
+        }
+        for e in &self.edges {
+            // Ignore duplicate-after-canonicalization errors: a directed
+            // graph may contain both (u,v) and (v,u).
+            let _ = b.try_add_edge(Edge::weighted(e.src, e.dst, e.weight));
+        }
+        b.build_unchecked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        let mut b = Graph::builder(true);
+        for v in [1u64, 2, 3, 5] {
+            b.add_vertex(v);
+        }
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 1);
+        b.add_edge(5, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let g = tiny();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.contains_vertex(5));
+        assert!(!g.contains_vertex(4));
+        assert!(g.is_directed());
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn validate_detects_violations() {
+        let g = Graph::from_parts(true, false, vec![1, 2], vec![Edge::new(1, 1)]);
+        assert!(g.validate().is_err());
+        let g = Graph::from_parts(true, false, vec![1, 2], vec![Edge::new(1, 3)]);
+        assert!(g.validate().is_err());
+        let g = Graph::from_parts(
+            true,
+            false,
+            vec![1, 2],
+            vec![Edge::new(1, 2), Edge::new(1, 2)],
+        );
+        assert!(g.validate().is_err());
+        let g = Graph::from_parts(false, false, vec![1, 2], vec![Edge::new(2, 1)]);
+        assert!(g.validate().is_err(), "non-canonical undirected edge");
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn undirected_view_merges_reciprocal_edges() {
+        let mut b = Graph::builder(true);
+        for v in [1u64, 2, 3] {
+            b.add_vertex(v);
+        }
+        b.add_edge(1, 2);
+        b.add_edge(2, 1);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let u = g.as_undirected();
+        assert!(!u.is_directed());
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_matches_formula() {
+        let g = tiny();
+        let s = (8f64).log10();
+        assert!((g.scale() - (s * 10.0).round() / 10.0).abs() < 1e-9);
+    }
+}

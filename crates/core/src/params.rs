@@ -1,0 +1,128 @@
+//! Per-run algorithm parameters.
+//!
+//! The benchmark description (Figure 1, component 1) includes "the algorithm
+//! parameters for each graph (e.g., the root for BFS or number of iterations
+//! for PR)". [`AlgorithmParams`] carries exactly those, and
+//! [`SourceSelection`] captures how a dataset prescribes its root vertex.
+
+use crate::graph::{Csr, VertexId};
+
+/// Parameters for one algorithm execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmParams {
+    /// Source vertex for BFS and SSSP (sparse id).
+    pub source_vertex: Option<VertexId>,
+    /// Number of PageRank iterations.
+    pub pagerank_iterations: u32,
+    /// PageRank damping factor (0.85 in the benchmark).
+    pub damping_factor: f64,
+    /// Number of CDLP iterations.
+    pub cdlp_iterations: u32,
+}
+
+impl Default for AlgorithmParams {
+    fn default() -> Self {
+        AlgorithmParams {
+            source_vertex: None,
+            pagerank_iterations: 10,
+            damping_factor: 0.85,
+            cdlp_iterations: 10,
+        }
+    }
+}
+
+impl AlgorithmParams {
+    /// Parameters with an explicit root.
+    pub fn with_source(source: VertexId) -> Self {
+        AlgorithmParams { source_vertex: Some(source), ..Default::default() }
+    }
+}
+
+/// How a dataset selects the BFS/SSSP source vertex.
+///
+/// Real Graphalytics dataset descriptors name an explicit root; synthetic
+/// proxies use a deterministic structural rule so the root is reproducible
+/// for any generated instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceSelection {
+    /// A fixed sparse vertex id.
+    Explicit(VertexId),
+    /// The vertex with maximum out-degree, ties broken by smallest id.
+    /// This mimics picking a well-connected root, as benchmark datasets do.
+    MaxOutDegree,
+    /// The smallest vertex id present in the graph.
+    MinId,
+}
+
+impl SourceSelection {
+    /// Resolves the selection rule against a concrete graph.
+    pub fn resolve(self, csr: &Csr) -> Option<VertexId> {
+        match self {
+            SourceSelection::Explicit(v) => csr.index_of(v).map(|_| v),
+            SourceSelection::MinId => csr.vertex_ids().first().copied(),
+            SourceSelection::MaxOutDegree => {
+                let n = csr.num_vertices();
+                let mut best: Option<(usize, VertexId)> = None;
+                for u in 0..n as u32 {
+                    let d = csr.out_degree(u);
+                    let id = csr.id_of(u);
+                    best = Some(match best {
+                        None => (d, id),
+                        Some((bd, bid)) => {
+                            if d > bd {
+                                (d, id)
+                            } else {
+                                (bd, bid)
+                            }
+                        }
+                    });
+                }
+                best.map(|(_, id)| id)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn csr() -> Csr {
+        let mut b = GraphBuilder::new(true);
+        for v in [5u64, 6, 7] {
+            b.add_vertex(v);
+        }
+        b.add_edge(6, 5);
+        b.add_edge(6, 7);
+        b.add_edge(5, 7);
+        b.build().unwrap().to_csr()
+    }
+
+    #[test]
+    fn default_matches_benchmark_spec() {
+        let p = AlgorithmParams::default();
+        assert_eq!(p.damping_factor, 0.85);
+        assert_eq!(p.pagerank_iterations, 10);
+        assert!(p.source_vertex.is_none());
+    }
+
+    #[test]
+    fn max_out_degree_resolution() {
+        assert_eq!(SourceSelection::MaxOutDegree.resolve(&csr()), Some(6));
+        assert_eq!(SourceSelection::MinId.resolve(&csr()), Some(5));
+        assert_eq!(SourceSelection::Explicit(7).resolve(&csr()), Some(7));
+        assert_eq!(SourceSelection::Explicit(99).resolve(&csr()), None);
+    }
+
+    #[test]
+    fn ties_break_to_smallest_id() {
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(4);
+        b.add_edge(1, 0);
+        b.add_edge(2, 0);
+        let csr = b.build().unwrap().to_csr();
+        // Vertices 1 and 2 both have out-degree 1.
+        assert_eq!(SourceSelection::MaxOutDegree.resolve(&csr), Some(1));
+    }
+}

@@ -1,0 +1,66 @@
+//! Block construction.
+//!
+//! Datagen generates friendships only between persons falling in the same
+//! *block*: persons are sorted along a correlation dimension and the sorted
+//! sequence is cut into fixed-size blocks. Consecutive persons in a block
+//! have similar attribute values, so windowed/community wiring inside the
+//! block yields the correlated structure ("persons with similar
+//! characteristics are more likely to be connected").
+
+use crate::person::{Dimension, Person};
+
+/// Returns person *indices* (into the input slice) sorted along `dim` and
+/// partitioned into blocks of at most `block_size`.
+pub fn blocks_along(persons: &[Person], dim: Dimension, block_size: u32) -> Vec<Vec<u32>> {
+    assert!(block_size >= 2, "blocks must hold at least two persons");
+    let mut order: Vec<u32> = (0..persons.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| dim.key(&persons[i as usize]));
+    order
+        .chunks(block_size as usize)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::person::generate_persons;
+
+    #[test]
+    fn blocks_cover_all_persons_once() {
+        let persons = generate_persons(1000, 10.0, 100, 5);
+        let blocks = blocks_along(&persons, Dimension::Interest, 128);
+        let mut seen = vec![false; 1000];
+        for b in &blocks {
+            assert!(b.len() <= 128);
+            for &i in b {
+                assert!(!seen[i as usize], "person {i} in two blocks");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // ceil(1000 / 128) = 8 blocks.
+        assert_eq!(blocks.len(), 8);
+    }
+
+    #[test]
+    fn blocks_are_sorted_along_dimension() {
+        let persons = generate_persons(500, 10.0, 100, 6);
+        for dim in Dimension::ALL {
+            let blocks = blocks_along(&persons, dim, 64);
+            let flat: Vec<u32> = blocks.iter().flatten().copied().collect();
+            for w in flat.windows(2) {
+                let ka = dim.key(&persons[w[0] as usize]);
+                let kb = dim.key(&persons[w[1] as usize]);
+                assert!(ka <= kb, "ordering violated along {dim:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn degenerate_block_size_rejected() {
+        let persons = generate_persons(10, 5.0, 10, 1);
+        blocks_along(&persons, Dimension::Random, 1);
+    }
+}

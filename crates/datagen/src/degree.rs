@@ -1,0 +1,77 @@
+//! The Facebook degree fit used by SNB Datagen.
+//!
+//! Datagen targets a "Facebook-like friendship distribution" (Section 2.5.1).
+//! The SNB paper models the mean friend count of a network with `n` members
+//! as
+//!
+//! ```text
+//! mean_degree(n) = n ^ (0.512 - 0.028 · log10(n))
+//! ```
+//!
+//! which reproduces Facebook's measured growth of mean degree with network
+//! size. Since each friendship contributes degree to two persons, a network
+//! of `n` persons has about `n · mean_degree(n) / 2` edges; the inverse,
+//! [`persons_for_edges`], is what scale factors ("millions of edges") are
+//! resolved through.
+
+/// Mean friendship degree for a network of `n` persons (Facebook fit).
+pub fn mean_degree(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    nf.powf(0.512 - 0.028 * nf.log10())
+}
+
+/// Expected number of friendship edges for `n` persons.
+pub fn expected_edges(n: u64) -> f64 {
+    n as f64 * mean_degree(n) / 2.0
+}
+
+/// Smallest person count whose expected edge count reaches `edges`
+/// (binary search over the monotone region of the fit).
+pub fn persons_for_edges(edges: u64) -> u64 {
+    let (mut lo, mut hi) = (2u64, 1u64 << 40);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if expected_edges(mid) < edges as f64 {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_matches_paper_dataset_sizes() {
+        // Table 4: datagen-100 has 1.67M persons and 102M edges, i.e. mean
+        // degree ≈ 122. The fit should land within ~15%.
+        let d = mean_degree(1_670_000);
+        assert!((100.0..=145.0).contains(&d), "mean degree {d}");
+        let e = expected_edges(1_670_000) / 1.0e6;
+        assert!((85.0..=120.0).contains(&e), "expected {e}M edges");
+    }
+
+    #[test]
+    fn inverse_is_consistent() {
+        for &edges in &[10_000u64, 1_000_000, 100_000_000] {
+            let n = persons_for_edges(edges);
+            let got = expected_edges(n);
+            assert!(got >= edges as f64, "n={n} gives {got} < {edges}");
+            let below = expected_edges(n - 1);
+            assert!(below < edges as f64 * 1.001);
+        }
+    }
+
+    #[test]
+    fn mean_degree_grows_with_n() {
+        assert!(mean_degree(10_000) > mean_degree(1_000));
+        assert!(mean_degree(1_000_000) > mean_degree(10_000));
+        assert_eq!(mean_degree(1), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Windowed correlated edge generation (the classic Datagen pass).
+//!
+//! Within a block (already sorted along a correlation dimension),
+//! person `i` connects to persons at nearby ranks with geometrically
+//! decaying probability — "consecutive persons in a block must have a larger
+//! probability to connect" (Section 2.5.1). Each pass consumes a fraction of
+//! every person's degree budget (see [`Dimension::degree_fraction`]).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::person::{Dimension, Person};
+
+/// Geometric decay parameter: probability of picking rank distance `d`
+/// is proportional to `GEOMETRIC_Q^(d-1)`.
+pub const GEOMETRIC_Q: f64 = 0.85;
+
+/// Generates one pass of windowed edges for a single block.
+///
+/// `block` holds person indices in sorted order. Returns `(src, dst)` person
+/// *id* pairs (unordered semantics; duplicates possible across passes —
+/// deduplication is the flow's job, which is exactly the paper's Figure 3
+/// story).
+pub fn window_pass(
+    persons: &[Person],
+    block: &[u32],
+    dim: Dimension,
+    rng: &mut SmallRng,
+) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let len = block.len();
+    for (rank, &pi) in block.iter().enumerate() {
+        let p = &persons[pi as usize];
+        // Budget for this pass; each edge serves two endpoints, so halve.
+        let budget =
+            ((p.target_degree as f64 * dim.degree_fraction()) / 2.0).round().max(1.0) as u32;
+        for _ in 0..budget {
+            let offset = sample_geometric(rng);
+            let j = rank + offset as usize;
+            if j >= len {
+                continue;
+            }
+            let q = &persons[block[j] as usize];
+            if p.id != q.id {
+                out.push((p.id, q.id));
+            }
+        }
+    }
+    out
+}
+
+/// Samples a rank distance ≥ 1 with geometric decay.
+fn sample_geometric(rng: &mut SmallRng) -> u32 {
+    let u: f64 = rng.random::<f64>().max(1e-15);
+    let d = 1.0 + u.ln() / GEOMETRIC_Q.ln();
+    d.min(1_000.0) as u32 + 1
+}
+
+/// Deterministic edge weight derived from the endpoint pair, so both flows
+/// and all passes assign identical weights to identical edges.
+pub fn edge_weight(a: u64, b: u64) -> f64 {
+    let (lo, hi) = (a.min(b), a.max(b));
+    let mut h = lo.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hi.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::person::generate_persons;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pass_respects_block_membership() {
+        let persons = generate_persons(200, 8.0, 40, 2);
+        let block: Vec<u32> = (0..100).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges = window_pass(&persons, &block, Dimension::University, &mut rng);
+        assert!(!edges.is_empty());
+        for &(a, b) in &edges {
+            assert!(a < 100 && b < 100, "edge ({a},{b}) leaves the block");
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn nearby_ranks_preferred() {
+        let persons = generate_persons(1000, 20.0, 60, 3);
+        let block: Vec<u32> = (0..1000).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let edges = window_pass(&persons, &block, Dimension::Random, &mut rng);
+        let near = edges.iter().filter(|&&(a, b)| a.abs_diff(b) <= 5).count();
+        let far = edges.iter().filter(|&&(a, b)| a.abs_diff(b) > 50).count();
+        assert!(near > far * 2, "near {near} vs far {far}: locality lost");
+    }
+
+    #[test]
+    fn weight_is_symmetric_and_unit_interval() {
+        for (a, b) in [(1u64, 2u64), (100, 3), (42, 42_000)] {
+            let w = edge_weight(a, b);
+            assert_eq!(w, edge_weight(b, a));
+            assert!((0.0..1.0).contains(&w));
+        }
+        assert_ne!(edge_weight(1, 2), edge_weight(1, 3));
+    }
+
+    #[test]
+    fn geometric_sampler_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let d = sample_geometric(&mut rng);
+            assert!(d >= 1);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Mini MapReduce cost model.
+//!
+//! Datagen runs on Hadoop; Section 4.8 evaluates it on DAS-4 (2010-era
+//! nodes: 2× Intel Xeon E5620, 24 GiB RAM, spinning disks, 1 Gbit/s
+//! Ethernet) with "one master, the rest workers, 6 reducers per worker".
+//! We do not have a Hadoop cluster, so the *costs* of each generation step
+//! are accounted on this model while the generation itself runs for real
+//! (see `flow`). The model has exactly the terms the paper's analysis
+//! relies on:
+//!
+//! * a fixed per-job spawn overhead ("the overhead incurred by Hadoop when
+//!   spawning the jobs, which becomes more negligible the larger the scale
+//!   factor is");
+//! * scan (read/write) cost proportional to records moved, divided over the
+//!   cluster's reducer slots;
+//! * external-sort cost `n·log2(n)` per record sorted, divided over slots.
+
+/// A simulated Hadoop cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HadoopCluster {
+    /// Worker machines (the master is extra and not counted).
+    pub workers: u32,
+    /// Reducer slots per worker ("1 per core", 6 on DAS-4).
+    pub reducers_per_worker: u32,
+    /// Fixed overhead per MapReduce job, seconds.
+    pub job_spawn_overhead_s: f64,
+    /// Records scanned (read or written) per second per slot.
+    pub scan_rate: f64,
+    /// Sort throughput coefficient: seconds per (record · log2(records))
+    /// per slot.
+    pub sort_coeff: f64,
+}
+
+impl HadoopCluster {
+    /// The DAS-4 configuration of Section 4.8. Rates are calibrated so that
+    /// Datagen v0.2.6 generates a billion-edge graph (SF 1000) in ≈44
+    /// minutes on 16 machines, as the paper reports.
+    pub fn das4(workers: u32) -> Self {
+        HadoopCluster {
+            workers,
+            reducers_per_worker: 6,
+            job_spawn_overhead_s: 35.0,
+            scan_rate: 12_000.0,
+            sort_coeff: 1.0 / 0.2e6,
+        }
+    }
+
+    /// A single local node (used when callers only want the graph).
+    pub fn single_node() -> Self {
+        HadoopCluster::das4(1)
+    }
+
+    /// Total reducer slots.
+    pub fn slots(&self) -> u32 {
+        self.workers * self.reducers_per_worker
+    }
+
+    /// Cost of one MapReduce job in simulated seconds.
+    ///
+    /// `records_in` are read, `records_sorted` go through the external
+    /// sort, `records_out` are written. `parallel_share` scales the slots
+    /// available to this job (the new flow runs its independent steps
+    /// concurrently, so each gets a share of the cluster).
+    pub fn job_seconds(
+        &self,
+        records_in: u64,
+        records_sorted: u64,
+        records_out: u64,
+        parallel_share: f64,
+    ) -> f64 {
+        let slots = (self.slots() as f64 * parallel_share).max(1.0);
+        let scan = (records_in + records_out) as f64 / (self.scan_rate * slots);
+        let sort = if records_sorted > 1 {
+            let n = records_sorted as f64;
+            n * n.log2() * self.sort_coeff / slots
+        } else {
+            0.0
+        };
+        self.job_spawn_overhead_s + scan + sort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_workers_is_faster() {
+        let small = HadoopCluster::das4(4);
+        let big = HadoopCluster::das4(16);
+        let (i, s, o) = (100_000_000, 100_000_000, 100_000_000);
+        assert!(big.job_seconds(i, s, o, 1.0) < small.job_seconds(i, s, o, 1.0));
+    }
+
+    #[test]
+    fn spawn_overhead_dominates_tiny_jobs() {
+        let c = HadoopCluster::das4(16);
+        let t = c.job_seconds(1000, 1000, 1000, 1.0);
+        assert!((t - c.job_spawn_overhead_s).abs() < 1.0);
+    }
+
+    #[test]
+    fn parallel_share_slows_a_single_job() {
+        let c = HadoopCluster::das4(8);
+        let full = c.job_seconds(10_000_000, 10_000_000, 10_000_000, 1.0);
+        let third = c.job_seconds(10_000_000, 10_000_000, 10_000_000, 1.0 / 3.0);
+        assert!(third > full);
+    }
+
+    #[test]
+    fn slots_product() {
+        assert_eq!(HadoopCluster::das4(16).slots(), 96);
+        assert_eq!(HadoopCluster::single_node().slots(), 6);
+    }
+}

@@ -1,0 +1,177 @@
+//! # graphalytics-datagen
+//!
+//! A from-scratch reproduction of the LDBC Social Network Benchmark data
+//! generator (*Datagen*) as used and extended by the Graphalytics paper
+//! (Section 2.5.1):
+//!
+//! * **correlated person generation** — persons carry attributes
+//!   (university, interest) drawn from skewed distributions; persons with
+//!   similar attributes are more likely to become friends ([`person`]);
+//! * **Facebook-like degree distribution** — mean degree grows with network
+//!   size following the Facebook fit used by SNB ([`degree`]);
+//! * **block-based correlated edge generation** — persons are sorted along a
+//!   correlation dimension and partitioned into blocks; friendship
+//!   probability decays with rank distance inside a block ([`blocks`],
+//!   [`edges`]);
+//! * **tunable clustering coefficient** — the paper's novel contribution: an
+//!   edge generator that builds core–periphery communities sized so the
+//!   resulting graph matches a target average clustering coefficient
+//!   ([`community`], Figure 2);
+//! * **old vs. new execution flow** — v0.2.1's dependent, cumulative-sort
+//!   step chain versus v0.2.6's independent steps + merge (Figure 3),
+//!   executed for real and accounted on a mini-MapReduce cost model
+//!   ([`flow`], [`hadoop`]) to reproduce the Section 4.8 evaluation
+//!   (Figure 10).
+//!
+//! ```
+//! use graphalytics_datagen::DatagenConfig;
+//! let g = DatagenConfig::with_persons(500).generate();
+//! assert!(!g.is_directed());
+//! assert!(g.edge_count() > 0);
+//! ```
+
+pub mod blocks;
+pub mod community;
+pub mod degree;
+pub mod edges;
+pub mod flow;
+pub mod hadoop;
+pub mod person;
+
+pub use flow::{FlowKind, FlowReport, StepCost};
+pub use hadoop::HadoopCluster;
+pub use person::Person;
+
+use graphalytics_core::Graph;
+
+/// Datagen configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatagenConfig {
+    /// Number of persons (vertices) to generate.
+    pub persons: u64,
+    /// Target average clustering coefficient; `None` uses the classic
+    /// window-based generator (natural clustering ≈ 0.1).
+    pub target_cc: Option<f64>,
+    /// RNG seed; generation is fully deterministic given the seed.
+    pub seed: u64,
+    /// Maximum degree cap (Facebook caps at 5000; SNB uses 1000).
+    pub max_degree: u32,
+    /// Block size for the correlated edge-generation passes.
+    pub block_size: u32,
+    /// Execution flow to use (results are identical; costs differ).
+    pub flow: FlowKind,
+    /// Attach deterministic `[0,1)` edge weights (Graphalytics' Datagen
+    /// datasets are weighted so SSSP can run on them).
+    pub weighted: bool,
+}
+
+impl DatagenConfig {
+    /// Configuration for an explicit person count.
+    pub fn with_persons(persons: u64) -> Self {
+        DatagenConfig {
+            persons,
+            target_cc: None,
+            seed: 0xDA7A_6E4E,
+            max_degree: 1000,
+            block_size: 512,
+            flow: FlowKind::New,
+            weighted: true,
+        }
+    }
+
+    /// Configuration for an SNB-style *scale factor*: "scale factors reflect
+    /// the approximate number of generated edges in millions" (Section 4.8).
+    /// The person count is solved from the Facebook degree fit.
+    pub fn with_scale_factor(sf: f64) -> Self {
+        let edges = (sf * 1.0e6).max(1.0) as u64;
+        Self::with_persons(degree::persons_for_edges(edges))
+    }
+
+    /// Builder-style target clustering coefficient.
+    pub fn with_target_cc(mut self, cc: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cc), "clustering coefficient must be in [0,1]");
+        self.target_cc = Some(cc);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style flow selection.
+    pub fn with_flow(mut self, flow: FlowKind) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Generates the person–person friendship graph.
+    pub fn generate(self) -> Graph {
+        self.generate_with_report(&HadoopCluster::single_node()).0
+    }
+
+    /// Generates the graph and reports per-step costs on the given
+    /// (simulated) Hadoop cluster — the entry point of the Section 4.8
+    /// data-generation self-test.
+    pub fn generate_with_report(self, cluster: &HadoopCluster) -> (Graph, FlowReport) {
+        flow::run(self, cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_graph() {
+        let g = DatagenConfig::with_persons(400).generate();
+        g.validate().unwrap();
+        assert_eq!(g.vertex_count(), 400);
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn deterministic_across_flows() {
+        // Figure 3's key property: the new flow merges duplicate edges so
+        // both flows produce the same final graph.
+        let old = DatagenConfig::with_persons(300).with_flow(FlowKind::Old).generate();
+        let new = DatagenConfig::with_persons(300).with_flow(FlowKind::New).generate();
+        assert_eq!(old.vertices(), new.vertices());
+        let pairs = |g: &Graph| g.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>();
+        assert_eq!(pairs(&old), pairs(&new));
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = DatagenConfig::with_persons(200).with_seed(1).generate();
+        let b = DatagenConfig::with_persons(200).with_seed(2).generate();
+        assert_ne!(
+            a.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+            b.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scale_factor_hits_edge_target_roughly() {
+        let cfg = DatagenConfig::with_scale_factor(0.01); // ~10k edges
+        let g = cfg.generate();
+        let e = g.edge_count() as f64;
+        assert!(e > 2_000.0 && e < 50_000.0, "got {e} edges");
+    }
+
+    #[test]
+    fn target_cc_is_monotone() {
+        let measure = |cc: f64| {
+            let g = DatagenConfig::with_persons(600).with_target_cc(cc).generate();
+            let stats = graphalytics_core::graph::GraphStats::compute(&g.to_csr());
+            stats.avg_clustering_coefficient
+        };
+        let low = measure(0.05);
+        let high = measure(0.3);
+        assert!(
+            high > low + 0.05,
+            "cc targets must be distinguishable: low {low:.3}, high {high:.3}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Frontier (active vertex set) used by traversal-style engines.
+//!
+//! Supports the two representations whose trade-off drives push–pull
+//! engines: a sparse list of active vertices (cheap when few are active)
+//! and a dense bitmap (cheap membership tests, better when many are
+//! active). [`Frontier::density`] is what the push–pull engine's
+//! direction-optimizing heuristic inspects.
+
+/// An active-vertex set over dense indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    n: usize,
+    members: Vec<u32>,
+    bitmap: Vec<bool>,
+}
+
+impl Frontier {
+    /// An empty frontier over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Frontier { n, members: Vec::new(), bitmap: vec![false; n] }
+    }
+
+    /// A frontier containing a single vertex.
+    pub fn singleton(n: usize, v: u32) -> Self {
+        let mut f = Frontier::new(n);
+        f.insert(v);
+        f
+    }
+
+    /// Adds `v` if absent; returns true when newly inserted.
+    pub fn insert(&mut self, v: u32) -> bool {
+        if self.bitmap[v as usize] {
+            return false;
+        }
+        self.bitmap[v as usize] = true;
+        self.members.push(v);
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.bitmap[v as usize]
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Active fraction `|F| / n`.
+    pub fn density(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.members.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Active vertices in insertion order (deterministic).
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Sorts members ascending — used before parallel range splits so
+    /// behaviour does not depend on discovery order.
+    pub fn sort(&mut self) {
+        self.members.sort_unstable();
+    }
+
+    /// Clears to empty, retaining capacity.
+    pub fn clear(&mut self) {
+        for &v in &self.members {
+            self.bitmap[v as usize] = false;
+        }
+        self.members.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups() {
+        let mut f = Frontier::new(10);
+        assert!(f.insert(3));
+        assert!(!f.insert(3));
+        assert!(f.insert(7));
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(3));
+        assert!(!f.contains(4));
+        assert_eq!(f.density(), 0.2);
+    }
+
+    #[test]
+    fn clear_resets_bitmap() {
+        let mut f = Frontier::singleton(5, 2);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(2));
+        assert!(f.insert(2));
+    }
+
+    #[test]
+    fn sort_orders_members() {
+        let mut f = Frontier::new(10);
+        for v in [9, 1, 5] {
+            f.insert(v);
+        }
+        f.sort();
+        assert_eq!(f.members(), &[1, 5, 9]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Shared engine infrastructure: the scoped-thread parallel-for and the
+//! frontier (active-set) structure.
+
+pub mod frontier;
+pub mod par;
+
+pub use frontier::Frontier;
+pub use par::run_partitioned;

@@ -1,0 +1,48 @@
+//! # graphalytics-engines
+//!
+//! Six graph-analysis platform engines, one per programming model the
+//! paper evaluates (Table 5):
+//!
+//! | module       | programming model              | paper analogue       |
+//! |--------------|--------------------------------|----------------------|
+//! | [`pregel`]   | BSP vertex-centric messaging   | Apache Giraph        |
+//! | [`dataflow`] | RDD-style partitioned dataflow | Apache GraphX/Spark  |
+//! | [`gas`]      | Gather–Apply–Scatter, vertex cuts | PowerGraph (CMU)  |
+//! | [`spmv`]     | generalized sparse matrix–vector over semirings | GraphMat (Intel) |
+//! | [`native`]   | hand-optimized native kernels  | OpenG (Georgia Tech) |
+//! | [`pushpull`] | hybrid push–pull with message buffers | PGX.D (Oracle)|
+//!
+//! Every engine implements all six benchmark algorithms through its own
+//! model's abstractions (except LCC on [`pushpull`], mirroring PGX.D in
+//! the paper), *really executes them*, and its outputs are validated
+//! against the reference implementations in `graphalytics-core`. During
+//! execution each engine populates [`WorkCounters`] (vertices, edges,
+//! messages, bytes, supersteps); the per-engine [`profile::PerfProfile`]
+//! holds the constants that turn those counters into simulated cluster
+//! time, memory footprints, startup/upload overheads and run-to-run
+//! variability — calibrated once against the paper's published Tables
+//! 8–11 and reused unchanged everywhere.
+//!
+//! The fundamental asymmetries the paper reports emerge structurally here:
+//! the dataflow engine re-materializes datasets every iteration (GraphX's
+//! two-orders-of-magnitude gap), the Pregel engine iterates all vertices
+//! every superstep while the native engine's queue-based BFS touches only
+//! the reachable fraction (OpenG's win on R2), the SpMV and push–pull
+//! engines stream flat arrays (GraphMat/PGX.D leading most charts), and
+//! the GAS engine pays mirror-synchronization costs under vertex cuts.
+
+pub mod common;
+pub mod dataflow;
+pub mod estimate;
+pub mod gas;
+pub mod native;
+pub mod platform;
+pub mod pregel;
+pub mod profile;
+pub mod pushpull;
+pub mod spmv;
+
+pub use platform::{all_platforms, platform_by_name, Execution, Platform};
+pub use profile::PerfProfile;
+
+pub use graphalytics_cluster::WorkCounters;

@@ -1,0 +1,123 @@
+//! The `Platform` abstraction: what the harness drives.
+//!
+//! A platform is an engine (programming model + runtime) that can execute
+//! the Graphalytics workload. [`Platform::execute`] runs an algorithm *for
+//! real* on this host and returns the output (validated by the harness
+//! against the reference implementation), measured wall time, and the
+//! [`WorkCounters`] the run accumulated — which the harness feeds through
+//! the engine's [`PerfProfile`] to obtain simulated cluster time.
+
+use graphalytics_core::error::{Error, Result};
+use graphalytics_core::output::AlgorithmOutput;
+use graphalytics_core::params::AlgorithmParams;
+use graphalytics_core::{Algorithm, Csr};
+
+use graphalytics_cluster::WorkCounters;
+
+use crate::profile::PerfProfile;
+
+/// The result of one real execution.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    pub output: AlgorithmOutput,
+    pub counters: WorkCounters,
+    /// Wall-clock seconds of the real local execution.
+    pub wall_seconds: f64,
+}
+
+/// A graph-analysis platform engine.
+pub trait Platform: Send + Sync {
+    /// Short model name: `pregel`, `dataflow`, `gas`, `spmv`, `native`,
+    /// `pushpull`.
+    fn name(&self) -> &'static str;
+
+    /// The engine's performance profile (cost/memory constants, overheads).
+    fn profile(&self) -> &PerfProfile;
+
+    /// Whether the engine implements `algorithm`. Defaults to yes; the
+    /// push–pull engine declines LCC like PGX.D in the paper.
+    fn supports(&self, _algorithm: Algorithm) -> bool {
+        true
+    }
+
+    /// Executes `algorithm` on `csr` with `threads` worker threads.
+    fn execute(
+        &self,
+        csr: &Csr,
+        algorithm: Algorithm,
+        params: &AlgorithmParams,
+        threads: u32,
+    ) -> Result<Execution>;
+
+    /// Estimates the counters a run on a graph with the given size/traits
+    /// would produce, without executing — used for paper-scale datasets
+    /// that cannot be materialized (see `estimate`).
+    fn estimate(
+        &self,
+        vertices: u64,
+        edges: u64,
+        traits_: &graphalytics_core::datasets::GraphTraits,
+        directed: bool,
+        algorithm: Algorithm,
+        params: &AlgorithmParams,
+    ) -> WorkCounters;
+}
+
+/// Helper: the standard unsupported-algorithm error.
+pub fn unsupported(platform: &str, algorithm: Algorithm) -> Error {
+    Error::Unsupported { platform: platform.to_string(), algorithm: algorithm.to_string() }
+}
+
+/// All six engines, in the paper's table order (community then industry):
+/// Giraph-like, GraphX-like, PowerGraph-like, GraphMat-like, OpenG-like,
+/// PGX.D-like.
+pub fn all_platforms() -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(crate::pregel::PregelEngine::new()),
+        Box::new(crate::dataflow::DataflowEngine::new()),
+        Box::new(crate::gas::GasEngine::new()),
+        Box::new(crate::spmv::SpmvEngine::new()),
+        Box::new(crate::native::NativeEngine::new()),
+        Box::new(crate::pushpull::PushPullEngine::new()),
+    ]
+}
+
+/// Looks an engine up by model name or by its paper analogue
+/// (case-insensitive): `"pregel"` or `"giraph"`, `"spmv"` or `"graphmat"`.
+pub fn platform_by_name(name: &str) -> Option<Box<dyn Platform>> {
+    let lower = name.to_ascii_lowercase();
+    all_platforms().into_iter().find(|p| {
+        p.name() == lower || p.profile().paper_analog.to_ascii_lowercase() == lower
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_engines_registered() {
+        let all = all_platforms();
+        assert_eq!(all.len(), 6);
+        let names: Vec<_> = all.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["pregel", "dataflow", "gas", "spmv", "native", "pushpull"]);
+    }
+
+    #[test]
+    fn lookup_by_both_names() {
+        assert!(platform_by_name("pregel").is_some());
+        assert!(platform_by_name("Giraph").is_some());
+        assert!(platform_by_name("GraphMat").is_some());
+        assert!(platform_by_name("PGX.D").is_some());
+        assert!(platform_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn pushpull_declines_lcc_like_pgxd() {
+        let p = platform_by_name("pgx.d").unwrap();
+        assert!(!p.supports(Algorithm::Lcc));
+        assert!(p.supports(Algorithm::Bfs));
+        let g = platform_by_name("giraph").unwrap();
+        assert!(g.supports(Algorithm::Lcc));
+    }
+}

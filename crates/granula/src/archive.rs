@@ -1,0 +1,173 @@
+//! Performance archives: the output of the Granula archiver.
+//!
+//! An archive is a tree of timed [`OperationRecord`]s plus free-form
+//! info key/values — "complete (all observed and derived results are
+//! included), descriptive ... and examinable (all results are derived from
+//! a traceable source)" (Section 2.5.2).
+
+use crate::json::Json;
+
+/// One recorded operation (phase) instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationRecord {
+    pub name: String,
+    /// Offset from job start, seconds.
+    pub start_secs: f64,
+    pub duration_secs: f64,
+    /// True when the duration came from the simulation cost model rather
+    /// than a wall clock.
+    pub simulated: bool,
+    /// Extra observations (counter values, sizes...).
+    pub infos: Vec<(String, String)>,
+    pub children: Vec<OperationRecord>,
+}
+
+impl OperationRecord {
+    /// Finds the first record with `name` in this subtree (pre-order).
+    pub fn find(&self, name: &str) -> Option<&OperationRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Sums durations of all records with `name` in this subtree.
+    pub fn total_duration_of(&self, name: &str) -> f64 {
+        let own = if self.name == name { self.duration_secs } else { 0.0 };
+        own + self.children.iter().map(|c| c.total_duration_of(name)).sum::<f64>()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("start_secs", Json::Num(self.start_secs)),
+            ("duration_secs", Json::Num(self.duration_secs)),
+            ("simulated", Json::Bool(self.simulated)),
+            (
+                "infos",
+                Json::Obj(
+                    self.infos.iter().map(|(k, v)| (k.clone(), Json::str(v))).collect(),
+                ),
+            ),
+            ("children", Json::Arr(self.children.iter().map(|c| c.to_json()).collect())),
+        ])
+    }
+}
+
+/// A complete performance archive for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceArchive {
+    pub platform: String,
+    pub job: String,
+    pub root: OperationRecord,
+}
+
+impl PerformanceArchive {
+    /// Duration of the first operation named `name`, if recorded.
+    pub fn duration_of(&self, name: &str) -> Option<f64> {
+        self.root.find(name).map(|r| r.duration_secs)
+    }
+
+    /// Sum of durations over all operations named `name` (e.g. total
+    /// superstep time).
+    pub fn total_duration_of(&self, name: &str) -> f64 {
+        self.root.total_duration_of(name)
+    }
+
+    /// An info value attached to operation `name`.
+    pub fn info(&self, name: &str, key: &str) -> Option<&str> {
+        self.root
+            .find(name)?
+            .infos
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The derived processing time T_proc: duration of `ProcessGraph`
+    /// (the paper's definition: algorithm execution as reported by
+    /// Granula, excluding platform overhead).
+    pub fn processing_time(&self) -> Option<f64> {
+        self.duration_of("ProcessGraph")
+    }
+
+    /// The makespan: duration of the root job record.
+    pub fn makespan(&self) -> f64 {
+        self.root.duration_secs
+    }
+
+    /// Serializes the archive to pretty JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("platform", Json::str(&self.platform)),
+            ("job", Json::str(&self.job)),
+            ("root", self.root.to_json()),
+        ])
+        .to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerformanceArchive {
+        PerformanceArchive {
+            platform: "native".into(),
+            job: "bfs@G22".into(),
+            root: OperationRecord {
+                name: "Job".into(),
+                start_secs: 0.0,
+                duration_secs: 10.0,
+                simulated: true,
+                infos: vec![],
+                children: vec![
+                    OperationRecord {
+                        name: "ProcessGraph".into(),
+                        start_secs: 2.0,
+                        duration_secs: 6.0,
+                        simulated: true,
+                        infos: vec![("edges".into(), "1000".into())],
+                        children: vec![
+                            OperationRecord {
+                                name: "Superstep".into(),
+                                start_secs: 2.0,
+                                duration_secs: 3.0,
+                                simulated: true,
+                                infos: vec![],
+                                children: vec![],
+                            },
+                            OperationRecord {
+                                name: "Superstep".into(),
+                                start_secs: 5.0,
+                                duration_secs: 3.0,
+                                simulated: true,
+                                infos: vec![],
+                                children: vec![],
+                            },
+                        ],
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn queries() {
+        let a = sample();
+        assert_eq!(a.makespan(), 10.0);
+        assert_eq!(a.processing_time(), Some(6.0));
+        assert_eq!(a.total_duration_of("Superstep"), 6.0);
+        assert_eq!(a.info("ProcessGraph", "edges"), Some("1000"));
+        assert_eq!(a.info("ProcessGraph", "missing"), None);
+        assert!(a.duration_of("Ghost").is_none());
+    }
+
+    #[test]
+    fn json_round_shape() {
+        let j = sample().to_json();
+        assert!(j.contains("\"platform\": \"native\""));
+        assert!(j.contains("\"Superstep\""));
+        assert!(j.contains("\"edges\": \"1000\""));
+    }
+}

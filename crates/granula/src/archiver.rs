@@ -1,0 +1,158 @@
+//! The Granula Archiver: collecting records while a job runs.
+//!
+//! Engines drive the archiver imperatively: [`Archiver::begin`] /
+//! [`Archiver::end`] bracket wall-clock phases (nesting builds the tree),
+//! and [`Archiver::record_simulated`] inserts phases whose duration comes
+//! from the cluster cost model. Mixing both in one archive is normal: a
+//! single-machine run measures real time for everything, a simulated
+//! 16-machine run records model durations but still nests them in the
+//! measured job structure.
+
+use std::time::Instant;
+
+use crate::archive::{OperationRecord, PerformanceArchive};
+
+struct OpenOperation {
+    record: OperationRecord,
+    opened_at: Instant,
+}
+
+/// Builds one [`PerformanceArchive`] for one job.
+pub struct Archiver {
+    platform: String,
+    job: String,
+    t0: Instant,
+    stack: Vec<OpenOperation>,
+    /// Simulated clock offset used for simulated records appended at the
+    /// current nesting level.
+    sim_cursor: f64,
+}
+
+impl Archiver {
+    /// Starts archiving a job: the root `Job` operation is opened
+    /// immediately.
+    pub fn new(platform: impl Into<String>, job: impl Into<String>) -> Self {
+        let t0 = Instant::now();
+        let platform = platform.into();
+        let job = job.into();
+        let root = OpenOperation {
+            record: OperationRecord {
+                name: "Job".into(),
+                start_secs: 0.0,
+                duration_secs: 0.0,
+                simulated: false,
+                infos: Vec::new(),
+                children: Vec::new(),
+            },
+            opened_at: t0,
+        };
+        Archiver { platform, job, t0, stack: vec![root], sim_cursor: 0.0 }
+    }
+
+    /// Opens a nested wall-clock operation.
+    pub fn begin(&mut self, name: impl Into<String>) {
+        let now = Instant::now();
+        self.stack.push(OpenOperation {
+            record: OperationRecord {
+                name: name.into(),
+                start_secs: now.duration_since(self.t0).as_secs_f64(),
+                duration_secs: 0.0,
+                simulated: false,
+                infos: Vec::new(),
+                children: Vec::new(),
+            },
+            opened_at: now,
+        });
+    }
+
+    /// Closes the innermost open operation, measuring its duration.
+    ///
+    /// # Panics
+    /// Panics when called with only the root open (the root is closed by
+    /// [`Archiver::finish`]).
+    pub fn end(&mut self) {
+        assert!(self.stack.len() > 1, "end() without matching begin()");
+        let mut op = self.stack.pop().expect("stack nonempty");
+        op.record.duration_secs = op.opened_at.elapsed().as_secs_f64();
+        self.current().children.push(op.record);
+    }
+
+    /// Appends a completed operation with a *simulated* duration at the
+    /// current nesting level. Consecutive simulated records are laid out
+    /// back-to-back on the simulated clock.
+    pub fn record_simulated(&mut self, name: impl Into<String>, duration_secs: f64, infos: &[(&str, &str)]) {
+        let start = self.sim_cursor;
+        self.sim_cursor += duration_secs;
+        self.current().children.push(OperationRecord {
+            name: name.into(),
+            start_secs: start,
+            duration_secs,
+            simulated: true,
+            infos: infos.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        children: Vec::new(),
+        });
+    }
+
+    /// Attaches an info key/value to the innermost open operation.
+    pub fn info(&mut self, key: impl Into<String>, value: impl ToString) {
+        let kv = (key.into(), value.to_string());
+        self.current().infos.push(kv);
+    }
+
+    /// Closes everything and produces the archive.
+    pub fn finish(mut self) -> PerformanceArchive {
+        while self.stack.len() > 1 {
+            self.end();
+        }
+        let mut root = self.stack.pop().expect("root present").record;
+        root.duration_secs = self.t0.elapsed().as_secs_f64();
+        PerformanceArchive { platform: self.platform, job: self.job, root }
+    }
+
+    fn current(&mut self) -> &mut OperationRecord {
+        &mut self.stack.last_mut().expect("stack nonempty").record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let mut a = Archiver::new("p", "j");
+        a.begin("LoadGraph");
+        a.info("edges", 123);
+        a.end();
+        a.begin("ProcessGraph");
+        a.record_simulated("Superstep", 0.5, &[("active", "10")]);
+        a.record_simulated("Superstep", 0.25, &[]);
+        a.end();
+        let archive = a.finish();
+        assert_eq!(archive.root.children.len(), 2);
+        assert_eq!(archive.info("LoadGraph", "edges"), Some("123"));
+        let steps = archive.total_duration_of("Superstep");
+        assert!((steps - 0.75).abs() < 1e-12);
+        // Simulated records advance the simulated clock.
+        let process = archive.root.find("ProcessGraph").unwrap();
+        assert_eq!(process.children[1].start_secs, 0.5);
+        assert!(process.children[0].simulated);
+    }
+
+    #[test]
+    fn finish_closes_dangling_operations() {
+        let mut a = Archiver::new("p", "j");
+        a.begin("LoadGraph");
+        a.begin("Read");
+        let archive = a.finish();
+        assert!(archive.root.find("Read").is_some());
+        assert!(archive.makespan() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching begin")]
+    fn unbalanced_end_panics() {
+        let mut a = Archiver::new("p", "j");
+        a.end();
+    }
+}

@@ -1,0 +1,162 @@
+//! The Granula Modeler: declarative performance models.
+//!
+//! "The Granula modeler allows experts to explicitly define once their
+//! evaluation method for a graph analysis platform ... defining phases in
+//! the execution of a job (e.g., graph loading), and recursively defining
+//! phases as a collection of smaller, lower-level phases" (Section 2.5.2).
+//!
+//! A [`PerformanceModel`] is a named tree of [`OperationDef`]s. Engines
+//! declare their model once; the archiver checks recorded operations
+//! against it so archives stay *descriptive* (every phase carries its
+//! mission text).
+
+use std::collections::HashMap;
+
+/// One operation (phase) type in a platform's performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationDef {
+    /// Unique name, e.g. `"LoadGraph"`.
+    pub name: String,
+    /// The phase's mission — what it accomplishes, for non-experts.
+    pub mission: String,
+    /// Parent operation name; `None` for the root job phase.
+    pub parent: Option<String>,
+}
+
+/// A platform's performance model: the phase vocabulary of its jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceModel {
+    pub platform: String,
+    operations: Vec<OperationDef>,
+}
+
+impl PerformanceModel {
+    /// Builds a model, validating that names are unique, parents exist,
+    /// and the hierarchy is acyclic with exactly one root.
+    pub fn new(platform: impl Into<String>, operations: Vec<OperationDef>) -> Result<Self, String> {
+        let mut by_name: HashMap<&str, &OperationDef> = HashMap::new();
+        for op in &operations {
+            if by_name.insert(op.name.as_str(), op).is_some() {
+                return Err(format!("duplicate operation {}", op.name));
+            }
+        }
+        let mut roots = 0;
+        for op in &operations {
+            match &op.parent {
+                None => roots += 1,
+                Some(p) => {
+                    if !by_name.contains_key(p.as_str()) {
+                        return Err(format!("operation {} has unknown parent {p}", op.name));
+                    }
+                }
+            }
+            // Walk up; a cycle would loop more than |ops| times.
+            let mut cur = op;
+            let mut hops = 0;
+            while let Some(p) = &cur.parent {
+                cur = by_name[p.as_str()];
+                hops += 1;
+                if hops > operations.len() {
+                    return Err(format!("cycle through operation {}", op.name));
+                }
+            }
+        }
+        if roots != 1 {
+            return Err(format!("model must have exactly one root, found {roots}"));
+        }
+        Ok(PerformanceModel { platform: platform.into(), operations })
+    }
+
+    /// The standard Graphalytics-style model every engine in this
+    /// reproduction shares: a job is startup + upload + processing
+    /// (supersteps) + output retrieval. Matches the paper's run-time
+    /// breakdown (Section 2.3: upload time, makespan, processing time).
+    pub fn standard(platform: impl Into<String>) -> Self {
+        let def = |name: &str, mission: &str, parent: Option<&str>| OperationDef {
+            name: name.into(),
+            mission: mission.into(),
+            parent: parent.map(String::from),
+        };
+        PerformanceModel::new(
+            platform,
+            vec![
+                def("Job", "one algorithm execution on one dataset", None),
+                def("Startup", "allocate resources and boot the platform runtime", Some("Job")),
+                def("LoadGraph", "read, convert and partition the input graph", Some("Job")),
+                def("ProcessGraph", "execute the algorithm (this is T_proc)", Some("Job")),
+                def("Superstep", "one global iteration of the algorithm", Some("ProcessGraph")),
+                def("Offload", "collect and emit the algorithm output", Some("Job")),
+            ],
+        )
+        .expect("standard model is valid")
+    }
+
+    /// Looks up an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&OperationDef> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// All operations.
+    pub fn operations(&self) -> &[OperationDef] {
+        &self.operations
+    }
+
+    /// The root operation.
+    pub fn root(&self) -> &OperationDef {
+        self.operations.iter().find(|o| o.parent.is_none()).expect("validated: one root")
+    }
+
+    /// Direct children of `name`.
+    pub fn children_of(&self, name: &str) -> Vec<&OperationDef> {
+        self.operations.iter().filter(|o| o.parent.as_deref() == Some(name)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_model_shape() {
+        let m = PerformanceModel::standard("pregel");
+        assert_eq!(m.root().name, "Job");
+        let kids: Vec<_> = m.children_of("Job").iter().map(|o| o.name.clone()).collect();
+        assert_eq!(kids, vec!["Startup", "LoadGraph", "ProcessGraph", "Offload"]);
+        assert_eq!(m.children_of("ProcessGraph")[0].name, "Superstep");
+        assert!(m.operation("LoadGraph").unwrap().mission.contains("partition"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let dup = vec![
+            OperationDef { name: "A".into(), mission: String::new(), parent: None },
+            OperationDef { name: "A".into(), mission: String::new(), parent: None },
+        ];
+        assert!(PerformanceModel::new("x", dup).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_parent_and_multiple_roots() {
+        let bad = vec![OperationDef {
+            name: "A".into(),
+            mission: String::new(),
+            parent: Some("Ghost".into()),
+        }];
+        assert!(PerformanceModel::new("x", bad).is_err());
+        let two_roots = vec![
+            OperationDef { name: "A".into(), mission: String::new(), parent: None },
+            OperationDef { name: "B".into(), mission: String::new(), parent: None },
+        ];
+        assert!(PerformanceModel::new("x", two_roots).is_err());
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let cyc = vec![
+            OperationDef { name: "R".into(), mission: String::new(), parent: None },
+            OperationDef { name: "A".into(), mission: String::new(), parent: Some("B".into()) },
+            OperationDef { name: "B".into(), mission: String::new(), parent: Some("A".into()) },
+        ];
+        assert!(PerformanceModel::new("x", cyc).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The Granula Visualizer, terminal edition.
+//!
+//! Renders a [`PerformanceArchive`] as an indented tree with durations,
+//! share-of-parent percentages, and info annotations — the same
+//! drill-down the original web visualizer offers, in plain text.
+
+use crate::archive::{OperationRecord, PerformanceArchive};
+
+/// Renders the archive as an ASCII tree.
+///
+/// ```text
+/// Job  12.00s  [measured]
+/// ├─ LoadGraph      2.00s  16.7%
+/// └─ ProcessGraph  10.00s  83.3%  {supersteps: 9}
+///    ├─ Superstep   6.00s  60.0%
+///    └─ Superstep   4.00s  40.0%
+/// ```
+pub fn render(archive: &PerformanceArchive) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} :: {}\n{}  {}  [{}]\n",
+        archive.platform,
+        archive.job,
+        archive.root.name,
+        fmt_secs(archive.root.duration_secs),
+        if archive.root.simulated { "simulated" } else { "measured" }
+    ));
+    render_children(&archive.root, "", &mut out);
+    out
+}
+
+fn render_children(parent: &OperationRecord, prefix: &str, out: &mut String) {
+    let n = parent.children.len();
+    for (i, child) in parent.children.iter().enumerate() {
+        let last = i + 1 == n;
+        let branch = if last { "└─ " } else { "├─ " };
+        let share = if parent.duration_secs > 0.0 {
+            format!("  {:>5.1}%", 100.0 * child.duration_secs / parent.duration_secs)
+        } else {
+            String::new()
+        };
+        let infos = if child.infos.is_empty() {
+            String::new()
+        } else {
+            let kv: Vec<String> =
+                child.infos.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+            format!("  {{{}}}", kv.join(", "))
+        };
+        out.push_str(&format!(
+            "{prefix}{branch}{:<16} {:>10}{share}{infos}\n",
+            child.name,
+            fmt_secs(child.duration_secs)
+        ));
+        let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        render_children(child, &child_prefix, out);
+    }
+}
+
+/// Human-scaled seconds: ms below 1s, minutes above 120s.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.0}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}m", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, dur: f64, children: Vec<OperationRecord>) -> OperationRecord {
+        OperationRecord {
+            name: name.into(),
+            start_secs: 0.0,
+            duration_secs: dur,
+            simulated: true,
+            infos: vec![],
+            children,
+        }
+    }
+
+    #[test]
+    fn renders_tree_with_percentages() {
+        let archive = PerformanceArchive {
+            platform: "spmv".into(),
+            job: "pr@D300".into(),
+            root: record(
+                "Job",
+                10.0,
+                vec![record("LoadGraph", 2.0, vec![]), record("ProcessGraph", 8.0, vec![record("Superstep", 8.0, vec![])])],
+            ),
+        };
+        let text = render(&archive);
+        assert!(text.contains("spmv :: pr@D300"));
+        assert!(text.contains("LoadGraph"));
+        assert!(text.contains("20.0%"));
+        assert!(text.contains("80.0%"));
+        assert!(text.contains("└─ ProcessGraph"));
+        assert!(text.contains("   └─ Superstep"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(0.000002), "2µs");
+        assert_eq!(fmt_secs(0.0123), "12.3ms");
+        assert_eq!(fmt_secs(1.5), "1.50s");
+        assert_eq!(fmt_secs(600.0), "10.0m");
+    }
+}

@@ -1,0 +1,217 @@
+//! Benchmark configuration in Java-`.properties` style.
+//!
+//! The real Graphalytics harness is configured through `.properties`
+//! files (`benchmark.name = ...`, `graph.<name>.vertex-file = ...`). This
+//! module implements the format — `key = value` pairs with `#`/`!`
+//! comments, dotted keys, and `\`-continuations — plus the typed
+//! [`BenchmarkConfig`] the harness consumes (requirement R5's "benchmark
+//! user may select a subset of the Graphalytics workload", Section 2.5).
+
+use std::collections::BTreeMap;
+
+use graphalytics_core::error::{Error, Result};
+use graphalytics_core::Algorithm;
+
+/// A parsed properties file: ordered key → value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Properties {
+    entries: BTreeMap<String, String>,
+}
+
+impl Properties {
+    /// Parses properties text.
+    pub fn parse(text: &str) -> Result<Properties> {
+        let mut entries = BTreeMap::new();
+        let mut pending = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim_start();
+            if pending.is_empty() && (line.is_empty() || line.starts_with('#') || line.starts_with('!')) {
+                continue;
+            }
+            let mut combined = std::mem::take(&mut pending);
+            combined.push_str(line.trim_end());
+            if combined.ends_with('\\') {
+                combined.pop();
+                pending = combined;
+                continue;
+            }
+            let (key, value) = combined.split_once('=').ok_or_else(|| Error::Parse {
+                file: "<properties>".into(),
+                line: lineno as u64 + 1,
+                message: format!("expected `key = value`, got {combined:?}"),
+            })?;
+            let key = key.trim().to_string();
+            if key.is_empty() {
+                return Err(Error::Parse {
+                    file: "<properties>".into(),
+                    line: lineno as u64 + 1,
+                    message: "empty key".into(),
+                });
+            }
+            entries.insert(key, value.trim().to_string());
+        }
+        if !pending.is_empty() {
+            return Err(Error::Parse {
+                file: "<properties>".into(),
+                line: 0,
+                message: "dangling line continuation".into(),
+            });
+        }
+        Ok(Properties { entries })
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Typed lookup with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.entries.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                Error::InvalidParameters(format!("property {key}={v} has the wrong type"))
+            }),
+        }
+    }
+
+    /// Comma-separated list lookup.
+    pub fn get_list(&self, key: &str) -> Vec<String> {
+        self.entries
+            .get(key)
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The harness-level configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkConfig {
+    /// Benchmark run name.
+    pub name: String,
+    /// Platform subset (model names or paper analogues); empty = all six.
+    pub platforms: Vec<String>,
+    /// Dataset subset (registry ids); empty = the experiment's default.
+    pub datasets: Vec<String>,
+    /// Algorithm subset; empty = the experiment's default.
+    pub algorithms: Vec<Algorithm>,
+    /// Divide published dataset sizes by this factor when materializing
+    /// proxy graphs for measured runs.
+    pub scale_divisor: u64,
+    /// Repetitions for variability experiments.
+    pub repetitions: u32,
+    /// Base RNG seed for generation and simulated noise.
+    pub seed: u64,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            name: "graphalytics".into(),
+            platforms: Vec::new(),
+            datasets: Vec::new(),
+            algorithms: Vec::new(),
+            scale_divisor: 1,
+            repetitions: 10,
+            seed: 0xB5ED,
+        }
+    }
+}
+
+impl BenchmarkConfig {
+    /// Builds a config from parsed properties. Recognized keys:
+    /// `benchmark.name`, `benchmark.platforms`, `benchmark.datasets`,
+    /// `benchmark.algorithms`, `benchmark.scale-divisor`,
+    /// `benchmark.repetitions`, `benchmark.seed`.
+    pub fn from_properties(props: &Properties) -> Result<BenchmarkConfig> {
+        let defaults = BenchmarkConfig::default();
+        let algorithms = props
+            .get_list("benchmark.algorithms")
+            .iter()
+            .map(|a| {
+                Algorithm::from_acronym(a)
+                    .ok_or_else(|| Error::InvalidParameters(format!("unknown algorithm {a}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BenchmarkConfig {
+            name: props.get("benchmark.name").unwrap_or(&defaults.name).to_string(),
+            platforms: props.get_list("benchmark.platforms"),
+            datasets: props.get_list("benchmark.datasets"),
+            algorithms,
+            scale_divisor: props.get_or("benchmark.scale-divisor", defaults.scale_divisor)?,
+            repetitions: props.get_or("benchmark.repetitions", defaults.repetitions)?,
+            seed: props.get_or("benchmark.seed", defaults.seed)?,
+        })
+    }
+
+    /// Parses a config from properties text.
+    pub fn parse(text: &str) -> Result<BenchmarkConfig> {
+        BenchmarkConfig::from_properties(&Properties::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_properties() {
+        let p = Properties::parse(
+            "# comment\nbenchmark.name = trial\n! bang comment\n\nbenchmark.repetitions = 5\n",
+        )
+        .unwrap();
+        assert_eq!(p.get("benchmark.name"), Some("trial"));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn line_continuations() {
+        let p = Properties::parse("benchmark.datasets = R1, \\\n  R2, R3\n").unwrap();
+        assert_eq!(p.get_list("benchmark.datasets"), vec!["R1", "R2", "R3"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Properties::parse("no equals sign\n").is_err());
+        assert!(Properties::parse(" = value\n").is_err());
+        assert!(Properties::parse("key = trailing \\").is_err());
+    }
+
+    #[test]
+    fn config_round_trip() {
+        let cfg = BenchmarkConfig::parse(
+            "benchmark.name = weekly\nbenchmark.platforms = spmv, native\n\
+             benchmark.algorithms = bfs, pr\nbenchmark.scale-divisor = 100\n\
+             benchmark.seed = 7\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.name, "weekly");
+        assert_eq!(cfg.platforms, vec!["spmv", "native"]);
+        assert_eq!(cfg.algorithms, vec![Algorithm::Bfs, Algorithm::PageRank]);
+        assert_eq!(cfg.scale_divisor, 100);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.repetitions, 10, "default preserved");
+    }
+
+    #[test]
+    fn bad_types_are_errors() {
+        assert!(BenchmarkConfig::parse("benchmark.scale-divisor = soon\n").is_err());
+        assert!(BenchmarkConfig::parse("benchmark.algorithms = bfs, zoom\n").is_err());
+    }
+}

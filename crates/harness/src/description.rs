@@ -1,0 +1,132 @@
+//! The benchmark description: datasets × algorithms × parameters.
+//!
+//! "The Graphalytics team provides a benchmark description ... definitions
+//! of the algorithms, the datasets, and the algorithm parameters for each
+//! graph (e.g., the root for BFS or number of iterations for PR)"
+//! (Section 2.5, component 1 of Figure 1).
+
+use graphalytics_core::datasets::{all_datasets, DatasetSpec};
+use graphalytics_core::params::AlgorithmParams;
+use graphalytics_core::{Algorithm, Csr};
+
+/// One benchmark job blueprint: an algorithm on a dataset.
+#[derive(Debug, Clone)]
+pub struct JobDescription {
+    pub dataset: &'static DatasetSpec,
+    pub algorithm: Algorithm,
+}
+
+impl JobDescription {
+    /// Resolves the per-dataset algorithm parameters against a
+    /// materialized graph (roots are structural selections, so they need
+    /// the concrete instance).
+    pub fn params_for(&self, csr: &Csr) -> AlgorithmParams {
+        AlgorithmParams {
+            source_vertex: self.dataset.source.resolve(csr),
+            pagerank_iterations: self.dataset.pagerank_iterations,
+            damping_factor: 0.85,
+            cdlp_iterations: self.dataset.cdlp_iterations,
+        }
+    }
+
+    /// Parameters for analytic-mode runs (no materialized graph; the root
+    /// is irrelevant to counter estimation).
+    pub fn params_analytic(&self) -> AlgorithmParams {
+        AlgorithmParams {
+            source_vertex: None,
+            pagerank_iterations: self.dataset.pagerank_iterations,
+            damping_factor: 0.85,
+            cdlp_iterations: self.dataset.cdlp_iterations,
+        }
+    }
+}
+
+/// A full benchmark description.
+#[derive(Debug, Clone, Default)]
+pub struct BenchmarkDescription {
+    pub jobs: Vec<JobDescription>,
+}
+
+impl BenchmarkDescription {
+    /// The complete workload: every algorithm on every dataset (SSSP only
+    /// on weighted datasets).
+    pub fn full() -> Self {
+        let mut jobs = Vec::new();
+        for dataset in all_datasets() {
+            for algorithm in Algorithm::ALL {
+                if algorithm.needs_weights() && !dataset.weighted {
+                    continue;
+                }
+                jobs.push(JobDescription { dataset, algorithm });
+            }
+        }
+        BenchmarkDescription { jobs }
+    }
+
+    /// A selection of algorithms over a selection of dataset ids.
+    pub fn selection(dataset_ids: &[&str], algorithms: &[Algorithm]) -> Self {
+        let mut jobs = Vec::new();
+        for id in dataset_ids {
+            let dataset = graphalytics_core::datasets::dataset(id)
+                .unwrap_or_else(|| panic!("unknown dataset {id}"));
+            for &algorithm in algorithms {
+                if algorithm.needs_weights() && !dataset.weighted {
+                    continue;
+                }
+                jobs.push(JobDescription { dataset, algorithm });
+            }
+        }
+        BenchmarkDescription { jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the description is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_description_covers_everything_runnable() {
+        let d = BenchmarkDescription::full();
+        // 16 datasets × 5 unweighted algorithms + weighted ones × SSSP.
+        let weighted = all_datasets().iter().filter(|d| d.weighted).count();
+        assert_eq!(d.len(), 16 * 5 + weighted);
+        assert!(!d.is_empty());
+        assert!(d.jobs.iter().all(|j| j.algorithm != Algorithm::Sssp || j.dataset.weighted));
+    }
+
+    #[test]
+    fn selection_filters_sssp_on_unweighted() {
+        let d = BenchmarkDescription::selection(&["G22"], &[Algorithm::Bfs, Algorithm::Sssp]);
+        assert_eq!(d.len(), 1, "G22 is unweighted; SSSP dropped");
+    }
+
+    #[test]
+    fn params_resolve_root() {
+        use graphalytics_core::GraphBuilder;
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(3);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let csr = b.build().unwrap().to_csr();
+        let d = BenchmarkDescription::selection(&["R1"], &[Algorithm::Bfs]);
+        let params = d.jobs[0].params_for(&csr);
+        assert_eq!(params.source_vertex, Some(1), "max out-degree root");
+        assert_eq!(params.pagerank_iterations, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        BenchmarkDescription::selection(&["R99"], &[Algorithm::Bfs]);
+    }
+}

@@ -1,0 +1,417 @@
+//! The driver: running one benchmark job against a platform.
+//!
+//! A job is platform × dataset × algorithm × cluster configuration. The
+//! driver performs what Figure 1's platform driver + harness services do:
+//! admission (does the platform support the algorithm? does the working
+//! set fit in memory?), execution (real, on a materialized graph) or
+//! analytic counter estimation (paper-scale datasets), conversion of
+//! counters to simulated time through the engine profile, SLA evaluation,
+//! output validation against the reference implementation, and Granula
+//! archiving.
+
+use graphalytics_cluster::cost::{noise_factor, processing_time};
+use graphalytics_cluster::memory::MemoryOutcome;
+use graphalytics_cluster::partition::{estimate_replication, PartitionStrategy};
+use graphalytics_cluster::{ClusterSpec, NetworkSpec, WorkCounters};
+use graphalytics_core::datasets::DatasetSpec;
+use graphalytics_core::{Algorithm, Csr};
+use graphalytics_engines::profile::NetworkKind;
+use graphalytics_engines::Platform;
+use graphalytics_granula::{Archiver, PerformanceArchive};
+
+use crate::description::JobDescription;
+use crate::SLA_MAKESPAN_SECS;
+
+/// How the job obtains its work counters.
+pub enum RunMode<'a> {
+    /// Execute for real on a materialized graph (usually a scaled-down
+    /// proxy); counters are measured, output is validated.
+    Measured { csr: &'a Csr },
+    /// Estimate counters analytically at the dataset's published size.
+    Analytic,
+}
+
+/// One benchmark job request. Dataset specs come from the static
+/// registry in `graphalytics_core::datasets`.
+pub struct JobSpec {
+    pub dataset: &'static DatasetSpec,
+    pub algorithm: Algorithm,
+    pub cluster: ClusterSpec,
+    /// Repetition index (drives the deterministic noise stream).
+    pub run_index: u64,
+}
+
+/// Job outcome classification. Everything except `Completed` breaks the
+/// SLA or produces no result at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    Completed,
+    /// The platform does not implement the algorithm (rendered `NA`).
+    Unsupported,
+    /// Crash from memory exhaustion (rendered `F`).
+    OutOfMemory,
+    /// Makespan exceeded the one-hour SLA (rendered `F`).
+    SlaViolation,
+    /// Output did not match the reference implementation.
+    ValidationFailed(String),
+}
+
+impl JobStatus {
+    /// True when the job produced a valid, in-SLA result.
+    pub fn is_success(&self) -> bool {
+        *self == JobStatus::Completed
+    }
+
+    /// The paper's figure annotation: `F` for failures, `NA` for
+    /// unimplemented algorithms.
+    pub fn figure_mark(&self) -> &'static str {
+        match self {
+            JobStatus::Completed => "",
+            JobStatus::Unsupported => "NA",
+            JobStatus::OutOfMemory | JobStatus::SlaViolation | JobStatus::ValidationFailed(_) => {
+                "F"
+            }
+        }
+    }
+}
+
+/// The result of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub platform: String,
+    pub paper_analog: String,
+    pub dataset: String,
+    pub algorithm: Algorithm,
+    pub machines: u32,
+    pub threads: u32,
+    pub status: JobStatus,
+    /// Graph size the timing refers to (published for analytic runs,
+    /// actual proxy size for measured runs).
+    pub vertices: u64,
+    pub edges: u64,
+    /// Simulated seconds: upload (startup + load), processing, makespan.
+    pub upload_secs: f64,
+    pub processing_secs: f64,
+    pub makespan_secs: f64,
+    /// Wall-clock of the real execution (measured mode only).
+    pub measured_wall_secs: Option<f64>,
+    pub counters: WorkCounters,
+    pub archive: Option<PerformanceArchive>,
+}
+
+impl JobResult {
+    /// Edges per second (paper metric).
+    pub fn eps(&self) -> f64 {
+        crate::metrics::eps(self.edges, self.processing_secs)
+    }
+
+    /// Edges and vertices per second (paper metric).
+    pub fn evps(&self) -> f64 {
+        crate::metrics::evps(self.vertices, self.edges, self.processing_secs)
+    }
+}
+
+/// The job driver.
+pub struct Driver {
+    /// Validate measured outputs against the reference implementation.
+    pub validate: bool,
+    /// Apply the deterministic variability noise to simulated times.
+    pub noise: bool,
+    /// Base seed for the noise stream.
+    pub seed: u64,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver { validate: true, noise: true, seed: 0xB5ED }
+    }
+}
+
+impl Driver {
+    /// Runs one job.
+    pub fn run(&self, platform: &dyn Platform, spec: &JobSpec, mode: RunMode<'_>) -> JobResult {
+        let profile = platform.profile().clone();
+        let mut cluster = spec.cluster;
+        cluster.network = match profile.network {
+            NetworkKind::Ethernet1G => NetworkSpec::ethernet_1g(),
+            NetworkKind::InfinibandFdr => NetworkSpec::infiniband_fdr(),
+        };
+        let job_name = format!("{}@{}", spec.algorithm, spec.dataset.id);
+        let desc = JobDescription { dataset: spec.dataset, algorithm: spec.algorithm };
+
+        let mut result = JobResult {
+            platform: platform.name().to_string(),
+            paper_analog: profile.paper_analog.to_string(),
+            dataset: spec.dataset.id.to_string(),
+            algorithm: spec.algorithm,
+            machines: cluster.machines,
+            threads: cluster.threads_per_machine,
+            status: JobStatus::Completed,
+            vertices: spec.dataset.vertices,
+            edges: spec.dataset.edges,
+            upload_secs: 0.0,
+            processing_secs: 0.0,
+            makespan_secs: 0.0,
+            measured_wall_secs: None,
+            counters: WorkCounters::new(),
+            archive: None,
+        };
+
+        // Admission: algorithm support and deployment mode.
+        if !platform.supports(spec.algorithm)
+            || (cluster.is_distributed() && !profile.supports_distributed)
+        {
+            result.status = JobStatus::Unsupported;
+            return result;
+        }
+
+        // Size the working set (published size for analytic mode, actual
+        // proxy size for measured mode).
+        let (v, e, directed) = match &mode {
+            RunMode::Analytic => (spec.dataset.vertices, spec.dataset.edges, spec.dataset.directed),
+            RunMode::Measured { csr } => {
+                (csr.num_vertices() as u64, csr.num_edges() as u64, csr.is_directed())
+            }
+        };
+        result.vertices = v;
+        result.edges = e;
+        let traits_ = spec.dataset.traits_;
+        let arcs = if directed { e } else { 2 * e };
+        let mean_degree = arcs as f64 / v.max(1) as f64;
+        let sum_deg2 =
+            graphalytics_engines::estimate::estimate_sum_deg2(v, arcs as f64, traits_.degree_skew);
+
+        // Partitioning characteristics drive replication and cut fraction.
+        let m = cluster.machines;
+        let replication = if m > 1 && profile.partition == PartitionStrategy::GreedyVertexCut {
+            estimate_replication(m, mean_degree, traits_.degree_skew)
+        } else {
+            1.0
+        };
+        let cut_fraction = if m <= 1 {
+            0.0
+        } else {
+            match profile.partition {
+                PartitionStrategy::HashEdgeCut => 1.0 - 1.0 / m as f64,
+                PartitionStrategy::RangeEdgeCut => 0.9 * (1.0 - 1.0 / m as f64),
+                PartitionStrategy::GreedyVertexCut => 1.0 - 1.0 / replication.max(1.0),
+            }
+        };
+
+        // Memory admission (the stress-test mechanism).
+        let footprint = profile.memory.footprint_per_machine(v, e, traits_.degree_skew, m, replication)
+            + (profile.peak_extra_bytes(spec.algorithm, arcs, sum_deg2) / m as f64) as u64;
+        let swap_slowdown = match profile.memory.check(footprint, cluster.machine.memory_bytes) {
+            MemoryOutcome::Fits { .. } => 1.0,
+            MemoryOutcome::Swapping { slowdown, .. } => slowdown,
+            MemoryOutcome::OutOfMemory { .. } => {
+                result.status = JobStatus::OutOfMemory;
+                return result;
+            }
+        };
+
+        // Obtain counters: estimate or real execution.
+        let mut archiver = Archiver::new(platform.name(), &job_name);
+        let counters = match mode {
+            RunMode::Analytic => platform.estimate(
+                v,
+                e,
+                &traits_,
+                directed,
+                spec.algorithm,
+                &desc.params_analytic(),
+            ),
+            RunMode::Measured { csr } => {
+                let params = desc.params_for(csr);
+                archiver.begin("ExecuteReal");
+                match platform.execute(csr, spec.algorithm, &params, cluster.threads_per_machine) {
+                    Ok(exec) => {
+                        archiver.end();
+                        result.measured_wall_secs = Some(exec.wall_seconds);
+                        if self.validate {
+                            let reference = graphalytics_core::algorithms::run_reference(
+                                csr,
+                                spec.algorithm,
+                                &params,
+                            )
+                            .expect("reference implementation runs");
+                            match graphalytics_core::validation::validate(&reference, &exec.output)
+                            {
+                                Ok(report) if report.is_valid() => {}
+                                Ok(report) => {
+                                    result.status = JobStatus::ValidationFailed(format!(
+                                        "{} mismatches",
+                                        report.mismatches
+                                    ));
+                                    return result;
+                                }
+                                Err(e) => {
+                                    result.status = JobStatus::ValidationFailed(e.to_string());
+                                    return result;
+                                }
+                            }
+                        }
+                        exec.counters
+                    }
+                    Err(e) => {
+                        archiver.end();
+                        result.status = JobStatus::ValidationFailed(e.to_string());
+                        return result;
+                    }
+                }
+            }
+        };
+        result.counters = counters;
+
+        // Counters → simulated time through the shared cost model.
+        let breakdown = processing_time(&profile.cost, &counters, &cluster, cut_fraction);
+        let cv = if m > 1 { profile.cv_distributed } else { profile.cv_single };
+        let noise = if self.noise {
+            noise_factor(cv, self.seed ^ job_seed(&result), spec.run_index)
+        } else {
+            1.0
+        };
+        let tproc = breakdown.total() * swap_slowdown * noise;
+        let upload = profile.startup_secs + profile.load_secs_per_edge * e as f64 / m as f64;
+        let offload = v as f64 * 5.0e-9;
+        result.upload_secs = upload;
+        result.processing_secs = tproc;
+        result.makespan_secs = upload + tproc + offload;
+
+        archiver.record_simulated("Startup", profile.startup_secs, &[]);
+        archiver.record_simulated(
+            "LoadGraph",
+            upload - profile.startup_secs,
+            &[("edges", &e.to_string())],
+        );
+        archiver.record_simulated(
+            "ProcessGraph",
+            tproc,
+            &[
+                ("supersteps", &counters.supersteps.to_string()),
+                ("messages", &counters.messages.to_string()),
+                ("compute_secs", &format!("{:.3e}", breakdown.compute_secs)),
+                ("network_secs", &format!("{:.3e}", breakdown.network_secs)),
+                ("barrier_secs", &format!("{:.3e}", breakdown.barrier_secs)),
+            ],
+        );
+        archiver.record_simulated("Offload", offload, &[]);
+        result.archive = Some(archiver.finish());
+
+        if result.makespan_secs > SLA_MAKESPAN_SECS {
+            result.status = JobStatus::SlaViolation;
+        }
+        result
+    }
+}
+
+/// Stable per-job seed component so noise streams differ across jobs but
+/// are reproducible.
+fn job_seed(r: &JobResult) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in r
+        .platform
+        .bytes()
+        .chain(r.dataset.bytes())
+        .chain(r.algorithm.acronym().bytes())
+        .chain([r.machines as u8, r.threads as u8])
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_core::datasets::dataset;
+    use graphalytics_engines::platform_by_name;
+
+    fn spec(ds: &'static str, alg: Algorithm, machines: u32) -> JobSpec {
+        JobSpec {
+            dataset: dataset(ds).unwrap(),
+            algorithm: alg,
+            cluster: if machines <= 1 {
+                ClusterSpec::single_machine()
+            } else {
+                ClusterSpec::das5(machines)
+            },
+            run_index: 0,
+        }
+    }
+
+    #[test]
+    fn analytic_run_produces_times() {
+        let platform = platform_by_name("spmv").unwrap();
+        let driver = Driver { noise: false, ..Driver::default() };
+        let r = driver.run(platform.as_ref(), &spec("D300", Algorithm::Bfs, 1), RunMode::Analytic);
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert!(r.processing_secs > 0.0);
+        assert!(r.makespan_secs > r.processing_secs);
+        assert!(r.eps() > 0.0);
+        assert!(r.archive.is_some());
+    }
+
+    #[test]
+    fn measured_run_validates_output() {
+        let platform = platform_by_name("native").unwrap();
+        let ds = dataset("G22").unwrap();
+        let graph = crate::proxy::materialize(ds, 1 << 14, 5);
+        let csr = graph.to_csr();
+        let driver = Driver::default();
+        let r = driver.run(
+            platform.as_ref(),
+            &spec("G22", Algorithm::Bfs, 1),
+            RunMode::Measured { csr: &csr },
+        );
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert!(r.measured_wall_secs.is_some());
+        assert!(r.counters.edges_scanned > 0);
+        assert_eq!(r.vertices, csr.num_vertices() as u64);
+    }
+
+    #[test]
+    fn lcc_on_pushpull_is_unsupported() {
+        let platform = platform_by_name("pushpull").unwrap();
+        let driver = Driver::default();
+        let r = driver.run(platform.as_ref(), &spec("R4", Algorithm::Lcc, 1), RunMode::Analytic);
+        assert_eq!(r.status, JobStatus::Unsupported);
+        assert_eq!(r.status.figure_mark(), "NA");
+    }
+
+    #[test]
+    fn native_is_single_node_only() {
+        let platform = platform_by_name("native").unwrap();
+        let driver = Driver::default();
+        let r = driver.run(platform.as_ref(), &spec("D300", Algorithm::Bfs, 4), RunMode::Analytic);
+        assert_eq!(r.status, JobStatus::Unsupported);
+    }
+
+    #[test]
+    fn oversized_dataset_goes_oom() {
+        // R5 (1.81B edges) cannot fit PowerGraph on one machine (Table 10).
+        let platform = platform_by_name("gas").unwrap();
+        let driver = Driver::default();
+        let r = driver.run(platform.as_ref(), &spec("R5", Algorithm::Bfs, 1), RunMode::Analytic);
+        assert_eq!(r.status, JobStatus::OutOfMemory);
+        assert_eq!(r.status.figure_mark(), "F");
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let platform = platform_by_name("pregel").unwrap();
+        let driver = Driver::default();
+        let a =
+            driver.run(platform.as_ref(), &spec("G22", Algorithm::Bfs, 1), RunMode::Analytic);
+        let b =
+            driver.run(platform.as_ref(), &spec("G22", Algorithm::Bfs, 1), RunMode::Analytic);
+        assert_eq!(a.processing_secs, b.processing_secs);
+        let c = driver.run(
+            platform.as_ref(),
+            &JobSpec { run_index: 1, ..spec("G22", Algorithm::Bfs, 1) },
+            RunMode::Analytic,
+        );
+        assert_ne!(a.processing_secs, c.processing_secs);
+    }
+}

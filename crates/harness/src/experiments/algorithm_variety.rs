@@ -1,0 +1,157 @@
+//! Algorithm variety (Section 4.2, Figure 6).
+//!
+//! All six algorithms on the two weighted graphs R4(S) and D300(L) on a
+//! single machine. Reproduces the paper's findings: similar relative
+//! performance for BFS/WCC/PR/SSSP, LCC completing only on OpenG and
+//! PowerGraph, CDLP failing on GraphX, and LCC marked `NA` for PGX.D.
+
+use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::Algorithm;
+
+use crate::driver::JobResult;
+use crate::report::{tproc_cell, TextTable};
+
+use super::ExperimentSuite;
+
+/// Results: per dataset, per algorithm, one result per platform.
+pub struct AlgorithmVariety {
+    pub platforms: Vec<String>,
+    pub rows: Vec<(&'static str, Algorithm, Vec<JobResult>)>,
+}
+
+/// Figure 6's algorithm order (bottom-up in the plot).
+pub const ALGORITHM_ORDER: [Algorithm; 6] = [
+    Algorithm::Bfs,
+    Algorithm::Wcc,
+    Algorithm::Cdlp,
+    Algorithm::PageRank,
+    Algorithm::Lcc,
+    Algorithm::Sssp,
+];
+
+/// Runs the experiment.
+pub fn run(suite: &ExperimentSuite) -> AlgorithmVariety {
+    let mut rows = Vec::new();
+    for dataset_id in ["R4", "D300"] {
+        let dataset = graphalytics_core::datasets::dataset(dataset_id).unwrap();
+        for algorithm in ALGORITHM_ORDER {
+            let results = suite
+                .platforms
+                .iter()
+                .map(|p| {
+                    suite.run_analytic(
+                        p.as_ref(),
+                        dataset,
+                        algorithm,
+                        ClusterSpec::single_machine(),
+                        0,
+                    )
+                })
+                .collect();
+            rows.push((dataset.id, algorithm, results));
+        }
+    }
+    AlgorithmVariety { platforms: suite.platform_labels(), rows }
+}
+
+impl AlgorithmVariety {
+    /// Figure 6: T_proc per algorithm and platform, for both datasets.
+    pub fn render_fig6(&self) -> String {
+        let mut out = String::new();
+        for dataset in ["R4", "D300"] {
+            let mut headers = vec!["algorithm".to_string()];
+            headers.extend(self.platforms.clone());
+            let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let label = if dataset == "R4" { "R4(S)" } else { "D300(L)" };
+            let mut table =
+                TextTable::new(format!("Figure 6: Tproc on {label}, 1 machine"), &headers_ref);
+            for (ds, algorithm, results) in &self.rows {
+                if *ds != dataset {
+                    continue;
+                }
+                let mut cells = vec![algorithm.acronym().to_string()];
+                cells.extend(results.iter().map(tproc_cell));
+                table.add_row(cells);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Results for one dataset/algorithm pair.
+    pub fn results_for(&self, dataset: &str, algorithm: Algorithm) -> Option<&Vec<JobResult>> {
+        self.rows
+            .iter()
+            .find(|(d, a, _)| *d == dataset && *a == algorithm)
+            .map(|(_, _, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::JobStatus;
+
+    fn status_of<'a>(results: &'a [JobResult], analog: &str) -> &'a JobStatus {
+        &results.iter().find(|r| r.paper_analog == analog).unwrap().status
+    }
+
+    #[test]
+    fn figure6_failure_pattern_matches_paper() {
+        let suite = ExperimentSuite::without_noise();
+        let av = run(&suite);
+        for dataset in ["R4", "D300"] {
+            // LCC: only OpenG and PowerGraph complete; PGX.D is NA.
+            let lcc = av.results_for(dataset, Algorithm::Lcc).unwrap();
+            assert_eq!(*status_of(lcc, "OpenG"), JobStatus::Completed, "{dataset}");
+            assert_eq!(*status_of(lcc, "PowerGraph"), JobStatus::Completed, "{dataset}");
+            assert_eq!(*status_of(lcc, "PGX.D"), JobStatus::Unsupported, "{dataset}");
+            assert!(!status_of(lcc, "Giraph").is_success(), "{dataset}: Giraph LCC must fail");
+            assert!(!status_of(lcc, "GraphX").is_success(), "{dataset}: GraphX LCC must fail");
+            assert!(!status_of(lcc, "GraphMat").is_success(), "{dataset}: GraphMat LCC must fail");
+            // CDLP: GraphX is unable to complete, even on R4(S); others
+            // complete.
+            let cdlp = av.results_for(dataset, Algorithm::Cdlp).unwrap();
+            assert!(!status_of(cdlp, "GraphX").is_success(), "{dataset}: GraphX CDLP must fail");
+            assert!(status_of(cdlp, "Giraph").is_success(), "{dataset}");
+            assert!(status_of(cdlp, "OpenG").is_success(), "{dataset}");
+        }
+    }
+
+    #[test]
+    fn openg_wins_cdlp() {
+        // Paper: "OpenG performs best on CDLP".
+        let suite = ExperimentSuite::without_noise();
+        let av = run(&suite);
+        let cdlp = av.results_for("D300", Algorithm::Cdlp).unwrap();
+        let openg = cdlp.iter().find(|r| r.paper_analog == "OpenG").unwrap();
+        for r in cdlp.iter().filter(|r| r.status.is_success()) {
+            assert!(
+                openg.processing_secs <= r.processing_secs * 1.05,
+                "OpenG {} vs {} {}",
+                openg.processing_secs,
+                r.paper_analog,
+                r.processing_secs
+            );
+        }
+    }
+
+    #[test]
+    fn relative_order_similar_for_core_algorithms() {
+        // Paper: relative performance similar for BFS, WCC, PR, SSSP —
+        // PGX.D and GraphMat fastest, GraphX slowest.
+        let suite = ExperimentSuite::without_noise();
+        let av = run(&suite);
+        for alg in [Algorithm::Bfs, Algorithm::Wcc, Algorithm::PageRank, Algorithm::Sssp] {
+            let results = av.results_for("D300", alg).unwrap();
+            let t = |analog: &str| {
+                results.iter().find(|r| r.paper_analog == analog).unwrap().processing_secs
+            };
+            assert!(t("GraphMat") < t("Giraph"), "{alg}");
+            assert!(t("PGX.D") < t("Giraph"), "{alg}");
+            assert!(t("GraphX") > t("PowerGraph"), "{alg}");
+        }
+        assert!(av.render_fig6().contains("NA"));
+    }
+}

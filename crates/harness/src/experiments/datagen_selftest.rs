@@ -1,0 +1,162 @@
+//! Data-generation self-test (Section 4.8, Figure 10).
+//!
+//! Evaluates Datagen's new (v0.2.6) execution flow against the old
+//! (v0.2.1) one on the DAS-4 cost model: execution time versus scale
+//! factor for a 16-machine cluster (Figure 10 left) and versus cluster
+//! size for the new flow (Figure 10 right). Scale factors are "the
+//! approximate number of generated edges in millions".
+//!
+//! Small scale factors additionally run *for real* (both flows execute
+//! and must produce identical graphs); paper-scale factors (up to SF
+//! 10000 = 10 billion edges) use the analytic record counts through the
+//! identical cost formulas.
+
+use graphalytics_datagen::degree::persons_for_edges;
+use graphalytics_datagen::flow::analytic_sim_seconds;
+use graphalytics_datagen::{FlowKind, HadoopCluster};
+
+use crate::report::{fmt_secs, TextTable};
+
+/// Scale factors of Figure 10 (left).
+pub const SCALE_FACTORS: [f64; 5] = [30.0, 100.0, 300.0, 1000.0, 3000.0];
+
+/// Cluster sizes of Figure 10 (right).
+pub const CLUSTER_SIZES: [u32; 3] = [4, 8, 16];
+
+/// One row of the flow comparison.
+pub struct FlowComparison {
+    pub scale_factor: f64,
+    pub old_secs: f64,
+    pub new_secs: f64,
+}
+
+impl FlowComparison {
+    /// Speedup of the new flow over the old.
+    pub fn speedup(&self) -> f64 {
+        self.old_secs / self.new_secs
+    }
+}
+
+/// Figure 10 (left): v0.2.1 vs v0.2.6 on 16 machines across scale
+/// factors.
+pub fn flow_comparison() -> Vec<FlowComparison> {
+    let cluster = HadoopCluster::das4(16);
+    SCALE_FACTORS
+        .iter()
+        .map(|&sf| {
+            let persons = persons_for_edges((sf * 1.0e6) as u64);
+            FlowComparison {
+                scale_factor: sf,
+                old_secs: analytic_sim_seconds(persons, FlowKind::Old, &cluster),
+                new_secs: analytic_sim_seconds(persons, FlowKind::New, &cluster),
+            }
+        })
+        .collect()
+}
+
+/// Figure 10 (right): v0.2.6 across cluster sizes and scale factors.
+pub fn cluster_scaling() -> Vec<(u32, Vec<(f64, f64)>)> {
+    CLUSTER_SIZES
+        .iter()
+        .map(|&machines| {
+            let cluster = HadoopCluster::das4(machines);
+            let curve = SCALE_FACTORS
+                .iter()
+                .map(|&sf| {
+                    let persons = persons_for_edges((sf * 1.0e6) as u64);
+                    (sf, analytic_sim_seconds(persons, FlowKind::New, &cluster))
+                })
+                .collect();
+            (machines, curve)
+        })
+        .collect()
+}
+
+/// Renders both panels of Figure 10.
+pub fn render_fig10() -> String {
+    let mut out = String::new();
+    let mut left = TextTable::new(
+        "Figure 10 (left): Datagen execution time, 16 machines",
+        &["SF (M edges)", "v0.2.1 (old)", "v0.2.6 (new)", "speedup"],
+    );
+    for row in flow_comparison() {
+        left.add_row(vec![
+            format!("{:.0}", row.scale_factor),
+            fmt_secs(row.old_secs),
+            fmt_secs(row.new_secs),
+            format!("{:.2}x", row.speedup()),
+        ]);
+    }
+    out.push_str(&left.render());
+    out.push('\n');
+
+    let mut right = TextTable::new(
+        "Figure 10 (right): Datagen v0.2.6 execution time vs cluster size",
+        &["SF (M edges)", "4 machines", "8 machines", "16 machines"],
+    );
+    let curves = cluster_scaling();
+    for (i, &sf) in SCALE_FACTORS.iter().enumerate() {
+        right.add_row(vec![
+            format!("{sf:.0}"),
+            fmt_secs(curves[0].1[i].1),
+            fmt_secs(curves[1].1[i].1),
+            fmt_secs(curves[2].1[i].1),
+        ]);
+    }
+    out.push_str(&right.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_flow_wins_and_speedup_grows_with_scale() {
+        let rows = flow_comparison();
+        for row in &rows {
+            assert!(
+                row.speedup() > 1.0,
+                "SF {}: new flow must win ({:.0}s vs {:.0}s)",
+                row.scale_factor,
+                row.old_secs,
+                row.new_secs
+            );
+        }
+        // Paper: speedups 1.16x → 2.9x, increasing with scale factor.
+        assert!(rows.last().unwrap().speedup() > rows.first().unwrap().speedup());
+        assert!(rows[0].speedup() < 2.0, "SF30 speedup modest: {:.2}", rows[0].speedup());
+        assert!(
+            rows.last().unwrap().speedup() > 1.8,
+            "SF3000 speedup substantial: {:.2}",
+            rows.last().unwrap().speedup()
+        );
+    }
+
+    #[test]
+    fn sf1000_on_16_machines_lands_near_paper() {
+        // Paper: v0.2.6 generates a billion-edge graph in ≈44 minutes on
+        // 16 machines; v0.2.1 needed ≈95 minutes. Accept ±40%.
+        let row = flow_comparison().into_iter().find(|r| r.scale_factor == 1000.0).unwrap();
+        let new_min = row.new_secs / 60.0;
+        let old_min = row.old_secs / 60.0;
+        assert!((26.0..=62.0).contains(&new_min), "new flow {new_min:.0} min");
+        assert!((57.0..=133.0).contains(&old_min), "old flow {old_min:.0} min");
+    }
+
+    #[test]
+    fn horizontal_scaling_improves_with_scale_factor() {
+        // Paper: 4→16 machine speedup grows from 1.1 (SF30) to 3.0
+        // (SF1000).
+        let curves = cluster_scaling();
+        let four = &curves[0].1;
+        let sixteen = &curves[2].1;
+        let speedup_at = |i: usize| four[i].1 / sixteen[i].1;
+        let s30 = speedup_at(0);
+        let s1000 = speedup_at(3);
+        assert!(s1000 > s30, "scaling improves: SF30 {s30:.2} vs SF1000 {s1000:.2}");
+        assert!(s30 < 2.8, "SF30 cluster speedup stays modest: {s30:.2}");
+        assert!(s1000 > 1.8);
+        assert!(render_fig10().contains("v0.2.6"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Strong horizontal scalability (Section 4.4, Figure 8).
+//!
+//! BFS and PageRank on D1000(XL) with 1–16 machines (constant workload).
+//! Paper findings reproduced here: PGX.D and GraphMat show reasonable
+//! speedups; Giraph collapses when going from one machine to two, then
+//! recovers; GraphX and PowerGraph scale poorly; PGX.D cannot run on a
+//! single machine (memory); GraphMat's single-machine PR is a swapping
+//! outlier; OpenG has no distributed mode.
+
+use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::Algorithm;
+
+use crate::driver::JobResult;
+use crate::report::{tproc_cell, TextTable};
+
+use super::ExperimentSuite;
+
+/// Machine counts of the sweep.
+pub const MACHINES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Results per algorithm per platform per machine count.
+pub struct StrongScalability {
+    pub platforms: Vec<String>,
+    pub curves: Vec<(Algorithm, Vec<Vec<JobResult>>)>,
+}
+
+/// Runs the sweep.
+pub fn run(suite: &ExperimentSuite) -> StrongScalability {
+    let dataset = graphalytics_core::datasets::dataset("D1000").unwrap();
+    let mut curves = Vec::new();
+    for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
+        let mut per_platform = Vec::new();
+        for p in &suite.platforms {
+            let results: Vec<JobResult> = MACHINES
+                .iter()
+                .map(|&m| {
+                    suite.run_analytic(p.as_ref(), dataset, algorithm, ClusterSpec::das5(m), 0)
+                })
+                .collect();
+            per_platform.push(results);
+        }
+        curves.push((algorithm, per_platform));
+    }
+    StrongScalability { platforms: suite.platform_labels(), curves }
+}
+
+impl StrongScalability {
+    /// Figure 8: T_proc vs machines.
+    pub fn render_fig8(&self) -> String {
+        let mut out = String::new();
+        for (algorithm, per_platform) in &self.curves {
+            let mut headers = vec!["platform".to_string()];
+            headers.extend(MACHINES.iter().map(|m| format!("{m}m")));
+            let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut table = TextTable::new(
+                format!("Figure 8 ({algorithm}): Tproc vs machines, D1000(XL)"),
+                &headers_ref,
+            );
+            for (label, results) in self.platforms.iter().zip(per_platform) {
+                let mut cells = vec![label.clone()];
+                cells.extend(results.iter().map(tproc_cell));
+                table.add_row(cells);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Results for one platform/algorithm.
+    pub fn curve(&self, algorithm: Algorithm, platform_label: &str) -> &Vec<JobResult> {
+        let idx = self.platforms.iter().position(|p| p == platform_label).unwrap();
+        &self.curves.iter().find(|(a, _)| *a == algorithm).unwrap().1[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::JobStatus;
+
+    #[test]
+    fn giraph_has_the_two_machine_cliff() {
+        let suite = ExperimentSuite::without_noise();
+        let s = run(&suite);
+        let giraph = s.curve(Algorithm::Bfs, "Giraph");
+        assert!(giraph[0].status.is_success());
+        assert!(giraph[1].status.is_success());
+        // 2 machines slower than 1, then recovery with more machines.
+        assert!(
+            giraph[1].processing_secs > giraph[0].processing_secs,
+            "cliff: {} -> {}",
+            giraph[0].processing_secs,
+            giraph[1].processing_secs
+        );
+        assert!(giraph[4].processing_secs < giraph[1].processing_secs);
+    }
+
+    #[test]
+    fn pgxd_fails_on_one_machine_but_scales() {
+        let suite = ExperimentSuite::without_noise();
+        let s = run(&suite);
+        let pgxd = s.curve(Algorithm::Bfs, "PGX.D");
+        assert_eq!(pgxd[0].status, JobStatus::OutOfMemory, "D1000 exceeds one machine");
+        assert!(pgxd[1].status.is_success());
+        // Sub-second processing from 4 machines (paper's observation).
+        assert!(pgxd[2].processing_secs < 1.5, "got {}", pgxd[2].processing_secs);
+    }
+
+    #[test]
+    fn graphmat_single_machine_pr_is_swap_outlier() {
+        let suite = ExperimentSuite::without_noise();
+        let s = run(&suite);
+        let gm = s.curve(Algorithm::PageRank, "GraphMat");
+        assert!(gm[0].status.is_success(), "swapping completes, slowly");
+        assert!(
+            gm[0].processing_secs > 10.0 * gm[1].processing_secs,
+            "swap outlier: 1m {} vs 2m {}",
+            gm[0].processing_secs,
+            gm[1].processing_secs
+        );
+    }
+
+    #[test]
+    fn openg_has_no_distributed_results() {
+        let suite = ExperimentSuite::without_noise();
+        let s = run(&suite);
+        let openg = s.curve(Algorithm::Bfs, "OpenG");
+        assert!(openg[0].status.is_success());
+        for r in &openg[1..] {
+            assert_eq!(r.status, JobStatus::Unsupported);
+        }
+        assert!(s.render_fig8().contains("Figure 8"));
+    }
+
+    #[test]
+    fn graphx_scales_worse_than_graphmat() {
+        let suite = ExperimentSuite::without_noise();
+        let s = run(&suite);
+        let gx = s.curve(Algorithm::Bfs, "GraphX");
+        let gm = s.curve(Algorithm::Bfs, "GraphMat");
+        // At 16 machines GraphMat remains far faster.
+        assert!(gx[4].processing_secs > 10.0 * gm[4].processing_secs);
+    }
+}

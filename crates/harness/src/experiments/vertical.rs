@@ -1,0 +1,157 @@
+//! Vertical scalability (Section 4.3, Figure 7, Table 9).
+//!
+//! BFS and PageRank on D300(L), one machine, 1–32 threads. The paper's
+//! findings: all platforms gain from more cores, only PGX.D and GraphMat
+//! approach optimal efficiency, and Hyper-Threading (17–32 threads) adds
+//! little.
+
+use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::Algorithm;
+
+use crate::driver::JobResult;
+use crate::report::{fmt_secs, fmt_speedup, TextTable};
+
+use super::ExperimentSuite;
+
+/// Thread counts of the sweep.
+pub const THREADS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Results: per algorithm, per platform, T_proc at each thread count.
+pub struct VerticalScalability {
+    pub platforms: Vec<String>,
+    /// `(algorithm, platform-major results[platform][thread_idx])`.
+    pub curves: Vec<(Algorithm, Vec<Vec<JobResult>>)>,
+}
+
+/// Runs the sweep (analytic mode, no noise recommended for speedups).
+pub fn run(suite: &ExperimentSuite) -> VerticalScalability {
+    let dataset = graphalytics_core::datasets::dataset("D300").unwrap();
+    let mut curves = Vec::new();
+    for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
+        let mut per_platform = Vec::new();
+        for p in &suite.platforms {
+            let results: Vec<JobResult> = THREADS
+                .iter()
+                .map(|&t| {
+                    suite.run_analytic(
+                        p.as_ref(),
+                        dataset,
+                        algorithm,
+                        ClusterSpec::single_machine_threads(t),
+                        0,
+                    )
+                })
+                .collect();
+            per_platform.push(results);
+        }
+        curves.push((algorithm, per_platform));
+    }
+    VerticalScalability { platforms: suite.platform_labels(), curves }
+}
+
+impl VerticalScalability {
+    /// Figure 7: T_proc vs thread count.
+    pub fn render_fig7(&self) -> String {
+        let mut out = String::new();
+        for (algorithm, per_platform) in &self.curves {
+            let mut headers = vec!["platform".to_string()];
+            headers.extend(THREADS.iter().map(|t| format!("{t}t")));
+            let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut table = TextTable::new(
+                format!("Figure 7 ({algorithm}): Tproc vs threads, D300(L)"),
+                &headers_ref,
+            );
+            for (label, results) in self.platforms.iter().zip(per_platform) {
+                let mut cells = vec![label.clone()];
+                cells.extend(results.iter().map(|r| fmt_secs(r.processing_secs)));
+                table.add_row(cells);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Maximum speedup per platform/algorithm over the 1-thread baseline.
+    pub fn max_speedup(&self, algorithm: Algorithm, platform_label: &str) -> f64 {
+        let idx = self.platforms.iter().position(|p| p == platform_label).unwrap();
+        let results = &self.curves.iter().find(|(a, _)| *a == algorithm).unwrap().1[idx];
+        let base = results[0].processing_secs;
+        results
+            .iter()
+            .map(|r| crate::metrics::speedup(base, r.processing_secs))
+            .fold(0.0, f64::max)
+    }
+
+    /// Table 9: max vertical speedups.
+    pub fn render_table9(&self) -> String {
+        let mut headers = vec!["alg".to_string()];
+        headers.extend(self.platforms.clone());
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = TextTable::new(
+            "Table 9: vertical speedup on D300(L), 1-32 threads, 1 machine",
+            &headers_ref,
+        );
+        for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
+            let mut cells = vec![algorithm.acronym().to_uppercase()];
+            for label in &self.platforms {
+                cells.push(fmt_speedup(self.max_speedup(algorithm, label)));
+            }
+            table.add_row(cells);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_shape_matches_table9() {
+        let suite = ExperimentSuite::without_noise();
+        let v = run(&suite);
+        // Paper Table 9: PGX.D scales best (15.0 BFS / 13.9 PR);
+        // GraphX worst (4.5 / 2.9).
+        let pgxd_bfs = v.max_speedup(Algorithm::Bfs, "PGX.D");
+        let graphx_bfs = v.max_speedup(Algorithm::Bfs, "GraphX");
+        assert!(pgxd_bfs > 11.0, "PGX.D BFS speedup {pgxd_bfs:.1}");
+        assert!(graphx_bfs < 7.0, "GraphX BFS speedup {graphx_bfs:.1}");
+        assert!(pgxd_bfs > graphx_bfs + 4.0);
+        for label in v.platforms.clone() {
+            for alg in [Algorithm::Bfs, Algorithm::PageRank] {
+                let s = v.max_speedup(alg, &label);
+                assert!((1.5..=20.0).contains(&s), "{label} {alg}: {s:.1}");
+            }
+        }
+        assert!(v.render_table9().contains("Table 9"));
+        assert!(v.render_fig7().contains("32t"));
+    }
+
+    #[test]
+    fn hyperthreading_gains_are_minor() {
+        let suite = ExperimentSuite::without_noise();
+        let v = run(&suite);
+        for (_, per_platform) in &v.curves {
+            for results in per_platform {
+                let t16 = results[4].processing_secs;
+                let t32 = results[5].processing_secs;
+                assert!(t32 <= t16 * 1.01, "more threads never hurt");
+                assert!(t32 > t16 * 0.75, "HT gain must be minor: {t16} -> {t32}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_thread_scaling() {
+        let suite = ExperimentSuite::without_noise();
+        let v = run(&suite);
+        for (_, per_platform) in &v.curves {
+            for results in per_platform {
+                for w in results.windows(2) {
+                    assert!(w[1].processing_secs <= w[0].processing_secs * 1.01);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Weak horizontal scalability (Section 4.5, Figure 9).
+//!
+//! BFS and PageRank on the Graph500 series G22(S)–G26(XL) with 1–16
+//! machines: each doubling of machines doubles the graph, so per-machine
+//! work is constant and ideal T_proc is flat. Paper findings: nobody is
+//! ideal; Giraph dips at 2 machines then scales well; GraphMat and
+//! PowerGraph scale reasonably; GraphX poorly; PGX.D hits memory limits.
+
+use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::Algorithm;
+
+use crate::driver::JobResult;
+use crate::report::{tproc_cell, TextTable};
+
+use super::ExperimentSuite;
+
+/// The (machines, dataset) ladder: G22 on 1 machine up to G26 on 16.
+pub const LADDER: [(u32, &str); 5] = [(1, "G22"), (2, "G23"), (4, "G24"), (8, "G25"), (16, "G26")];
+
+/// Results per algorithm per platform along the ladder.
+pub struct WeakScalability {
+    pub platforms: Vec<String>,
+    pub curves: Vec<(Algorithm, Vec<Vec<JobResult>>)>,
+}
+
+/// Runs the ladder.
+pub fn run(suite: &ExperimentSuite) -> WeakScalability {
+    let mut curves = Vec::new();
+    for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
+        let mut per_platform = Vec::new();
+        for p in &suite.platforms {
+            let results: Vec<JobResult> = LADDER
+                .iter()
+                .map(|&(m, ds)| {
+                    let dataset = graphalytics_core::datasets::dataset(ds).unwrap();
+                    suite.run_analytic(p.as_ref(), dataset, algorithm, ClusterSpec::das5(m), 0)
+                })
+                .collect();
+            per_platform.push(results);
+        }
+        curves.push((algorithm, per_platform));
+    }
+    WeakScalability { platforms: suite.platform_labels(), curves }
+}
+
+impl WeakScalability {
+    /// Figure 9: T_proc along the weak-scaling ladder.
+    pub fn render_fig9(&self) -> String {
+        let mut out = String::new();
+        for (algorithm, per_platform) in &self.curves {
+            let mut headers = vec!["platform".to_string()];
+            headers.extend(LADDER.iter().map(|(m, ds)| format!("{ds}@{m}m")));
+            let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut table = TextTable::new(
+                format!("Figure 9 ({algorithm}): Tproc, weak scaling G22-G26"),
+                &headers_ref,
+            );
+            for (label, results) in self.platforms.iter().zip(per_platform) {
+                let mut cells = vec![label.clone()];
+                cells.extend(results.iter().map(tproc_cell));
+                table.add_row(cells);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Maximum slowdown relative to the single-machine start of the
+    /// ladder (the paper's metric).
+    pub fn max_slowdown(&self, algorithm: Algorithm, platform_label: &str) -> Option<f64> {
+        let idx = self.platforms.iter().position(|p| p == platform_label)?;
+        let results = &self.curves.iter().find(|(a, _)| *a == algorithm)?.1[idx];
+        if !results[0].status.is_success() {
+            return None;
+        }
+        let base = results[0].processing_secs;
+        results
+            .iter()
+            .filter(|r| r.status.is_success())
+            .map(|r| crate::metrics::slowdown(base, r.processing_secs))
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nobody_achieves_ideal_weak_scaling() {
+        let suite = ExperimentSuite::without_noise();
+        let w = run(&suite);
+        for label in ["Giraph", "GraphX", "PowerGraph", "GraphMat"] {
+            let slow = w.max_slowdown(Algorithm::PageRank, label).unwrap();
+            assert!(slow > 1.05, "{label}: slowdown {slow:.2} suspiciously ideal");
+        }
+    }
+
+    #[test]
+    fn graphx_scales_worst_of_the_edge_cut_engines() {
+        let suite = ExperimentSuite::without_noise();
+        let w = run(&suite);
+        let gx = w.max_slowdown(Algorithm::PageRank, "GraphX").unwrap();
+        let gm = w.max_slowdown(Algorithm::PageRank, "GraphMat").unwrap();
+        assert!(gx > gm, "GraphX {gx:.1} should exceed GraphMat {gm:.1}");
+    }
+
+    #[test]
+    fn renders_with_failures_annotated() {
+        let suite = ExperimentSuite::without_noise();
+        let w = run(&suite);
+        let text = w.render_fig9();
+        assert!(text.contains("G26@16m"));
+        // OpenG is single-node: distributed rungs are NA.
+        assert!(text.contains("NA"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # graphalytics-harness
+//!
+//! The Graphalytics test harness (Figure 1 of the paper): it consumes a
+//! benchmark description and configuration, orchestrates drivers over the
+//! system under test, enforces the SLA, validates outputs against the
+//! reference implementations, collects Granula archives, stores results,
+//! and renders the paper's tables and figures.
+//!
+//! * [`config`] — `.properties`-style benchmark configuration files;
+//! * [`description`] — the benchmark description: which algorithms run on
+//!   which datasets with which parameters (component 1 in Figure 1);
+//! * [`proxy`] — materializes structure-matched stand-in graphs for the
+//!   registry datasets at a configurable fraction of the published size;
+//! * [`driver`] — runs one job (platform × dataset × algorithm × cluster):
+//!   memory admission, execution or analytic estimation, cost-model
+//!   timing, SLA verdict, Granula archive;
+//! * [`metrics`] — EPS/EVPS/speedup/slowdown/coefficient-of-variation;
+//! * [`survey`] — the two-stage workload selection process and the
+//!   Table 1 survey data behind it;
+//! * [`experiments`] — the eight-experiment suite of Table 6;
+//! * [`results`] — the results database with JSON export;
+//! * [`report`] — text renderers for every table and figure.
+
+pub mod config;
+pub mod description;
+pub mod driver;
+pub mod experiments;
+pub mod metrics;
+pub mod proxy;
+pub mod report;
+pub mod results;
+pub mod runner;
+pub mod survey;
+
+pub use config::BenchmarkConfig;
+pub use description::BenchmarkDescription;
+pub use driver::{Driver, JobResult, JobSpec, JobStatus, RunMode};
+pub use results::ResultsDatabase;
+pub use runner::{Runner, RunnerMode};
+
+/// The benchmark SLA: a job must complete with a makespan of at most one
+/// hour (Section 2.3).
+pub const SLA_MAKESPAN_SECS: f64 = 3600.0;

@@ -1,0 +1,97 @@
+//! Benchmark metrics (Section 2.3).
+//!
+//! * **EPS** — edges per second: `|E| / T_proc`;
+//! * **EVPS** — edges and vertices per second: `(|V| + |E|) / T_proc`
+//!   (closely related to the scale, since `|V| + |E| = 10^scale`);
+//! * **speedup** — `T_proc(baseline) / T_proc(scaled)`; the baseline is
+//!   the minimum resource configuration the platform completes;
+//! * **slowdown** — the inverse, used by the weak-scalability experiment;
+//! * **CV** — coefficient of variation of repeated runs: `σ / μ`, scale
+//!   independent.
+
+/// Edges per second.
+pub fn eps(edges: u64, tproc_secs: f64) -> f64 {
+    if tproc_secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    edges as f64 / tproc_secs
+}
+
+/// Edges and vertices per second.
+pub fn evps(vertices: u64, edges: u64, tproc_secs: f64) -> f64 {
+    if tproc_secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    (vertices + edges) as f64 / tproc_secs
+}
+
+/// Speedup of `scaled` relative to `baseline`.
+pub fn speedup(baseline_secs: f64, scaled_secs: f64) -> f64 {
+    if scaled_secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    baseline_secs / scaled_secs
+}
+
+/// Slowdown (inverse speedup), as used in Section 4.5.
+pub fn slowdown(baseline_secs: f64, scaled_secs: f64) -> f64 {
+    if baseline_secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    scaled_secs / baseline_secs
+}
+
+/// Sample mean.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Coefficient of variation (population standard deviation over mean).
+pub fn coefficient_of_variation(samples: &[f64]) -> f64 {
+    let m = mean(samples);
+    if samples.len() < 2 || m == 0.0 {
+        return 0.0;
+    }
+    let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64;
+    var.sqrt() / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_metrics() {
+        assert_eq!(eps(1_000_000, 2.0), 500_000.0);
+        assert_eq!(evps(500_000, 1_000_000, 1.5), 1_000_000.0);
+        assert!(eps(10, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn speedup_and_slowdown_are_inverses() {
+        let s = speedup(10.0, 2.5);
+        assert_eq!(s, 4.0);
+        assert_eq!(slowdown(10.0, 2.5), 0.25);
+        assert!((s * slowdown(10.0, 2.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_is_scale_independent() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let b: Vec<f64> = a.iter().map(|x| x * 1000.0).collect();
+        let cva = coefficient_of_variation(&a);
+        let cvb = coefficient_of_variation(&b);
+        assert!((cva - cvb).abs() < 1e-12);
+        assert!(cva > 0.0 && cva < 0.1);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[5.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Text rendering of tables and figures.
+//!
+//! The paper's figures are log-scale dot plots; their information content
+//! is a (dataset × platform) or (resources × platform) matrix of numbers.
+//! We render those matrices as aligned text tables with the paper's
+//! failure annotations (`F` for SLA breaks/crashes, `NA` for
+//! unimplemented algorithms).
+
+use crate::driver::{JobResult, JobStatus};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn add_row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            line.push_str(&format!("{:<width$}", h, width = widths[i] + 2));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for i in 0..cols {
+                line.push_str(&format!("{:<width$}", row[i], width = widths[i] + 2));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The cell for a job result: formatted processing time or the paper's
+/// failure mark.
+pub fn tproc_cell(result: &JobResult) -> String {
+    match &result.status {
+        JobStatus::Completed => fmt_secs(result.processing_secs),
+        other => other.figure_mark().to_string(),
+    }
+}
+
+/// Cell for throughput metrics.
+pub fn throughput_cell(result: &JobResult, value: f64) -> String {
+    match &result.status {
+        JobStatus::Completed => fmt_throughput(value),
+        other => other.figure_mark().to_string(),
+    }
+}
+
+/// Human-scaled seconds (same scale breaks as the Granula visualizer).
+pub fn fmt_secs(s: f64) -> String {
+    graphalytics_granula::visualize::fmt_secs(s)
+}
+
+/// Human-scaled per-second rates: `3.1K/s`, `42M/s`.
+pub fn fmt_throughput(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v >= 1.0e9 {
+        format!("{:.1}G/s", v / 1.0e9)
+    } else if v >= 1.0e6 {
+        format!("{:.1}M/s", v / 1.0e6)
+    } else if v >= 1.0e3 {
+        format!("{:.1}K/s", v / 1.0e3)
+    } else {
+        format!("{v:.1}/s")
+    }
+}
+
+/// Formats a speedup factor like the paper ("15.0x").
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.add_row(vec!["short".into(), "1".into()]);
+        t.add_row(vec!["much-longer-name".into(), "2.5".into()]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // Columns aligned: "value" header starts at same offset in rows.
+        let header_pos = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1'), Some(header_pos));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(fmt_throughput(1.5e9), "1.5G/s");
+        assert_eq!(fmt_throughput(2.0e6), "2.0M/s");
+        assert_eq!(fmt_throughput(3_100.0), "3.1K/s");
+        assert_eq!(fmt_throughput(12.0), "12.0/s");
+        assert_eq!(fmt_throughput(f64::INFINITY), "inf");
+        assert_eq!(fmt_speedup(15.04), "15.0x");
+    }
+}

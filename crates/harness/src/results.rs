@@ -1,0 +1,154 @@
+//! The results database (components 9 and 12 of Figure 1).
+//!
+//! Stores every [`JobResult`] of a benchmark run, supports the queries the
+//! experiments and reports need, and exports to JSON for the "public
+//! results" archive.
+
+use graphalytics_core::Algorithm;
+use graphalytics_granula::json::Json;
+
+use crate::driver::{JobResult, JobStatus};
+
+/// An in-memory results store with JSON export.
+#[derive(Default)]
+pub struct ResultsDatabase {
+    results: Vec<JobResult>,
+}
+
+impl ResultsDatabase {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a result.
+    pub fn insert(&mut self, result: JobResult) {
+        self.results.push(result);
+    }
+
+    /// All results.
+    pub fn all(&self) -> &[JobResult] {
+        &self.results
+    }
+
+    /// Number of stored results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Results for a platform × dataset × algorithm triple.
+    pub fn query(
+        &self,
+        platform: &str,
+        dataset: &str,
+        algorithm: Algorithm,
+    ) -> Vec<&JobResult> {
+        self.results
+            .iter()
+            .filter(|r| r.platform == platform && r.dataset == dataset && r.algorithm == algorithm)
+            .collect()
+    }
+
+    /// Fraction of successful jobs.
+    pub fn success_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 1.0;
+        }
+        self.results.iter().filter(|r| r.status.is_success()).count() as f64
+            / self.results.len() as f64
+    }
+
+    /// Serializes all results to pretty JSON.
+    pub fn to_json(&self) -> String {
+        Json::Arr(self.results.iter().map(result_json).collect()).to_string_pretty()
+    }
+}
+
+fn result_json(r: &JobResult) -> Json {
+    Json::obj(vec![
+        ("platform", Json::str(&r.platform)),
+        ("paper_analog", Json::str(&r.paper_analog)),
+        ("dataset", Json::str(&r.dataset)),
+        ("algorithm", Json::str(r.algorithm.acronym())),
+        ("machines", Json::Num(r.machines as f64)),
+        ("threads", Json::Num(r.threads as f64)),
+        (
+            "status",
+            Json::str(match &r.status {
+                JobStatus::Completed => "completed".to_string(),
+                JobStatus::Unsupported => "unsupported".to_string(),
+                JobStatus::OutOfMemory => "oom".to_string(),
+                JobStatus::SlaViolation => "sla-violation".to_string(),
+                JobStatus::ValidationFailed(m) => format!("validation-failed: {m}"),
+            }),
+        ),
+        ("vertices", Json::Num(r.vertices as f64)),
+        ("edges", Json::Num(r.edges as f64)),
+        ("upload_secs", Json::Num(r.upload_secs)),
+        ("processing_secs", Json::Num(r.processing_secs)),
+        ("makespan_secs", Json::Num(r.makespan_secs)),
+        (
+            "measured_wall_secs",
+            r.measured_wall_secs.map(Json::Num).unwrap_or(Json::Null),
+        ),
+        ("eps", Json::Num(r.eps())),
+        ("evps", Json::Num(r.evps())),
+        ("supersteps", Json::Num(r.counters.supersteps as f64)),
+        ("messages", Json::Num(r.counters.messages as f64)),
+        ("edges_scanned", Json::Num(r.counters.edges_scanned as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_cluster::{ClusterSpec, WorkCounters};
+
+    fn fake(platform: &str, dataset: &str, secs: f64, ok: bool) -> JobResult {
+        let _ = ClusterSpec::single_machine();
+        JobResult {
+            platform: platform.into(),
+            paper_analog: platform.to_uppercase(),
+            dataset: dataset.into(),
+            algorithm: Algorithm::Bfs,
+            machines: 1,
+            threads: 16,
+            status: if ok { JobStatus::Completed } else { JobStatus::OutOfMemory },
+            vertices: 100,
+            edges: 1000,
+            upload_secs: 1.0,
+            processing_secs: secs,
+            makespan_secs: secs + 1.0,
+            measured_wall_secs: None,
+            counters: WorkCounters::new(),
+            archive: None,
+        }
+    }
+
+    #[test]
+    fn query_and_success_rate() {
+        let mut db = ResultsDatabase::new();
+        db.insert(fake("spmv", "G22", 0.5, true));
+        db.insert(fake("spmv", "G22", 0.6, true));
+        db.insert(fake("pregel", "G22", 9.0, false));
+        assert_eq!(db.len(), 3);
+        assert!(!db.is_empty());
+        assert_eq!(db.query("spmv", "G22", Algorithm::Bfs).len(), 2);
+        assert_eq!(db.query("spmv", "G23", Algorithm::Bfs).len(), 0);
+        assert!((db.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_export_contains_fields() {
+        let mut db = ResultsDatabase::new();
+        db.insert(fake("native", "R1", 0.25, true));
+        let json = db.to_json();
+        assert!(json.contains("\"platform\": \"native\""));
+        assert!(json.contains("\"eps\""));
+        assert!(json.contains("\"status\": \"completed\""));
+    }
+}

@@ -1,0 +1,165 @@
+//! The benchmark runner: configuration-driven orchestration.
+//!
+//! This is the harness's outermost loop (Figure 1, components 2→5→9):
+//! take a [`BenchmarkConfig`], resolve the platform and workload
+//! selections, run every job through the [`Driver`], and collect a
+//! [`ResultsDatabase`] plus per-job Granula archives. Measured mode
+//! materializes proxy graphs once per dataset and reuses them across
+//! platforms and algorithms.
+
+use std::collections::HashMap;
+
+use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::Csr;
+use graphalytics_engines::{all_platforms, platform_by_name, Platform};
+
+use crate::config::BenchmarkConfig;
+use crate::description::BenchmarkDescription;
+use crate::driver::{Driver, JobSpec, RunMode};
+use crate::proxy;
+use crate::results::ResultsDatabase;
+
+/// How the runner obtains counters for each job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunnerMode {
+    /// Materialize scaled-down proxies and execute for real (validated).
+    Measured,
+    /// Analytic estimation at published dataset sizes.
+    Analytic,
+}
+
+/// Orchestrates a full benchmark run.
+pub struct Runner {
+    pub config: BenchmarkConfig,
+    pub mode: RunnerMode,
+    pub cluster: ClusterSpec,
+}
+
+impl Runner {
+    /// A runner for `config` in the given mode on a single machine.
+    pub fn new(config: BenchmarkConfig, mode: RunnerMode) -> Self {
+        Runner { config, mode, cluster: ClusterSpec::single_machine() }
+    }
+
+    /// Resolves the platform selection (empty = all six).
+    pub fn platforms(&self) -> Vec<Box<dyn Platform>> {
+        if self.config.platforms.is_empty() {
+            return all_platforms();
+        }
+        self.config
+            .platforms
+            .iter()
+            .map(|name| {
+                platform_by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"))
+            })
+            .collect()
+    }
+
+    /// Resolves the workload selection (empty datasets/algorithms = the
+    /// full benchmark description).
+    pub fn description(&self) -> BenchmarkDescription {
+        match (self.config.datasets.is_empty(), self.config.algorithms.is_empty()) {
+            (true, true) => BenchmarkDescription::full(),
+            _ => {
+                let ids: Vec<&str> = if self.config.datasets.is_empty() {
+                    graphalytics_core::datasets::all_datasets().iter().map(|d| d.id).collect()
+                } else {
+                    self.config.datasets.iter().map(String::as_str).collect()
+                };
+                let algorithms = if self.config.algorithms.is_empty() {
+                    graphalytics_core::Algorithm::ALL.to_vec()
+                } else {
+                    self.config.algorithms.clone()
+                };
+                BenchmarkDescription::selection(&ids, &algorithms)
+            }
+        }
+    }
+
+    /// Runs every job and returns the populated results database.
+    pub fn run(&self) -> ResultsDatabase {
+        let driver = Driver { seed: self.config.seed, ..Driver::default() };
+        let platforms = self.platforms();
+        let description = self.description();
+        let mut db = ResultsDatabase::new();
+        // Proxy graphs are expensive: materialize each dataset once.
+        let mut proxies: HashMap<&str, Csr> = HashMap::new();
+        for job in &description.jobs {
+            let csr = if self.mode == RunnerMode::Measured {
+                Some(proxies.entry(job.dataset.id).or_insert_with(|| {
+                    proxy::materialize(job.dataset, self.config.scale_divisor, self.config.seed)
+                        .to_csr()
+                }))
+            } else {
+                None
+            };
+            for platform in &platforms {
+                let spec = JobSpec {
+                    dataset: job.dataset,
+                    algorithm: job.algorithm,
+                    cluster: self.cluster,
+                    run_index: 0,
+                };
+                let mode = match &csr {
+                    Some(csr) => RunMode::Measured { csr },
+                    None => RunMode::Analytic,
+                };
+                db.insert(driver.run(platform.as_ref(), &spec, mode));
+            }
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_driven_measured_run() {
+        let config = BenchmarkConfig::parse(
+            "benchmark.platforms = native, pushpull\n\
+             benchmark.datasets = G22\n\
+             benchmark.algorithms = bfs, wcc, lcc\n\
+             benchmark.scale-divisor = 16384\n",
+        )
+        .unwrap();
+        let runner = Runner::new(config, RunnerMode::Measured);
+        let db = runner.run();
+        // 2 platforms × 3 algorithms; LCC on pushpull is NA but recorded.
+        assert_eq!(db.len(), 6);
+        let ok = db.all().iter().filter(|r| r.status.is_success()).count();
+        assert_eq!(ok, 5);
+        assert!(db
+            .all()
+            .iter()
+            .any(|r| r.platform == "pushpull" && r.status.figure_mark() == "NA"));
+    }
+
+    #[test]
+    fn empty_selections_resolve_to_full_suite() {
+        let runner = Runner::new(BenchmarkConfig::default(), RunnerMode::Analytic);
+        assert_eq!(runner.platforms().len(), 6);
+        assert_eq!(runner.description().len(), BenchmarkDescription::full().len());
+    }
+
+    #[test]
+    fn analytic_run_over_selection() {
+        let config = BenchmarkConfig::parse(
+            "benchmark.datasets = R4\nbenchmark.algorithms = sssp\n",
+        )
+        .unwrap();
+        let runner = Runner::new(config, RunnerMode::Analytic);
+        let db = runner.run();
+        assert_eq!(db.len(), 6, "one job per platform");
+        assert!(db.success_rate() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platform")]
+    fn unknown_platform_panics() {
+        let config =
+            BenchmarkConfig::parse("benchmark.platforms = quantum\n").unwrap();
+        Runner::new(config, RunnerMode::Analytic).platforms();
+    }
+}

@@ -1,0 +1,154 @@
+//! The two-stage workload selection process (Section 2.2.2, Table 1).
+//!
+//! Stage one surveys graph-analysis literature to identify *classes* of
+//! algorithms that are representative of real-world usage; stage two
+//! selects concrete algorithms from the most common classes so the final
+//! set is diverse. The survey data below is Table 1 of the paper verbatim:
+//! a 124-article survey of unweighted-graph papers and a 44-article survey
+//! of weighted-graph papers across ten venues (VLDB, SIGMOD, SC, PPoPP,
+//! ...).
+
+use graphalytics_core::Algorithm;
+
+/// Which survey an algorithm class belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurveyKind {
+    /// First survey: unweighted graphs (124 articles).
+    Unweighted,
+    /// Second survey: weighted graphs (44 articles).
+    Weighted,
+}
+
+/// One class row of Table 1.
+#[derive(Debug, Clone)]
+pub struct AlgorithmClass {
+    pub survey: SurveyKind,
+    pub name: &'static str,
+    /// Algorithms Graphalytics selected from this class (may be empty).
+    pub selected: &'static [Algorithm],
+    /// Number of algorithm occurrences in the survey.
+    pub count: u32,
+    /// Share of the survey, percent (as printed in Table 1).
+    pub percent: f64,
+}
+
+/// Table 1, verbatim.
+pub const SURVEY: &[AlgorithmClass] = &[
+    AlgorithmClass {
+        survey: SurveyKind::Unweighted,
+        name: "Statistics",
+        selected: &[Algorithm::PageRank, Algorithm::Lcc],
+        count: 24,
+        percent: 17.0,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Unweighted,
+        name: "Traversal",
+        selected: &[Algorithm::Bfs],
+        count: 69,
+        percent: 48.9,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Unweighted,
+        name: "Components",
+        selected: &[Algorithm::Wcc, Algorithm::Cdlp],
+        count: 20,
+        percent: 14.2,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Unweighted,
+        name: "Graph Evolution",
+        selected: &[],
+        count: 6,
+        percent: 4.2,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Unweighted,
+        name: "Other",
+        selected: &[],
+        count: 22,
+        percent: 15.6,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Weighted,
+        name: "Distances/Paths",
+        selected: &[Algorithm::Sssp],
+        count: 17,
+        percent: 34.0,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Weighted,
+        name: "Clustering",
+        selected: &[],
+        count: 7,
+        percent: 14.0,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Weighted,
+        name: "Partitioning",
+        selected: &[],
+        count: 5,
+        percent: 10.0,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Weighted,
+        name: "Routing",
+        selected: &[],
+        count: 5,
+        percent: 10.0,
+    },
+    AlgorithmClass {
+        survey: SurveyKind::Weighted,
+        name: "Other",
+        selected: &[],
+        count: 16,
+        percent: 32.0,
+    },
+];
+
+/// Stage two: algorithms selected from the most common classes. Classes
+/// are considered in descending frequency within each survey; classes
+/// with expert-selected candidates contribute them.
+pub fn selected_workload() -> Vec<Algorithm> {
+    let mut by_share: Vec<&AlgorithmClass> = SURVEY.iter().collect();
+    by_share.sort_by(|a, b| b.percent.total_cmp(&a.percent));
+    let mut out = Vec::new();
+    for class in by_share {
+        for &alg in class.selected {
+            if !out.contains(&alg) {
+                out.push(alg);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_totals_match_table1() {
+        let unweighted: u32 =
+            SURVEY.iter().filter(|c| c.survey == SurveyKind::Unweighted).map(|c| c.count).sum();
+        let weighted: u32 =
+            SURVEY.iter().filter(|c| c.survey == SurveyKind::Weighted).map(|c| c.count).sum();
+        assert_eq!(unweighted, 141, "unweighted algorithm occurrences");
+        assert_eq!(weighted, 50, "weighted algorithm occurrences");
+        // Percentages within each survey approximately total 100.
+        let pct: f64 =
+            SURVEY.iter().filter(|c| c.survey == SurveyKind::Unweighted).map(|c| c.percent).sum();
+        assert!((pct - 100.0).abs() < 0.5, "unweighted percent sum {pct}");
+    }
+
+    #[test]
+    fn selection_yields_the_six_core_algorithms() {
+        let selected = selected_workload();
+        assert_eq!(selected.len(), 6);
+        for alg in Algorithm::ALL {
+            assert!(selected.contains(&alg), "{alg} missing from selection");
+        }
+        // Traversal is the most common class, so BFS comes first.
+        assert_eq!(selected[0], Algorithm::Bfs);
+    }
+}

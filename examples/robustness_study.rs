@@ -1,0 +1,39 @@
+//! Robustness study: the stress-test and variability experiments
+//! (Sections 4.6-4.7), plus a Granula archive drill-down for one job —
+//! the fine-grained evaluation view of Section 2.5.2.
+//!
+//! ```text
+//! cargo run --release --example robustness_study
+//! ```
+
+use graphalytics::cluster::ClusterSpec;
+use graphalytics::granula::visualize;
+use graphalytics::harness::experiments::{stress, variability, ExperimentSuite};
+use graphalytics::prelude::*;
+
+fn main() {
+    let suite = ExperimentSuite::new();
+
+    let outcomes = stress::run(&suite);
+    println!("{}", stress::render_table10(&outcomes));
+
+    let v = variability::run(&suite);
+    println!("{}", variability::render_table11(&v));
+
+    // Granula drill-down: one simulated job, rendered as a phase tree.
+    let platform = platform_by_name("Giraph").unwrap();
+    let dataset = graphalytics::core::datasets::dataset("D300").unwrap();
+    let driver = Driver::default();
+    let result = driver.run(
+        platform.as_ref(),
+        &JobSpec {
+            dataset,
+            algorithm: Algorithm::Bfs,
+            cluster: ClusterSpec::single_machine(),
+            run_index: 0,
+        },
+        RunMode::Analytic,
+    );
+    println!("Granula archive for {} BFS on D300(L):", result.paper_analog);
+    println!("{}", visualize::render(result.archive.as_ref().expect("archived")));
+}

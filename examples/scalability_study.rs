@@ -1,0 +1,44 @@
+//! Scalability study: drives the harness's vertical and strong
+//! horizontal scalability experiments (Sections 4.3-4.4) and prints the
+//! paper-style tables, plus the per-platform speedup summary of Table 9.
+//!
+//! ```text
+//! cargo run --release --example scalability_study
+//! ```
+
+use graphalytics::harness::experiments::{strong, vertical, ExperimentSuite};
+use graphalytics::prelude::Algorithm;
+
+fn main() {
+    let suite = ExperimentSuite::without_noise();
+
+    let v = vertical::run(&suite);
+    println!("{}", v.render_fig7());
+    println!("{}", v.render_table9());
+
+    let s = strong::run(&suite);
+    println!("{}", s.render_fig8());
+
+    // Narrative summary, like the paper's key findings.
+    let giraph = s.curve(Algorithm::Bfs, "Giraph");
+    println!("Key findings check:");
+    println!(
+        "- Giraph 1->2 machine cliff: {:.1}s -> {:.1}s ({}x slower)",
+        giraph[0].processing_secs,
+        giraph[1].processing_secs,
+        (giraph[1].processing_secs / giraph[0].processing_secs).round()
+    );
+    let pgxd = s.curve(Algorithm::Bfs, "PGX.D");
+    println!(
+        "- PGX.D fails on 1 machine ({}), reaches {:.2}s at 4 machines",
+        pgxd[0].status.figure_mark(),
+        pgxd[2].processing_secs
+    );
+    let best_bfs = vertical::THREADS
+        .iter()
+        .zip(v.curves[0].1[5].iter())
+        .map(|(t, r)| format!("{t}t={:.2}s", r.processing_secs))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("- PGX.D vertical curve (BFS): {best_bfs}");
+}

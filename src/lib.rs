@@ -1,0 +1,58 @@
+//! # graphalytics
+//!
+//! A from-scratch Rust reproduction of **LDBC Graphalytics** (Iosup et
+//! al., VLDB 2016) — the industrial-grade benchmark for large-scale graph
+//! analysis platforms — together with everything the paper's evaluation
+//! depends on: the harness, the LDBC Datagen and Graph500 generators, the
+//! Granula performance-evaluation framework, and six platform engines
+//! (one per programming model the paper compares).
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`core`] — benchmark specification: data model, the six algorithms,
+//!   validation, scale classes, dataset registry;
+//! * [`graph500`] / [`datagen`] — the two synthetic dataset generators;
+//! * [`cluster`] — the simulated parallel/distributed substrate;
+//! * [`granula`] — fine-grained performance archives;
+//! * [`engines`] — the six platform engines (Pregel, dataflow, GAS, SpMV,
+//!   native, push–pull);
+//! * [`harness`] — drivers, metrics, SLA, the experiment suite, reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use graphalytics::prelude::*;
+//!
+//! // Generate a small Graph500 instance and run BFS on every platform.
+//! let graph = Graph500Config::new(8).generate();
+//! let csr = graph.to_csr();
+//! let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
+//! let params = AlgorithmParams::with_source(root);
+//! let reference = run_reference(&csr, Algorithm::Bfs, &params).unwrap();
+//! for platform in all_platforms() {
+//!     let run = platform.execute(&csr, Algorithm::Bfs, &params, 2).unwrap();
+//!     validate(&reference, &run.output).unwrap().into_result().unwrap();
+//! }
+//! ```
+
+pub use graphalytics_cluster as cluster;
+pub use graphalytics_core as core;
+pub use graphalytics_datagen as datagen;
+pub use graphalytics_engines as engines;
+pub use graphalytics_granula as granula;
+pub use graphalytics_graph500 as graph500;
+pub use graphalytics_harness as harness;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use graphalytics_cluster::ClusterSpec;
+    pub use graphalytics_core::algorithms::run_reference;
+    pub use graphalytics_core::params::{AlgorithmParams, SourceSelection};
+    pub use graphalytics_core::validation::validate;
+    pub use graphalytics_core::{Algorithm, Csr, Graph, GraphBuilder};
+    pub use graphalytics_datagen::DatagenConfig;
+    pub use graphalytics_engines::{all_platforms, platform_by_name, Platform};
+    pub use graphalytics_graph500::Graph500Config;
+    pub use graphalytics_harness::experiments::ExperimentSuite;
+    pub use graphalytics_harness::{Driver, JobSpec, RunMode};
+}

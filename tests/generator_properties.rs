@@ -1,0 +1,153 @@
+//! Property-based tests over the generators, partitioners and benchmark
+//! invariants (proptest).
+
+use proptest::prelude::*;
+
+use graphalytics::cluster::partition::{edge_cut, vertex_cut, PartitionStrategy};
+use graphalytics::core::scale::{class_of, scale_of, SizeClass};
+use graphalytics::core::validation::validate;
+use graphalytics::core::algorithms;
+use graphalytics::graph500::{RmatConfig, VertexPermutation};
+use graphalytics::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rmat_generates_valid_graphs(
+        scale in 5u32..9,
+        edge_factor in 2u32..10,
+        seed in 0u64..1000,
+        directed in proptest::bool::ANY,
+    ) {
+        let g = RmatConfig {
+            scale, edge_factor, a: 0.55, b: 0.2, c: 0.2, seed,
+            directed, weighted: false, keep_isolated: false,
+        }.generate();
+        g.validate().unwrap();
+        // Degree sum equals arcs.
+        let csr = g.to_csr();
+        let degree_sum: usize = (0..csr.num_vertices() as u32)
+            .map(|u| csr.out_degree(u))
+            .sum();
+        prop_assert_eq!(degree_sum, csr.num_arcs());
+    }
+
+    #[test]
+    fn feistel_permutation_is_bijective(bits in 1u32..12, seed in 0u64..500) {
+        let n = 1u64 << bits;
+        let p = VertexPermutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = p.apply(x);
+            prop_assert!(y < n);
+            prop_assert!(!seen[y as usize]);
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn datagen_is_deterministic_and_valid(
+        persons in 50u64..400,
+        seed in 0u64..100,
+    ) {
+        let a = DatagenConfig::with_persons(persons).with_seed(seed).generate();
+        let b = DatagenConfig::with_persons(persons).with_seed(seed).generate();
+        a.validate().unwrap();
+        prop_assert_eq!(a.vertex_count(), persons as usize);
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn partitions_cover_all_vertices(parts in 1u32..16, seed in 0u64..50) {
+        let g = Graph500Config::new(8).with_seed(seed).generate();
+        let csr = g.to_csr();
+        for strategy in [PartitionStrategy::HashEdgeCut, PartitionStrategy::RangeEdgeCut] {
+            let p = edge_cut(&csr, parts, strategy);
+            prop_assert_eq!(p.owner.len(), csr.num_vertices());
+            prop_assert!(p.owner.iter().all(|&o| o < parts));
+            prop_assert!(p.cut_fraction() >= 0.0 && p.cut_fraction() <= 1.0);
+        }
+        let vc = vertex_cut(&csr, parts.min(16));
+        prop_assert!(vc.replication_factor >= 1.0);
+        prop_assert!(vc.replication_factor <= parts as f64);
+    }
+
+    #[test]
+    fn scale_is_monotone_in_size(v1 in 1u64..1_000_000, e1 in 1u64..10_000_000, dv in 0u64..1_000_000, de in 0u64..10_000_000) {
+        let s1 = scale_of(v1, e1);
+        let s2 = scale_of(v1 + dv, e1 + de);
+        prop_assert!(s2 >= s1);
+        prop_assert!(class_of(v1 + dv, e1 + de) >= class_of(v1, e1));
+        prop_assert!(SizeClass::of_scale(s1) == class_of(v1, e1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn algorithm_invariants_on_random_graphs(seed in 0u64..40) {
+        let g = RmatConfig {
+            scale: 7, edge_factor: 6, a: 0.5, b: 0.22, c: 0.2, seed,
+            directed: false, weighted: true, keep_isolated: false,
+        }.generate();
+        let csr = g.to_csr();
+        let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
+        let root_idx = csr.index_of(root).unwrap();
+
+        // BFS triangle inequality along edges.
+        let depths = algorithms::bfs(&csr, root_idx);
+        for u in 0..csr.num_vertices() as u32 {
+            if depths[u as usize] == i64::MAX { continue; }
+            for &v in csr.out_neighbors(u) {
+                prop_assert!(depths[v as usize] <= depths[u as usize] + 1);
+            }
+        }
+
+        // SSSP never exceeds BFS hops × max weight; both agree on
+        // reachability.
+        let dist = algorithms::sssp(&csr, root_idx);
+        let max_w = g.edges().iter().fold(0.0f64, |m, e| m.max(e.weight));
+        for u in 0..csr.num_vertices() {
+            prop_assert_eq!(dist[u].is_finite(), depths[u] != i64::MAX);
+            if dist[u].is_finite() {
+                prop_assert!(dist[u] <= depths[u] as f64 * max_w + 1e-9);
+            }
+        }
+
+        // PageRank conserves probability mass.
+        let pr = algorithms::pagerank(&csr, 8, 0.85);
+        let total: f64 = pr.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(pr.iter().all(|&x| x > 0.0));
+
+        // WCC labels agree along every edge (equivalence relation
+        // refinement) and LCC stays in [0, 1].
+        let wcc = algorithms::wcc(&csr);
+        for e in g.edges() {
+            let (a, b) = (csr.index_of(e.src).unwrap(), csr.index_of(e.dst).unwrap());
+            prop_assert_eq!(wcc[a as usize], wcc[b as usize]);
+        }
+        let lcc = algorithms::lcc(&csr);
+        prop_assert!(lcc.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn validation_accepts_self_and_rejects_perturbation(seed in 0u64..20) {
+        let g = Graph500Config::new(7).with_seed(seed).with_weights(true).generate();
+        let csr = g.to_csr();
+        let params = AlgorithmParams::with_source(csr.id_of(0));
+        for alg in [Algorithm::Bfs, Algorithm::PageRank, Algorithm::Wcc] {
+            let out = run_reference(&csr, alg, &params).unwrap();
+            prop_assert!(validate(&out, &out).unwrap().is_valid());
+        }
+        // Perturbing one PageRank value beyond epsilon must fail.
+        let out = run_reference(&csr, Algorithm::PageRank, &params).unwrap();
+        let mut bad = out.clone();
+        if let graphalytics::core::output::OutputValues::F64(v) = &mut bad.values {
+            v[0] *= 1.5;
+        }
+        prop_assert!(!validate(&out, &bad).unwrap().is_valid());
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end harness runs: configuration → description → proxy
+//! materialization → measured execution → validation → results database →
+//! JSON export → Granula archives.
+
+use graphalytics::cluster::ClusterSpec;
+use graphalytics::harness::config::Properties;
+use graphalytics::harness::results::ResultsDatabase;
+use graphalytics::harness::{proxy, BenchmarkConfig, Driver, JobSpec, RunMode};
+use graphalytics::prelude::*;
+
+#[test]
+fn measured_benchmark_run_end_to_end() {
+    let config = BenchmarkConfig::parse(
+        "benchmark.name = integration\n\
+         benchmark.platforms = native, spmv, gas\n\
+         benchmark.datasets = R1, G22\n\
+         benchmark.algorithms = bfs, pr, wcc\n\
+         benchmark.scale-divisor = 4096\n\
+         benchmark.seed = 99\n",
+    )
+    .unwrap();
+    assert_eq!(config.name, "integration");
+
+    let driver = Driver { seed: config.seed, ..Driver::default() };
+    let mut db = ResultsDatabase::new();
+    for dataset_id in &config.datasets {
+        let dataset = graphalytics::core::datasets::dataset(dataset_id).unwrap();
+        let graph = proxy::materialize(dataset, config.scale_divisor, config.seed);
+        let csr = graph.to_csr();
+        for platform_name in &config.platforms {
+            let platform = platform_by_name(platform_name).unwrap();
+            for &algorithm in &config.algorithms {
+                if algorithm.needs_weights() && !dataset.weighted {
+                    continue;
+                }
+                let spec = JobSpec {
+                    dataset,
+                    algorithm,
+                    cluster: ClusterSpec::single_machine(),
+                    run_index: 0,
+                };
+                let result = driver.run(platform.as_ref(), &spec, RunMode::Measured { csr: &csr });
+                assert!(
+                    result.status.is_success(),
+                    "{platform_name} {algorithm} on {dataset_id}: {:?}",
+                    result.status
+                );
+                assert!(result.measured_wall_secs.is_some());
+                assert!(result.processing_secs > 0.0);
+                let archive = result.archive.as_ref().expect("granula archive attached");
+                assert!(archive.duration_of("ProcessGraph").is_some());
+                assert!(archive.info("ProcessGraph", "supersteps").is_some());
+                db.insert(result);
+            }
+        }
+    }
+    assert_eq!(db.len(), 3 * 3 * 2); // 3 platforms × 3 algorithms × 2 datasets
+    assert_eq!(db.success_rate(), 1.0);
+    let json = db.to_json();
+    assert!(json.contains("\"dataset\": \"R1\""));
+    assert!(json.contains("\"algorithm\": \"wcc\""));
+    // Granula visualizer renders archives from this run.
+    let any = &db.all()[0];
+    let rendered = graphalytics::granula::visualize::render(any.archive.as_ref().unwrap());
+    assert!(rendered.contains("ProcessGraph"));
+}
+
+#[test]
+fn validation_catches_broken_outputs() {
+    // A platform returning wrong results must be flagged — simulate by
+    // comparing reference outputs of different algorithms.
+    let graph = Graph500Config::new(8).with_seed(5).generate();
+    let csr = graph.to_csr();
+    let params = AlgorithmParams::with_source(csr.id_of(0));
+    let bfs = run_reference(&csr, Algorithm::Bfs, &params).unwrap();
+    let wcc = run_reference(&csr, Algorithm::Wcc, &params).unwrap();
+    assert!(graphalytics::core::validation::validate(&bfs, &wcc).is_err());
+}
+
+#[test]
+fn properties_files_drive_the_workload_selection() {
+    let props = Properties::parse(
+        "# Graphalytics-style config\n\
+         benchmark.name = nightly\n\
+         benchmark.datasets = D300, \\\n    G22\n\
+         benchmark.repetitions = 3\n",
+    )
+    .unwrap();
+    let config = BenchmarkConfig::from_properties(&props).unwrap();
+    assert_eq!(config.datasets, vec!["D300", "G22"]);
+    assert_eq!(config.repetitions, 3);
+    // Defaults survive for unset keys.
+    assert_eq!(config.scale_divisor, 1);
+}
+
+#[test]
+fn sla_and_failure_semantics() {
+    // OOM counts as an SLA break per Section 2.3; an unsupported
+    // algorithm does not produce a result at all.
+    let driver = Driver::default();
+    let gas = platform_by_name("PowerGraph").unwrap();
+    let r5 = graphalytics::core::datasets::dataset("R5").unwrap();
+    let result = driver.run(
+        gas.as_ref(),
+        &JobSpec {
+            dataset: r5,
+            algorithm: Algorithm::Bfs,
+            cluster: ClusterSpec::single_machine(),
+            run_index: 0,
+        },
+        RunMode::Analytic,
+    );
+    assert!(!result.status.is_success());
+    assert_eq!(result.status.figure_mark(), "F");
+
+    let pushpull = platform_by_name("PGX.D").unwrap();
+    let r4 = graphalytics::core::datasets::dataset("R4").unwrap();
+    let result = driver.run(
+        pushpull.as_ref(),
+        &JobSpec {
+            dataset: r4,
+            algorithm: Algorithm::Lcc,
+            cluster: ClusterSpec::single_machine(),
+            run_index: 0,
+        },
+        RunMode::Analytic,
+    );
+    assert_eq!(result.status.figure_mark(), "NA");
+}

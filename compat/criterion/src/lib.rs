@@ -1,0 +1,190 @@
+//! Minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness (offline build environment). Implements the API subset the
+//! workspace benches use — `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`, `bench_with_input`,
+//! `BenchmarkId` — with real wall-clock timing: each benchmark is warmed
+//! up once, then timed over `sample_size` samples, and the median/mean
+//! are printed.
+//!
+//! Unless invoked with `--bench` (which cargo passes under
+//! `cargo bench`) each benchmark body runs exactly once with no timing,
+//! so benches act as smoke tests in the tier-1 suite without costing
+//! bench-grade wall-clock time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state, threaded through `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` when running under `cargo bench`; in
+        // every other context (notably `cargo test` on harness = false
+        // bench targets) run each benchmark once as a smoke test —
+        // the same mode detection real criterion uses.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { test_mode: !bench_mode, default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("\n== group: {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: if self.test_mode { 1 } else { sample_size.max(1) },
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test-mode ok: {id}");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{id}: no samples");
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        println!(
+            "{id}: median {:>12?}  mean {:>12?}  ({} samples)",
+            median,
+            mean,
+            samples.len()
+        );
+    }
+}
+
+/// A named benchmark group, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, n, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, n, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Throughput annotation (accepted, not reported, by this stand-in).
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.iters_per_sample > 1 {
+            drop(routine());
+        }
+        for _ in 0..self.iters_per_sample {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

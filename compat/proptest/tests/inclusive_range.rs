@@ -1,0 +1,16 @@
+//! Regression: a full-domain inclusive range (`0..=u64::MAX`) must
+//! sample without panicking (its span overflows u64), and a degenerate
+//! single-value range must yield that value.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn full_domain_inclusive_range(x in 0u64..=u64::MAX, y in 3u32..=3) {
+        // Drawing x at all is the regression test; the span `u64::MAX+1`
+        // used to panic with a divide-by-zero.
+        let _ = x;
+        prop_assert_eq!(y, 3);
+    }
+}

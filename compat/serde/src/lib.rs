@@ -1,0 +1,10 @@
+//! Minimal stand-in for `serde`, used because the build environment has
+//! no crates.io access. The workspace derives `Serialize` purely as a
+//! marker (actual JSON comes from `graphalytics-granula::json`), so the
+//! trait is empty and the derive is a no-op.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,25 @@
+//! The derives must produce real marker impls: a derived type has to
+//! satisfy a generic `T: Serialize` bound, not just accept the attribute.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize)]
+struct Plain {
+    _x: u32,
+}
+
+#[derive(Serialize, Deserialize)]
+enum Kind {
+    _A,
+    _B,
+}
+
+fn assert_serialize<T: serde::Serialize>() {}
+fn assert_deserialize<T: for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn derived_types_satisfy_bounds() {
+    assert_serialize::<Plain>();
+    assert_serialize::<Kind>();
+    assert_deserialize::<Kind>();
+}

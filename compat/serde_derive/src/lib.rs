@@ -1,0 +1,50 @@
+//! Derive macros for the offline `serde` compat crate. The workspace
+//! only uses `#[derive(Serialize)]` as a marker (its JSON is produced by
+//! the dependency-free writer in `graphalytics-granula`), so the derives
+//! emit an empty marker-trait impl — enough that generic bounds like
+//! `T: serde::Serialize` hold for derived types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword,
+/// plus whether the type has generic parameters (in which case we bail
+/// out and emit nothing rather than produce an ill-formed impl — no
+/// generic type in this workspace derives these traits).
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.next(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return (!generic).then(|| name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}

@@ -1,4 +1,4 @@
-//! A minimal deterministic parallel-for built on crossbeam scoped threads.
+//! A minimal deterministic parallel-for built on std scoped threads.
 //!
 //! Engines parallelize over contiguous dense-index ranges. Contiguous
 //! static partitioning (rather than work stealing) keeps executions
@@ -7,6 +7,14 @@
 //! counts. Each worker returns a result (typically per-thread
 //! `WorkCounters` or message buffers) that the caller merges in thread
 //! order — again deterministic.
+
+/// Splits `0..n` into contiguous ranges for `threads` workers, never
+/// more workers than elements (but at least one range, possibly empty).
+pub fn split_ranges(threads: u32, n: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = (threads.max(1) as usize).min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    (0..workers).map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n)).collect()
+}
 
 /// Splits `0..n` into up to `threads` contiguous ranges and runs `task`
 /// on each concurrently; returns results in range order.
@@ -18,24 +26,19 @@ where
     R: Send,
     F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
 {
-    let threads = threads.max(1) as usize;
-    if threads == 1 || n < 2 {
+    if threads.max(1) == 1 || n < 2 {
         return vec![task(0, 0..n)];
     }
-    let workers = threads.min(n);
-    let chunk = n.div_ceil(workers);
-    let mut slots: Vec<Option<R>> = (0..workers).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (w, slot) in slots.iter_mut().enumerate() {
+    let ranges = split_ranges(threads, n);
+    let mut slots: Vec<Option<R>> = (0..ranges.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((w, slot), range) in slots.iter_mut().enumerate().zip(ranges) {
             let task = &task;
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(n);
-            scope.spawn(move |_| {
-                *slot = Some(task(w, lo..hi));
+            scope.spawn(move || {
+                *slot = Some(task(w, range));
             });
         }
-    })
-    .expect("engine worker panicked");
+    });
     slots.into_iter().map(|s| s.expect("every worker ran")).collect()
 }
 

@@ -28,7 +28,7 @@ use graphalytics_core::{Algorithm, Csr, VertexId};
 
 use graphalytics_cluster::WorkCounters;
 
-use crate::common::par::run_partitioned;
+use crate::common::par::{run_partitioned, split_ranges};
 use crate::platform::{Execution, Platform};
 use crate::profile::PerfProfile;
 
@@ -230,13 +230,6 @@ fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, threads: u32, c: &mut
     rank
 }
 
-/// Splits `0..n` into contiguous ranges for `threads` workers.
-fn split_ranges(threads: u32, n: usize) -> Vec<std::ops::Range<usize>> {
-    let workers = (threads.max(1) as usize).min(n.max(1));
-    let chunk = n.div_ceil(workers);
-    (0..workers).map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n)).collect()
-}
-
 /// Applies `f` per vertex writing into disjoint slices of `out`;
 /// returns total scanned edges.
 fn run_with_output<F>(
@@ -259,12 +252,12 @@ where
         cursor = r.end;
     }
     let mut totals = 0u64;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (slice, r) in slices.into_iter().zip(ranges.iter()) {
             let f = &f;
             let r = r.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut edges = 0u64;
                 for (offset, v) in r.clone().enumerate() {
                     let (val, e) = f(csr, rank, v as u32);
@@ -277,8 +270,7 @@ where
         for h in handles {
             totals += h.join().expect("pagerank worker");
         }
-    })
-    .expect("scope");
+    });
     totals
 }
 

@@ -1,0 +1,117 @@
+//! `graphctl` — command-line client for the graphalytics-service daemon
+//! (the analog of GRAL's `grupload`).
+//!
+//! ```text
+//! graphctl <addr> serve [workers]                  run a daemon in the foreground
+//! graphctl <addr> submit <platform> <dataset> <algorithm> [measured|analytic]
+//! graphctl <addr> status <id>                      one job's record
+//! graphctl <addr> wait <id> [timeout-secs]         block until the job finishes
+//! graphctl <addr> cancel <id>                      cancel a queued job
+//! graphctl <addr> jobs | results | graphs | metrics | health
+//! ```
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use graphalytics_service::{Client, ClientResult, JobMode, Service, ServiceConfig};
+
+const USAGE: &str = "usage: graphctl <addr> <command> [args]
+commands:
+  serve [workers]                                    run a daemon bound to <addr>
+  submit <platform> <dataset> <algorithm> [mode]     enqueue a job (mode: measured|analytic)
+  status <id>                                        one job's record
+  wait <id> [timeout-secs]                           block until the job finishes
+  cancel <id>                                        cancel a queued job
+  jobs                                               list all jobs
+  results                                            results database export
+  graphs                                             resident graph store
+  metrics                                            job/store counters, EPS aggregates
+  health                                             liveness probe";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("graphctl: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (addr, command, rest) = match args {
+        [addr, command, rest @ ..] => (addr.as_str(), command.as_str(), rest),
+        _ => return Err(USAGE.to_string()),
+    };
+    if command == "serve" {
+        return serve(addr, rest);
+    }
+    let client = Client::new(addr);
+    let output = match (command, rest) {
+        ("submit", [platform, dataset, algorithm, rest @ ..]) => {
+            let mode = match rest {
+                [] => JobMode::Measured,
+                [mode] => JobMode::from_str_opt(mode)
+                    .ok_or_else(|| format!("unknown mode {mode:?} (measured|analytic)"))?,
+                _ => return Err(USAGE.to_string()),
+            };
+            let id = client
+                .submit(platform, dataset, algorithm, mode)
+                .map_err(|e| e.to_string())?;
+            print_line(&id.to_string());
+            return Ok(());
+        }
+        ("status", [id]) => client.job(parse_id(id)?),
+        ("wait", [id, rest @ ..]) => {
+            let timeout = match rest {
+                [] => 300,
+                [secs] => secs.parse().map_err(|_| format!("bad timeout {secs:?}"))?,
+                _ => return Err(USAGE.to_string()),
+            };
+            client.wait(parse_id(id)?, Duration::from_secs(timeout))
+        }
+        ("cancel", [id]) => client.cancel(parse_id(id)?),
+        ("jobs", []) => client.jobs(),
+        ("results", []) => client.results(),
+        ("graphs", []) => client.graphs(),
+        ("metrics", []) => client.metrics(),
+        ("health", []) => client.health(),
+        _ => return Err(USAGE.to_string()),
+    };
+    print_json(output)
+}
+
+fn serve(addr: &str, rest: &[String]) -> Result<(), String> {
+    let workers = match rest {
+        [] => 4,
+        [n] => n.parse().map_err(|_| format!("bad worker count {n:?}"))?,
+        _ => return Err(USAGE.to_string()),
+    };
+    let config = ServiceConfig { addr: addr.to_string(), workers, ..ServiceConfig::default() };
+    let service = Service::start(config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!("graphalytics-service listening on {} ({workers} workers)", service.addr());
+    eprintln!("stop with Ctrl-C");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn parse_id(raw: &str) -> Result<u64, String> {
+    raw.parse().map_err(|_| format!("bad job id {raw:?}"))
+}
+
+fn print_json(
+    output: ClientResult<graphalytics_granula::json::Json>,
+) -> Result<(), String> {
+    let value = output.map_err(|e| e.to_string())?;
+    print_line(&value.to_string_pretty());
+    Ok(())
+}
+
+/// `println!` panics when stdout is a closed pipe (`graphctl … | head`);
+/// a CLI should just stop instead.
+fn print_line(text: &str) {
+    let stdout = std::io::stdout();
+    let _ = writeln!(stdout.lock(), "{text}");
+}

@@ -7,7 +7,7 @@
 
 use graphalytics_core::datasets::{all_datasets, DatasetSpec};
 use graphalytics_core::params::AlgorithmParams;
-use graphalytics_core::{Algorithm, Csr};
+use graphalytics_core::{Algorithm, Csr, Error, Result};
 
 /// One benchmark job blueprint: an algorithm on a dataset.
 #[derive(Debug, Clone)]
@@ -64,11 +64,15 @@ impl BenchmarkDescription {
     }
 
     /// A selection of algorithms over a selection of dataset ids.
-    pub fn selection(dataset_ids: &[&str], algorithms: &[Algorithm]) -> Self {
+    ///
+    /// Rejects ids that are not in the registry with
+    /// [`Error::UnknownDataset`] — the service and the config-driven runner
+    /// must refuse bad requests rather than die.
+    pub fn selection(dataset_ids: &[&str], algorithms: &[Algorithm]) -> Result<Self> {
         let mut jobs = Vec::new();
         for id in dataset_ids {
             let dataset = graphalytics_core::datasets::dataset(id)
-                .unwrap_or_else(|| panic!("unknown dataset {id}"));
+                .ok_or_else(|| Error::UnknownDataset(id.to_string()))?;
             for &algorithm in algorithms {
                 if algorithm.needs_weights() && !dataset.weighted {
                     continue;
@@ -76,7 +80,7 @@ impl BenchmarkDescription {
                 jobs.push(JobDescription { dataset, algorithm });
             }
         }
-        BenchmarkDescription { jobs }
+        Ok(BenchmarkDescription { jobs })
     }
 
     /// Number of jobs.
@@ -106,7 +110,8 @@ mod tests {
 
     #[test]
     fn selection_filters_sssp_on_unweighted() {
-        let d = BenchmarkDescription::selection(&["G22"], &[Algorithm::Bfs, Algorithm::Sssp]);
+        let d = BenchmarkDescription::selection(&["G22"], &[Algorithm::Bfs, Algorithm::Sssp])
+            .unwrap();
         assert_eq!(d.len(), 1, "G22 is unweighted; SSSP dropped");
     }
 
@@ -118,15 +123,15 @@ mod tests {
         b.add_edge(1, 0);
         b.add_edge(1, 2);
         let csr = b.build().unwrap().to_csr();
-        let d = BenchmarkDescription::selection(&["R1"], &[Algorithm::Bfs]);
+        let d = BenchmarkDescription::selection(&["R1"], &[Algorithm::Bfs]).unwrap();
         let params = d.jobs[0].params_for(&csr);
         assert_eq!(params.source_vertex, Some(1), "max out-degree root");
         assert_eq!(params.pagerank_iterations, 10);
     }
 
     #[test]
-    #[should_panic(expected = "unknown dataset")]
-    fn unknown_dataset_panics() {
-        BenchmarkDescription::selection(&["R99"], &[Algorithm::Bfs]);
+    fn unknown_dataset_is_rejected() {
+        let err = BenchmarkDescription::selection(&["R99"], &[Algorithm::Bfs]).unwrap_err();
+        assert!(matches!(err, Error::UnknownDataset(ref id) if id == "R99"), "{err}");
     }
 }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use graphalytics_cluster::ClusterSpec;
-use graphalytics_core::Csr;
+use graphalytics_core::{Csr, Error, Result};
 use graphalytics_engines::{all_platforms, platform_by_name, Platform};
 
 use crate::config::BenchmarkConfig;
@@ -41,25 +41,26 @@ impl Runner {
         Runner { config, mode, cluster: ClusterSpec::single_machine() }
     }
 
-    /// Resolves the platform selection (empty = all six).
-    pub fn platforms(&self) -> Vec<Box<dyn Platform>> {
+    /// Resolves the platform selection (empty = all six). Unknown names
+    /// are rejected with [`Error::UnknownPlatform`].
+    pub fn platforms(&self) -> Result<Vec<Box<dyn Platform>>> {
         if self.config.platforms.is_empty() {
-            return all_platforms();
+            return Ok(all_platforms());
         }
         self.config
             .platforms
             .iter()
             .map(|name| {
-                platform_by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"))
+                platform_by_name(name).ok_or_else(|| Error::UnknownPlatform(name.clone()))
             })
             .collect()
     }
 
     /// Resolves the workload selection (empty datasets/algorithms = the
     /// full benchmark description).
-    pub fn description(&self) -> BenchmarkDescription {
+    pub fn description(&self) -> Result<BenchmarkDescription> {
         match (self.config.datasets.is_empty(), self.config.algorithms.is_empty()) {
-            (true, true) => BenchmarkDescription::full(),
+            (true, true) => Ok(BenchmarkDescription::full()),
             _ => {
                 let ids: Vec<&str> = if self.config.datasets.is_empty() {
                     graphalytics_core::datasets::all_datasets().iter().map(|d| d.id).collect()
@@ -76,12 +77,13 @@ impl Runner {
         }
     }
 
-    /// Runs every job and returns the populated results database.
-    pub fn run(&self) -> ResultsDatabase {
+    /// Runs every job and returns the populated results database. Fails
+    /// up front (before any job runs) on unknown platforms or datasets.
+    pub fn run(&self) -> Result<ResultsDatabase> {
         let driver = Driver { seed: self.config.seed, ..Driver::default() };
-        let platforms = self.platforms();
-        let description = self.description();
-        let mut db = ResultsDatabase::new();
+        let platforms = self.platforms()?;
+        let description = self.description()?;
+        let db = ResultsDatabase::new();
         // Proxy graphs are expensive: materialize each dataset once.
         let mut proxies: HashMap<&str, Csr> = HashMap::new();
         for job in &description.jobs {
@@ -107,7 +109,7 @@ impl Runner {
                 db.insert(driver.run(platform.as_ref(), &spec, mode));
             }
         }
-        db
+        Ok(db)
     }
 }
 
@@ -125,7 +127,7 @@ mod tests {
         )
         .unwrap();
         let runner = Runner::new(config, RunnerMode::Measured);
-        let db = runner.run();
+        let db = runner.run().unwrap();
         // 2 platforms × 3 algorithms; LCC on pushpull is NA but recorded.
         assert_eq!(db.len(), 6);
         let ok = db.all().iter().filter(|r| r.status.is_success()).count();
@@ -139,8 +141,8 @@ mod tests {
     #[test]
     fn empty_selections_resolve_to_full_suite() {
         let runner = Runner::new(BenchmarkConfig::default(), RunnerMode::Analytic);
-        assert_eq!(runner.platforms().len(), 6);
-        assert_eq!(runner.description().len(), BenchmarkDescription::full().len());
+        assert_eq!(runner.platforms().unwrap().len(), 6);
+        assert_eq!(runner.description().unwrap().len(), BenchmarkDescription::full().len());
     }
 
     #[test]
@@ -150,16 +152,27 @@ mod tests {
         )
         .unwrap();
         let runner = Runner::new(config, RunnerMode::Analytic);
-        let db = runner.run();
+        let db = runner.run().unwrap();
         assert_eq!(db.len(), 6, "one job per platform");
         assert!(db.success_rate() > 0.5);
     }
 
     #[test]
-    #[should_panic(expected = "unknown platform")]
-    fn unknown_platform_panics() {
+    fn unknown_platform_is_rejected() {
         let config =
             BenchmarkConfig::parse("benchmark.platforms = quantum\n").unwrap();
-        Runner::new(config, RunnerMode::Analytic).platforms();
+        let runner = Runner::new(config, RunnerMode::Analytic);
+        let err = runner.platforms().err().unwrap();
+        assert!(matches!(err, Error::UnknownPlatform(ref n) if n == "quantum"), "{err}");
+        // run() surfaces the same error instead of panicking mid-benchmark.
+        assert!(runner.run().is_err());
+    }
+
+    #[test]
+    fn unknown_dataset_fails_run_up_front() {
+        let config = BenchmarkConfig::parse("benchmark.datasets = R99\n").unwrap();
+        let runner = Runner::new(config, RunnerMode::Analytic);
+        let err = runner.run().err().unwrap();
+        assert!(matches!(err, Error::UnknownDataset(ref id) if id == "R99"), "{err}");
     }
 }

@@ -1,0 +1,409 @@
+//! The HTTP/JSON API surface.
+//!
+//! | method & path        | purpose                                        |
+//! |----------------------|------------------------------------------------|
+//! | `GET /`              | endpoint index                                 |
+//! | `GET /health`        | liveness probe                                 |
+//! | `POST /jobs`         | submit a job (202 + id)                        |
+//! | `GET /jobs`          | list all jobs                                  |
+//! | `GET /jobs/:id`      | one job, with its result when finished         |
+//! | `DELETE /jobs/:id`   | cancel a queued job                            |
+//! | `GET /results`       | the full results database (JSON export)        |
+//! | `GET /graphs`        | resident graph store entries + configuration   |
+//! | `GET /metrics`       | job/store counters and EPS / EVPS aggregates   |
+//!
+//! Requests are validated before they reach the queue: unknown platforms,
+//! datasets and algorithms are 400s, not worker crashes — backed by the
+//! `Result`-based selection paths in the harness.
+
+use graphalytics_core::Algorithm;
+use graphalytics_granula::json::Json;
+use graphalytics_harness::results::result_json;
+
+use crate::http::{Request, Response};
+use crate::jobs::{CancelError, JobMode, JobRecord, JobRequest, JobState};
+use crate::server::ServiceState;
+
+/// Routes one request.
+pub fn handle(state: &ServiceState, request: &Request) -> Response {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) => index(),
+        ("GET", ["health"]) => Response::json(200, &Json::obj(vec![("status", Json::str("ok"))])),
+        ("POST", ["jobs"]) => submit(state, request),
+        ("GET", ["jobs"]) => list_jobs(state),
+        ("GET", ["jobs", id]) => get_job(state, id),
+        ("DELETE", ["jobs", id]) => cancel_job(state, id),
+        ("GET", ["results"]) => Response { status: 200, body: state.results.to_json() },
+        ("GET", ["graphs"]) => graphs(state),
+        ("GET", ["metrics"]) => metrics(state),
+        ("GET" | "POST" | "DELETE", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, format!("method {} not allowed", request.method)),
+    }
+}
+
+fn index() -> Response {
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("service", Json::str("graphalytics-service")),
+            (
+                "endpoints",
+                Json::Arr(
+                    [
+                        "GET /health",
+                        "POST /jobs",
+                        "GET /jobs",
+                        "GET /jobs/:id",
+                        "DELETE /jobs/:id",
+                        "GET /results",
+                        "GET /graphs",
+                        "GET /metrics",
+                    ]
+                    .iter()
+                    .map(|e| Json::str(*e))
+                    .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+/// Parses and validates a submission body into a [`JobRequest`].
+fn parse_submission(body: &str) -> Result<JobRequest, String> {
+    let json = Json::parse(body).map_err(|e| e.to_string())?;
+    let field = |name: &str| -> Result<&str, String> {
+        json.get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing or non-string field `{name}`"))
+    };
+    let platform = field("platform")?;
+    if graphalytics_engines::platform_by_name(platform).is_none() {
+        return Err(format!("unknown platform {platform}"));
+    }
+    let dataset_key = field("dataset")?;
+    let dataset = graphalytics_core::datasets::dataset(dataset_key)
+        .ok_or_else(|| format!("unknown dataset {dataset_key}"))?;
+    let acronym = field("algorithm")?;
+    let algorithm = Algorithm::from_acronym(acronym)
+        .ok_or_else(|| format!("unknown algorithm {acronym}"))?;
+    if algorithm.needs_weights() && !dataset.weighted {
+        return Err(format!(
+            "algorithm {acronym} needs edge weights but dataset {} is unweighted",
+            dataset.id
+        ));
+    }
+    let mode = match json.get("mode") {
+        None => JobMode::default(),
+        Some(value) => value
+            .as_str()
+            .and_then(JobMode::from_str_opt)
+            .ok_or_else(|| "field `mode` must be \"measured\" or \"analytic\"".to_string())?,
+    };
+    Ok(JobRequest {
+        platform: platform.to_string(),
+        dataset: dataset.id.to_string(),
+        algorithm,
+        mode,
+    })
+}
+
+fn submit(state: &ServiceState, request: &Request) -> Response {
+    let Some(body) = request.body_utf8() else {
+        return Response::error(400, "request body is not UTF-8");
+    };
+    match parse_submission(body) {
+        Ok(job) => {
+            let id = state.queue.submit(job);
+            Response::json(
+                202,
+                &Json::obj(vec![
+                    ("id", Json::Num(id as f64)),
+                    ("state", Json::str("queued")),
+                ]),
+            )
+        }
+        Err(message) => Response::error(400, message),
+    }
+}
+
+/// One job as JSON: identity, request, state, and the benchmark result
+/// once the driver has run.
+pub fn job_json(record: &JobRecord) -> Json {
+    let mut fields = vec![
+        ("id".to_string(), Json::Num(record.id as f64)),
+        ("platform".to_string(), Json::str(&record.request.platform)),
+        ("dataset".to_string(), Json::str(&record.request.dataset)),
+        ("algorithm".to_string(), Json::str(record.request.algorithm.acronym())),
+        ("mode".to_string(), Json::str(record.request.mode.as_str())),
+        ("state".to_string(), Json::str(record.state.as_str())),
+    ];
+    if let JobState::Failed(message) = &record.state {
+        fields.push(("error".to_string(), Json::str(message)));
+    }
+    if let Some(result) = &record.result {
+        fields.push(("result".to_string(), result_json(result)));
+    }
+    Json::Obj(fields)
+}
+
+fn list_jobs(state: &ServiceState) -> Response {
+    let jobs: Vec<Json> = state.queue.list().iter().map(job_json).collect();
+    Response::json(200, &Json::obj(vec![("jobs", Json::Arr(jobs))]))
+}
+
+fn parse_id(raw: &str) -> Result<u64, Response> {
+    raw.parse::<u64>().map_err(|_| Response::error(400, format!("malformed job id {raw:?}")))
+}
+
+fn get_job(state: &ServiceState, raw_id: &str) -> Response {
+    let id = match parse_id(raw_id) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    match state.queue.get(id) {
+        Some(record) => Response::json(200, &job_json(&record)),
+        None => Response::error(404, format!("no job {id}")),
+    }
+}
+
+fn cancel_job(state: &ServiceState, raw_id: &str) -> Response {
+    let id = match parse_id(raw_id) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    match state.queue.cancel(id) {
+        Ok(record) => Response::json(200, &job_json(&record)),
+        Err(CancelError::NotFound) => Response::error(404, format!("no job {id}")),
+        Err(CancelError::NotCancellable(job_state)) => {
+            Response::error(409, format!("job {id} is {job_state}, not queued"))
+        }
+    }
+}
+
+fn graphs(state: &ServiceState) -> Response {
+    let config = state.store.config();
+    let rows: Vec<Json> = state
+        .store
+        .list()
+        .iter()
+        .map(|info| {
+            Json::obj(vec![
+                ("dataset", Json::str(&info.dataset)),
+                ("vertices", Json::Num(info.vertices as f64)),
+                ("edges", Json::Num(info.edges as f64)),
+                ("bytes", Json::Num(info.bytes as f64)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("graphs", Json::Arr(rows)),
+            ("capacity_bytes", Json::Num(config.capacity_bytes as f64)),
+            ("scale_divisor", Json::Num(config.scale_divisor as f64)),
+        ]),
+    )
+}
+
+fn metrics(state: &ServiceState) -> Response {
+    let counts = state.queue.counts();
+    let store = state.store.metrics();
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("uptime_secs", Json::Num(state.uptime_secs())),
+            (
+                "jobs",
+                Json::obj(vec![
+                    ("submitted", Json::Num(counts.submitted() as f64)),
+                    ("queued", Json::Num(counts.queued as f64)),
+                    ("running", Json::Num(counts.running as f64)),
+                    ("completed", Json::Num(counts.completed as f64)),
+                    ("failed", Json::Num(counts.failed as f64)),
+                    ("cancelled", Json::Num(counts.cancelled as f64)),
+                ]),
+            ),
+            (
+                "store",
+                Json::obj(vec![
+                    ("hits", Json::Num(store.hits as f64)),
+                    ("misses", Json::Num(store.misses as f64)),
+                    ("generations", Json::Num(store.generations as f64)),
+                    ("evictions", Json::Num(store.evictions as f64)),
+                    ("resident_bytes", Json::Num(store.resident_bytes as f64)),
+                    ("entries", Json::Num(store.entries as f64)),
+                ]),
+            ),
+            ("results", results_aggregates(state)),
+        ]),
+    )
+}
+
+/// EPS / EVPS aggregates over successful results, overall and per
+/// platform (the paper's throughput metrics, served live). Computed with
+/// a no-clone fold: `/metrics` is the polled endpoint and must not copy
+/// every stored result (and its archive) per call.
+fn results_aggregates(state: &ServiceState) -> Json {
+    #[derive(Default)]
+    struct Agg {
+        count: u64,
+        successful: u64,
+        eps_sum: f64,
+        evps_sum: f64,
+        /// platform → (jobs, Σeps, Σevps); BTreeMap for sorted output.
+        per_platform: std::collections::BTreeMap<String, (u64, f64, f64)>,
+    }
+    let agg = state.results.fold(Agg::default(), |mut agg, r| {
+        agg.count += 1;
+        if r.status.is_success() {
+            agg.successful += 1;
+            let (eps, evps) = (r.eps(), r.evps());
+            agg.eps_sum += eps;
+            agg.evps_sum += evps;
+            let row = agg.per_platform.entry(r.platform.clone()).or_default();
+            row.0 += 1;
+            row.1 += eps;
+            row.2 += evps;
+        }
+        agg
+    });
+    let mean = |sum: f64| -> Json {
+        if agg.successful == 0 {
+            Json::Null
+        } else {
+            Json::Num(sum / agg.successful as f64)
+        }
+    };
+    let per_platform: Vec<Json> = agg
+        .per_platform
+        .iter()
+        .map(|(name, (jobs, eps_sum, evps_sum))| {
+            Json::obj(vec![
+                ("platform", Json::str(name)),
+                ("jobs", Json::Num(*jobs as f64)),
+                ("mean_eps", Json::Num(eps_sum / *jobs as f64)),
+                ("mean_evps", Json::Num(evps_sum / *jobs as f64)),
+            ])
+        })
+        .collect();
+    let success_rate =
+        if agg.count == 0 { 1.0 } else { agg.successful as f64 / agg.count as f64 };
+    Json::obj(vec![
+        ("count", Json::Num(agg.count as f64)),
+        ("successful", Json::Num(agg.successful as f64)),
+        ("success_rate", Json::Num(success_rate)),
+        ("mean_eps", mean(agg.eps_sum)),
+        ("mean_evps", mean(agg.evps_sum)),
+        ("per_platform", Json::Arr(per_platform)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServiceConfig, ServiceState};
+
+    fn state() -> ServiceState {
+        ServiceState::new(&ServiceConfig::default())
+    }
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), headers: vec![], body: vec![] }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn index_and_health() {
+        let state = state();
+        let resp = handle(&state, &get("/"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("POST /jobs"));
+        let resp = handle(&state, &get("/health"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn submission_validation() {
+        let state = state();
+        let cases = [
+            ("not json at all", "JSON parse error"),
+            (r#"{"dataset":"G22","algorithm":"bfs"}"#, "missing or non-string field `platform`"),
+            (r#"{"platform":"quantum","dataset":"G22","algorithm":"bfs"}"#, "unknown platform"),
+            (r#"{"platform":"native","dataset":"R99","algorithm":"bfs"}"#, "unknown dataset"),
+            (r#"{"platform":"native","dataset":"G22","algorithm":"dfs"}"#, "unknown algorithm"),
+            (r#"{"platform":"native","dataset":"G22","algorithm":"sssp"}"#, "needs edge weights"),
+            (
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","mode":"warp"}"#,
+                "field `mode` must be",
+            ),
+        ];
+        for (body, expected) in cases {
+            let resp = handle(&state, &post("/jobs", body));
+            assert_eq!(resp.status, 400, "{body}");
+            assert!(resp.body.contains(expected), "{body} → {}", resp.body);
+        }
+        assert_eq!(state.queue.counts().submitted(), 0, "nothing reached the queue");
+    }
+
+    #[test]
+    fn accepted_submission_is_queued() {
+        let state = state();
+        let resp = handle(
+            &state,
+            &post("/jobs", r#"{"platform":"GraphMat","dataset":"graph500-22","algorithm":"pr"}"#),
+        );
+        assert_eq!(resp.status, 202);
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("id").and_then(Json::as_u64), Some(1));
+        // Paper analogue and dataset name normalize to model name and id.
+        let record = state.queue.get(1).unwrap();
+        assert_eq!(record.request.dataset, "G22");
+        assert_eq!(record.request.mode, JobMode::Measured);
+        let listed = handle(&state, &get("/jobs"));
+        assert!(listed.body.contains("\"pr\""));
+    }
+
+    #[test]
+    fn job_lookup_and_cancel_errors() {
+        let state = state();
+        assert_eq!(handle(&state, &get("/jobs/1")).status, 404);
+        assert_eq!(handle(&state, &get("/jobs/one")).status, 400);
+        let del =
+            Request { method: "DELETE".into(), path: "/jobs/9".into(), headers: vec![], body: vec![] };
+        assert_eq!(handle(&state, &del).status, 404);
+        assert_eq!(handle(&state, &get("/nope")).status, 404);
+        let patch =
+            Request { method: "PATCH".into(), path: "/jobs".into(), headers: vec![], body: vec![] };
+        assert_eq!(handle(&state, &patch).status, 405);
+    }
+
+    #[test]
+    fn metrics_shape_when_empty() {
+        let state = state();
+        let resp = handle(&state, &get("/metrics"));
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("jobs").and_then(|j| j.get("submitted")), Some(&Json::Num(0.0)));
+        assert_eq!(body.get("store").and_then(|s| s.get("generations")), Some(&Json::Num(0.0)));
+        let results = body.get("results").unwrap();
+        assert_eq!(results.get("mean_eps"), Some(&Json::Null));
+        assert_eq!(results.get("success_rate"), Some(&Json::Num(1.0)));
+    }
+
+    #[test]
+    fn graphs_listing_shape() {
+        let state = state();
+        let resp = handle(&state, &get("/graphs"));
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("graphs"), Some(&Json::Arr(vec![])));
+        assert!(body.get("scale_divisor").and_then(Json::as_u64).unwrap() > 0);
+    }
+}

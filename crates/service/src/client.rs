@@ -1,0 +1,200 @@
+//! The client library (`grupload` analog): a thin, blocking HTTP client
+//! for the service API, used by the `graphctl` CLI and the loopback
+//! integration tests.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use graphalytics_granula::json::Json;
+
+use crate::http::read_response;
+use crate::jobs::JobMode;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The server answered, but not with what the protocol promises.
+    Protocol(String),
+    /// The server rejected the request (4xx/5xx) with an error message.
+    Api { status: u16, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Api { status, message } => write!(f, "server error {status}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking API client. One TCP connection per call (the server closes
+/// after each response), so the client itself is stateless and cheap.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`"127.0.0.1:8077"` or anything
+    /// `TcpStream::connect` accepts).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// The target address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One round trip. 4xx/5xx responses become [`ClientError::Api`] with
+    /// the server's `error` message.
+    pub fn request(&self, method: &str, path: &str, body: Option<&Json>) -> ClientResult<Json> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let mut writer = BufWriter::new(&stream);
+        let payload = body.map(Json::to_string_compact).unwrap_or_default();
+        write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            self.addr,
+            payload.len(),
+        )?;
+        writer.flush()?;
+        let mut reader = BufReader::new(&stream);
+        let (status, text) = read_response(&mut reader)?;
+        let json = if text.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(&text)
+                .map_err(|e| ClientError::Protocol(format!("bad response body: {e}")))?
+        };
+        if status >= 400 {
+            let message = json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("(no error message)")
+                .to_string();
+            return Err(ClientError::Api { status, message });
+        }
+        Ok(json)
+    }
+
+    /// Submits a job and returns its id.
+    pub fn submit(
+        &self,
+        platform: &str,
+        dataset: &str,
+        algorithm: &str,
+        mode: JobMode,
+    ) -> ClientResult<u64> {
+        let body = Json::obj(vec![
+            ("platform", Json::str(platform)),
+            ("dataset", Json::str(dataset)),
+            ("algorithm", Json::str(algorithm)),
+            ("mode", Json::str(mode.as_str())),
+        ]);
+        let response = self.request("POST", "/jobs", Some(&body))?;
+        response
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submission response carries no id".to_string()))
+    }
+
+    /// One job's current record.
+    pub fn job(&self, id: u64) -> ClientResult<Json> {
+        self.request("GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// Polls until the job reaches a terminal state or `timeout` elapses.
+    /// Polling backs off exponentially (10 ms doubling to a 1 s ceiling):
+    /// every poll is a fresh connection and a server thread, so waiting on
+    /// an hours-long job must not hammer the daemon 100× a second.
+    pub fn wait(&self, id: u64, timeout: Duration) -> ClientResult<Json> {
+        let deadline = Instant::now() + timeout;
+        let mut interval = Duration::from_millis(10);
+        loop {
+            let record = self.job(id)?;
+            match record.get("state").and_then(Json::as_str) {
+                Some("queued" | "running") => {}
+                Some(_) => return Ok(record),
+                None => {
+                    return Err(ClientError::Protocol("job record carries no state".to_string()))
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Protocol(format!(
+                    "job {id} still not finished after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(interval);
+            interval = (interval * 2).min(Duration::from_secs(1));
+        }
+    }
+
+    /// Cancels a queued job.
+    pub fn cancel(&self, id: u64) -> ClientResult<Json> {
+        self.request("DELETE", &format!("/jobs/{id}"), None)
+    }
+
+    /// All jobs.
+    pub fn jobs(&self) -> ClientResult<Json> {
+        self.request("GET", "/jobs", None)
+    }
+
+    /// The results database export.
+    pub fn results(&self) -> ClientResult<Json> {
+        self.request("GET", "/results", None)
+    }
+
+    /// The resident graph listing.
+    pub fn graphs(&self) -> ClientResult<Json> {
+        self.request("GET", "/graphs", None)
+    }
+
+    /// Service metrics.
+    pub fn metrics(&self) -> ClientResult<Json> {
+        self.request("GET", "/metrics", None)
+    }
+
+    /// Liveness probe.
+    pub fn health(&self) -> ClientResult<Json> {
+        self.request("GET", "/health", None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_failure_is_io_error() {
+        // Reserved port 1 on loopback: nothing listens there.
+        let client = Client::new("127.0.0.1:1");
+        match client.health() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_forms() {
+        let e = ClientError::Api { status: 400, message: "unknown dataset R99".into() };
+        assert_eq!(e.to_string(), "server error 400: unknown dataset R99");
+        let e = ClientError::Protocol("no id".into());
+        assert!(e.to_string().contains("no id"));
+    }
+}

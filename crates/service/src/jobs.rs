@@ -1,0 +1,344 @@
+//! The asynchronous job queue.
+//!
+//! A job is one `(platform, dataset, algorithm, mode)` benchmark request.
+//! Submission is non-blocking: the queue assigns an id and a worker pool
+//! (see `server`) executes jobs through the existing harness
+//! [`Driver`](graphalytics_harness::Driver), recording into the shared
+//! results database. Clients poll job state and can cancel while queued.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use graphalytics_core::Algorithm;
+use graphalytics_harness::JobResult;
+
+/// How the driver obtains counters for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobMode {
+    /// Materialize (or reuse from the store) a proxy graph and execute
+    /// for real, with output validation.
+    #[default]
+    Measured,
+    /// Analytic counter estimation at the published dataset size.
+    Analytic,
+}
+
+impl JobMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobMode::Measured => "measured",
+            JobMode::Analytic => "analytic",
+        }
+    }
+
+    pub fn from_str_opt(s: &str) -> Option<JobMode> {
+        match s {
+            "measured" => Some(JobMode::Measured),
+            "analytic" => Some(JobMode::Analytic),
+            _ => None,
+        }
+    }
+}
+
+/// A validated job submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Engine model name or paper analogue (`"spmv"`, `"GraphMat"`).
+    pub platform: String,
+    /// Registry dataset id or name (`"G22"`, `"graph500-22"`).
+    pub dataset: String,
+    pub algorithm: Algorithm,
+    pub mode: JobMode,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    /// The driver ran to completion; the benchmark-level verdict
+    /// (completed / unsupported / oom / …) lives in the attached result.
+    Completed,
+    /// The request could not be executed at all.
+    Failed(String),
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// True once the job will never change state again.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// One job as tracked by the queue.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub id: u64,
+    pub request: JobRequest,
+    pub state: JobState,
+    /// Present once the state is `Completed`.
+    pub result: Option<JobResult>,
+}
+
+/// Why a cancellation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelError {
+    NotFound,
+    /// The job already left the queue; carries the state it was in.
+    NotCancellable(&'static str),
+}
+
+/// Job counts by state, for the metrics endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    pub queued: u64,
+    pub running: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+}
+
+impl JobCounts {
+    pub fn submitted(&self) -> u64 {
+        self.queued + self.running + self.completed + self.failed + self.cancelled
+    }
+}
+
+#[derive(Default)]
+struct QueueInner {
+    next_id: u64,
+    pending: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+}
+
+/// The thread-safe job queue.
+#[derive(Default)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    stopping: AtomicBool,
+}
+
+impl JobQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a request and returns its job id.
+    pub fn submit(&self, request: JobRequest) -> u64 {
+        let mut inner = self.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(id, JobRecord { id, request, state: JobState::Queued, result: None });
+        inner.pending.push_back(id);
+        drop(inner);
+        self.ready.notify_one();
+        id
+    }
+
+    /// A snapshot of one job.
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.lock().jobs.get(&id).cloned()
+    }
+
+    /// Snapshots of all jobs, in submission order.
+    pub fn list(&self) -> Vec<JobRecord> {
+        let inner = self.lock();
+        let mut jobs: Vec<JobRecord> = inner.jobs.values().cloned().collect();
+        jobs.sort_by_key(|j| j.id);
+        jobs
+    }
+
+    /// Cancels a job that is still queued.
+    pub fn cancel(&self, id: u64) -> Result<JobRecord, CancelError> {
+        let mut inner = self.lock();
+        let record = inner.jobs.get_mut(&id).ok_or(CancelError::NotFound)?;
+        if record.state != JobState::Queued {
+            return Err(CancelError::NotCancellable(record.state.as_str()));
+        }
+        record.state = JobState::Cancelled;
+        let record = record.clone();
+        // The id stays in `pending`; `next_job` skips cancelled entries.
+        Ok(record)
+    }
+
+    /// Job counts by state.
+    pub fn counts(&self) -> JobCounts {
+        let inner = self.lock();
+        let mut counts = JobCounts::default();
+        for job in inner.jobs.values() {
+            match job.state {
+                JobState::Queued => counts.queued += 1,
+                JobState::Running => counts.running += 1,
+                JobState::Completed => counts.completed += 1,
+                JobState::Failed(_) => counts.failed += 1,
+                JobState::Cancelled => counts.cancelled += 1,
+            }
+        }
+        counts
+    }
+
+    /// Blocks until a job is available (marking it `Running`) or the queue
+    /// shuts down (`None`). Worker-pool entry point. After `shutdown` the
+    /// backlog is *abandoned*, not drained: a daemon being stopped must
+    /// not first execute hours of queued benchmarks.
+    pub fn next_job(&self) -> Option<(u64, JobRequest)> {
+        let mut inner = self.lock();
+        loop {
+            if self.stopping.load(Ordering::SeqCst) {
+                return None;
+            }
+            while let Some(id) = inner.pending.pop_front() {
+                if let Some(record) = inner.jobs.get_mut(&id) {
+                    if record.state == JobState::Queued {
+                        record.state = JobState::Running;
+                        return Some((id, record.request.clone()));
+                    }
+                    // Cancelled while queued: skip.
+                }
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Records the outcome of a running job.
+    pub fn finish(&self, id: u64, state: JobState, result: Option<JobResult>) {
+        debug_assert!(state.is_terminal());
+        let mut inner = self.lock();
+        if let Some(record) = inner.jobs.get_mut(&id) {
+            record.state = state;
+            record.result = result;
+        }
+    }
+
+    /// Wakes all workers and makes every subsequent `next_job` return
+    /// `None`; still-queued jobs are never dispatched.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(alg: Algorithm) -> JobRequest {
+        JobRequest {
+            platform: "native".into(),
+            dataset: "G22".into(),
+            algorithm: alg,
+            mode: JobMode::Measured,
+        }
+    }
+
+    #[test]
+    fn submit_assigns_sequential_ids() {
+        let q = JobQueue::new();
+        assert_eq!(q.submit(request(Algorithm::Bfs)), 1);
+        assert_eq!(q.submit(request(Algorithm::Wcc)), 2);
+        assert_eq!(q.counts().queued, 2);
+        assert_eq!(q.list().len(), 2);
+        assert_eq!(q.get(1).unwrap().state, JobState::Queued);
+        assert!(q.get(99).is_none());
+    }
+
+    #[test]
+    fn fifo_dispatch_and_finish() {
+        let q = JobQueue::new();
+        let a = q.submit(request(Algorithm::Bfs));
+        let b = q.submit(request(Algorithm::Wcc));
+        let (id1, req1) = q.next_job().unwrap();
+        assert_eq!((id1, req1.algorithm), (a, Algorithm::Bfs));
+        assert_eq!(q.get(a).unwrap().state, JobState::Running);
+        q.finish(a, JobState::Completed, None);
+        assert_eq!(q.get(a).unwrap().state, JobState::Completed);
+        let (id2, _) = q.next_job().unwrap();
+        assert_eq!(id2, b);
+        q.finish(b, JobState::Failed("boom".into()), None);
+        let counts = q.counts();
+        assert_eq!((counts.completed, counts.failed, counts.submitted()), (1, 1, 2));
+    }
+
+    #[test]
+    fn cancel_only_while_queued() {
+        let q = JobQueue::new();
+        let a = q.submit(request(Algorithm::Bfs));
+        let b = q.submit(request(Algorithm::Wcc));
+        // Cancel a queued job: it never dispatches.
+        assert_eq!(q.cancel(b).map(|r| r.state).ok(), Some(JobState::Cancelled));
+        assert_eq!(q.cancel(b).err(), Some(CancelError::NotCancellable("cancelled")));
+        assert_eq!(q.cancel(42).err(), Some(CancelError::NotFound));
+        let (id, _) = q.next_job().unwrap();
+        assert_eq!(id, a);
+        // Running jobs cannot be cancelled.
+        assert_eq!(q.cancel(a).err(), Some(CancelError::NotCancellable("running")));
+        // The cancelled job is skipped: the next dispatch is a later one.
+        let c = q.submit(request(Algorithm::PageRank));
+        let (id, _) = q.next_job().unwrap();
+        assert_eq!(id, c, "cancelled job is never dispatched");
+    }
+
+    #[test]
+    fn workers_block_until_submission() {
+        let q = JobQueue::new();
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| q.next_job());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.submit(request(Algorithm::PageRank));
+            let (id, req) = consumer.join().unwrap().unwrap();
+            assert_eq!(id, 1);
+            assert_eq!(req.algorithm, Algorithm::PageRank);
+        });
+    }
+
+    #[test]
+    fn shutdown_abandons_queued_backlog() {
+        let q = JobQueue::new();
+        q.submit(request(Algorithm::Bfs));
+        q.submit(request(Algorithm::Wcc));
+        q.shutdown();
+        assert!(q.next_job().is_none(), "backlog must not be drained after shutdown");
+        assert_eq!(q.counts().queued, 2, "abandoned jobs stay queued");
+    }
+
+    #[test]
+    fn shutdown_releases_blocked_workers() {
+        let q = JobQueue::new();
+        std::thread::scope(|scope| {
+            let w1 = scope.spawn(|| q.next_job());
+            let w2 = scope.spawn(|| q.next_job());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.shutdown();
+            assert!(w1.join().unwrap().is_none());
+            assert!(w2.join().unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn mode_and_state_strings() {
+        assert_eq!(JobMode::Measured.as_str(), "measured");
+        assert_eq!(JobMode::from_str_opt("analytic"), Some(JobMode::Analytic));
+        assert_eq!(JobMode::from_str_opt("nope"), None);
+        assert!(JobState::Failed("x".into()).is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert_eq!(JobState::Queued.as_str(), "queued");
+    }
+}

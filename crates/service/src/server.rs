@@ -1,0 +1,220 @@
+//! The daemon: TCP accept loop, worker pool, shared state.
+//!
+//! [`Service::start`] binds a `TcpListener` (port 0 gives an ephemeral
+//! port), spawns the accept loop and a configurable pool of job workers,
+//! and returns a [`ServiceHandle`] for address discovery and graceful
+//! shutdown. The architecture mirrors GRAL's single-process, RAM-only
+//! server: all state — cached graphs, the job table, the results
+//! database — lives in one [`ServiceState`] shared across threads.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use graphalytics_cluster::ClusterSpec;
+use graphalytics_engines::platform_by_name;
+use graphalytics_harness::{Driver, JobResult, JobSpec, ResultsDatabase, RunMode};
+
+use crate::api;
+use crate::http::{Request, Response};
+use crate::jobs::{JobMode, JobQueue, JobRequest, JobState};
+use crate::store::{GraphStore, GraphStoreConfig};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 selects an ephemeral port.
+    pub addr: String,
+    /// Job worker threads (concurrent benchmark executions).
+    pub workers: usize,
+    pub store: GraphStoreConfig,
+    /// Driver seed (noise streams and proxy generation).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            store: GraphStoreConfig::default(),
+            seed: 0xB5ED,
+        }
+    }
+}
+
+/// Everything the API and the workers share.
+pub struct ServiceState {
+    pub store: GraphStore,
+    pub queue: JobQueue,
+    pub results: ResultsDatabase,
+    pub seed: u64,
+    started: Instant,
+}
+
+impl ServiceState {
+    pub fn new(config: &ServiceConfig) -> Self {
+        ServiceState {
+            store: GraphStore::new(config.store),
+            queue: JobQueue::new(),
+            results: ResultsDatabase::new(),
+            seed: config.seed,
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since the daemon started.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Executes one validated job request through the harness driver.
+    /// `Err` is a request-level failure (the driver never ran); benchmark
+    /// verdicts (oom, unsupported, …) come back inside the `JobResult`.
+    pub fn execute(&self, request: &JobRequest) -> Result<JobResult, String> {
+        let dataset = graphalytics_core::datasets::dataset(&request.dataset)
+            .ok_or_else(|| format!("unknown dataset {}", request.dataset))?;
+        let platform = platform_by_name(&request.platform)
+            .ok_or_else(|| format!("unknown platform {}", request.platform))?;
+        let driver = Driver { seed: self.seed, ..Driver::default() };
+        let spec = JobSpec {
+            dataset,
+            algorithm: request.algorithm,
+            cluster: ClusterSpec::single_machine(),
+            run_index: 0,
+        };
+        let result = match request.mode {
+            JobMode::Analytic => driver.run(platform.as_ref(), &spec, RunMode::Analytic),
+            JobMode::Measured => {
+                let csr = self.store.get(dataset);
+                driver.run(platform.as_ref(), &spec, RunMode::Measured { csr: &csr })
+            }
+        };
+        Ok(result)
+    }
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down.
+pub struct Service {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Binds, spawns the accept loop and the worker pool, and returns.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Service> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServiceState::new(&config));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut threads = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let state = state.clone();
+            threads.push(std::thread::spawn(move || worker_loop(&state)));
+        }
+        {
+            let state = state.clone();
+            let stop = stop.clone();
+            threads.push(std::thread::spawn(move || accept_loop(listener, &state, &stop)));
+        }
+        Ok(Service { addr, state, stop, threads })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for in-process inspection.
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Stops accepting connections, drains workers, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.state.queue.shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn worker_loop(state: &ServiceState) {
+    while let Some((id, request)) = state.queue.next_job() {
+        // A panicking engine must cost one job, not a pool thread: an
+        // unwinding worker would leave the job `running` forever and
+        // silently shrink the pool until the daemon stops executing.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.execute(&request)
+        }))
+        .unwrap_or_else(|panic| Err(panic_message(&panic)));
+        match outcome {
+            Ok(mut result) => {
+                state.results.insert(result.clone());
+                // The queue's copy only feeds `GET /jobs/:id`, which never
+                // renders the Granula archive — keep the archive once, in
+                // the results database, instead of twice per job forever.
+                result.archive = None;
+                state.queue.finish(id, JobState::Completed, Some(result));
+            }
+            Err(message) => state.queue.finish(id, JobState::Failed(message), None),
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    let detail = panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("(non-string panic payload)");
+    format!("job panicked: {detail}")
+}
+
+fn accept_loop(listener: TcpListener, state: &Arc<ServiceState>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = state.clone();
+        // Connections are short-lived (one request, `Connection: close`),
+        // so thread-per-connection keeps the daemon dependency-free
+        // without an accept backlog.
+        std::thread::spawn(move || handle_connection(&state, stream));
+    }
+}
+
+fn handle_connection(state: &ServiceState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(&stream);
+    let response = match Request::read(&mut reader) {
+        Ok(Some(request)) => api::handle(state, &request),
+        Ok(None) => return,
+        Err(e) => Response::error(400, e.to_string()),
+    };
+    let mut writer = BufWriter::new(&stream);
+    // The client may already be gone; nothing useful to do about it.
+    let _ = response.write(&mut writer);
+}

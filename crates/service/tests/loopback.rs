@@ -1,0 +1,203 @@
+//! Loopback integration tests: a real daemon on an ephemeral port,
+//! hammered through the client library.
+//!
+//! The acceptance scenario: ≥ 8 concurrent submissions across ≥ 2
+//! platforms and ≥ 3 algorithms, every dataset generated exactly once
+//! (observed through the `GET /metrics` cache counters), and every job
+//! completing with a validated result.
+//!
+//! Run with `--test-threads=1`: each test owns a daemon, and serial
+//! execution keeps graph generation times (and therefore poll timeouts)
+//! predictable on small CI machines.
+
+use std::time::Duration;
+
+use graphalytics_granula::json::Json;
+use graphalytics_service::{Client, GraphStoreConfig, JobMode, Service, ServiceConfig};
+
+fn start_service(workers: usize) -> (Service, Client) {
+    let service = Service::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        store: GraphStoreConfig { scale_divisor: 8192, ..GraphStoreConfig::default() },
+        seed: 0xB5ED,
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(service.addr().to_string());
+    (service, client)
+}
+
+#[test]
+fn concurrent_jobs_share_generated_graphs() {
+    let (service, client) = start_service(4);
+
+    // 2 datasets × 2 platforms × 3 algorithms = 12 measured jobs, all
+    // submitted up front from parallel client threads.
+    let datasets = ["G22", "R1"];
+    let platforms = ["native", "spmv"];
+    let algorithms = ["bfs", "pr", "wcc"];
+    let mut ids = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for dataset in datasets {
+            for platform in platforms {
+                for algorithm in algorithms {
+                    let client = &client;
+                    handles.push(scope.spawn(move || {
+                        client
+                            .submit(platform, dataset, algorithm, JobMode::Measured)
+                            .expect("submission accepted")
+                    }));
+                }
+            }
+        }
+        for handle in handles {
+            ids.push(handle.join().unwrap());
+        }
+    });
+    assert_eq!(ids.len(), 12);
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 12, "every submission got a distinct id");
+
+    // Every job finishes and carries a validated (completed) result.
+    for id in &ids {
+        let record = client.wait(*id, Duration::from_secs(120)).expect("job finishes");
+        assert_eq!(
+            record.get("state").and_then(Json::as_str),
+            Some("completed"),
+            "job {id}: {record:?}"
+        );
+        let result = record.get("result").expect("completed job carries a result");
+        assert_eq!(
+            result.get("status").and_then(Json::as_str),
+            Some("completed"),
+            "job {id} validated: {result:?}"
+        );
+        assert!(result.get("eps").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(result.get("measured_wall_secs").and_then(Json::as_f64).is_some());
+    }
+
+    // The cache generated each dataset exactly once: 2 misses, 10 hits.
+    let metrics = client.metrics().expect("metrics");
+    let store = metrics.get("store").unwrap();
+    assert_eq!(store.get("generations").and_then(Json::as_u64), Some(2), "{metrics:?}");
+    assert_eq!(store.get("misses").and_then(Json::as_u64), Some(2));
+    assert_eq!(store.get("hits").and_then(Json::as_u64), Some(10));
+    assert_eq!(store.get("evictions").and_then(Json::as_u64), Some(0));
+    let jobs = metrics.get("jobs").unwrap();
+    assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(12));
+    assert_eq!(jobs.get("failed").and_then(Json::as_u64), Some(0));
+
+    // EPS/EVPS aggregates cover both platforms.
+    let results = metrics.get("results").unwrap();
+    assert_eq!(results.get("successful").and_then(Json::as_u64), Some(12));
+    assert!(results.get("mean_eps").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(results.get("mean_evps").and_then(Json::as_f64).unwrap() > 0.0);
+    let per_platform = results.get("per_platform").and_then(Json::as_arr).unwrap();
+    let names: Vec<_> = per_platform
+        .iter()
+        .map(|p| p.get("platform").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(names, vec!["native", "spmv"]);
+
+    // Both graphs are resident and listed.
+    let graphs = client.graphs().expect("graphs");
+    let rows = graphs.get("graphs").and_then(Json::as_arr).unwrap();
+    let mut resident: Vec<_> =
+        rows.iter().map(|g| g.get("dataset").and_then(Json::as_str).unwrap()).collect();
+    resident.sort_unstable();
+    assert_eq!(resident, vec!["G22", "R1"]);
+
+    // The results database export holds all twelve records.
+    let results = client.results().expect("results export");
+    assert_eq!(results.as_arr().map(<[Json]>::len), Some(12));
+
+    service.shutdown();
+}
+
+#[test]
+fn analytic_jobs_skip_the_graph_store() {
+    let (service, client) = start_service(2);
+    let id = client.submit("pregel", "D300", "pr", JobMode::Analytic).unwrap();
+    let record = client.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(record.get("state").and_then(Json::as_str), Some("completed"));
+    let result = record.get("result").unwrap();
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("completed"));
+    // Analytic runs report the paper-published size and no wall clock.
+    assert_eq!(result.get("vertices").and_then(Json::as_u64), Some(4_350_000));
+    assert_eq!(result.get("measured_wall_secs"), Some(&Json::Null));
+    let store = client.metrics().unwrap().get("store").cloned().unwrap();
+    assert_eq!(store.get("generations").and_then(Json::as_u64), Some(0));
+    service.shutdown();
+}
+
+#[test]
+fn benchmark_verdicts_surface_in_job_results() {
+    let (service, client) = start_service(2);
+    // LCC on the PGX.D-like engine is NA in the paper; the job completes
+    // with an `unsupported` verdict rather than failing the request.
+    let id = client.submit("pushpull", "R2", "lcc", JobMode::Analytic).unwrap();
+    let record = client.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(record.get("state").and_then(Json::as_str), Some("completed"));
+    let result = record.get("result").unwrap();
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("unsupported"));
+    service.shutdown();
+}
+
+#[test]
+fn bad_requests_are_rejected_not_fatal() {
+    let (service, client) = start_service(1);
+    for (platform, dataset, algorithm) in [
+        ("quantum", "G22", "bfs"),
+        ("native", "R99", "bfs"),
+        ("native", "G22", "dfs"),
+        ("native", "G22", "sssp"), // unweighted dataset
+    ] {
+        match client.submit(platform, dataset, algorithm, JobMode::Analytic) {
+            Err(graphalytics_service::ClientError::Api { status: 400, .. }) => {}
+            other => panic!("{platform}/{dataset}/{algorithm}: expected 400, got {other:?}"),
+        }
+    }
+    // Unknown job id and malformed id.
+    match client.job(999) {
+        Err(graphalytics_service::ClientError::Api { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.request("GET", "/jobs/abc", None) {
+        Err(graphalytics_service::ClientError::Api { status: 400, .. }) => {}
+        other => panic!("expected 400, got {other:?}"),
+    }
+    // The daemon survived all of it.
+    assert_eq!(
+        client.health().unwrap().get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+    service.shutdown();
+}
+
+#[test]
+fn queued_jobs_can_be_cancelled() {
+    // Single worker: two heavy head-of-line jobs occupy it while we
+    // cancel a job that is still safely queued behind them.
+    let (service, client) = start_service(1);
+    let first = client.submit("native", "G25", "lcc", JobMode::Measured).unwrap();
+    let second = client.submit("native", "G24", "lcc", JobMode::Measured).unwrap();
+    let victim = client.submit("native", "G23", "pr", JobMode::Measured).unwrap();
+    let cancelled = client.cancel(victim).expect("queued job cancels");
+    assert_eq!(cancelled.get("state").and_then(Json::as_str), Some("cancelled"));
+    // Cancelling again conflicts.
+    match client.cancel(victim) {
+        Err(graphalytics_service::ClientError::Api { status: 409, .. }) => {}
+        other => panic!("expected 409, got {other:?}"),
+    }
+    // The blockers still complete, the cancelled one never runs.
+    for id in [first, second] {
+        let record = client.wait(id, Duration::from_secs(120)).unwrap();
+        assert_eq!(record.get("state").and_then(Json::as_str), Some("completed"));
+    }
+    let jobs = client.metrics().unwrap().get("jobs").cloned().unwrap();
+    assert_eq!(jobs.get("cancelled").and_then(Json::as_u64), Some(1));
+    assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(2));
+    service.shutdown();
+}

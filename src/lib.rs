@@ -16,7 +16,9 @@
 //! * [`granula`] — fine-grained performance archives;
 //! * [`engines`] — the six platform engines (Pregel, dataflow, GAS, SpMV,
 //!   native, push–pull);
-//! * [`harness`] — drivers, metrics, SLA, the experiment suite, reports.
+//! * [`harness`] — drivers, metrics, SLA, the experiment suite, reports;
+//! * [`service`] — the benchmark-as-a-service daemon: job queue, cached
+//!   graph store, HTTP/JSON API, client library.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use graphalytics_engines as engines;
 pub use graphalytics_granula as granula;
 pub use graphalytics_graph500 as graph500;
 pub use graphalytics_harness as harness;
+pub use graphalytics_service as service;
 
 /// The most commonly used items in one import.
 pub mod prelude {

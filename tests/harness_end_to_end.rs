@@ -22,7 +22,7 @@ fn measured_benchmark_run_end_to_end() {
     assert_eq!(config.name, "integration");
 
     let driver = Driver { seed: config.seed, ..Driver::default() };
-    let mut db = ResultsDatabase::new();
+    let db = ResultsDatabase::new();
     for dataset_id in &config.datasets {
         let dataset = graphalytics::core::datasets::dataset(dataset_id).unwrap();
         let graph = proxy::materialize(dataset, config.scale_divisor, config.seed);
@@ -60,8 +60,8 @@ fn measured_benchmark_run_end_to_end() {
     assert!(json.contains("\"dataset\": \"R1\""));
     assert!(json.contains("\"algorithm\": \"wcc\""));
     // Granula visualizer renders archives from this run.
-    let any = &db.all()[0];
-    let rendered = graphalytics::granula::visualize::render(any.archive.as_ref().unwrap());
+    let all = db.all();
+    let rendered = graphalytics::granula::visualize::render(all[0].archive.as_ref().unwrap());
     assert!(rendered.contains("ProcessGraph"));
 }
 

@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use graphalytics_core::params::AlgorithmParams;
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Algorithm, Csr};
 use graphalytics_engines::all_platforms;
 use graphalytics_graph500::Graph500Config;
@@ -19,6 +20,7 @@ fn graph() -> Csr {
 fn bench_engines(c: &mut Criterion) {
     let csr = graph();
     let params = AlgorithmParams::with_source(csr.id_of(0));
+    let pool = WorkerPool::new(2);
     for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
         let mut group = c.benchmark_group(format!("engines/{algorithm}"));
         group.sample_size(10);
@@ -28,7 +30,9 @@ fn bench_engines(c: &mut Criterion) {
                 &csr,
                 |b, csr| {
                     b.iter(|| {
-                        black_box(platform.execute(csr, algorithm, &params, 2).expect("runs"))
+                        black_box(
+                            platform.execute(csr, algorithm, &params, &pool).expect("runs"),
+                        )
                     })
                 },
             );

@@ -5,11 +5,30 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use graphalytics_core::algorithms;
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::Csr;
 use graphalytics_graph500::Graph500Config;
 
 fn graph() -> Csr {
     Graph500Config::new(12).with_seed(7).with_weights(true).generate().to_csr()
+}
+
+/// The upload path: sequential CSR build vs the pool build (same output,
+/// see the `csr_parallel_build` property test).
+fn bench_csr_build(c: &mut Criterion) {
+    let g = Graph500Config::new(13).with_seed(7).with_weights(true).generate();
+    let mut group = c.benchmark_group("csr-build");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(g.try_to_csr().unwrap()))
+    });
+    for threads in [2u32, 4] {
+        let pool = WorkerPool::new(threads);
+        group.bench_function(format!("pool-{threads}"), |b| {
+            b.iter(|| black_box(g.to_csr_with(&pool).unwrap()))
+        });
+    }
+    group.finish();
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -34,5 +53,5 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+criterion_group!(benches, bench_kernels, bench_csr_build);
 criterion_main!(benches);

@@ -1,0 +1,313 @@
+//! `repro_bench` — the perf-trajectory emitter.
+//!
+//! Measures the hot paths this repository's PR 3 refactor targets and
+//! writes `BENCH_pr3.json`:
+//!
+//! * **upload** — CSR build throughput (edges/s), sequential baseline vs
+//!   the pool build at widths 1/2/4/8, plus parallel edge-file parsing;
+//! * **runtime** — one superstep-heavy engine kernel (Pregel PageRank)
+//!   on the *spawning* backend (the pre-refactor per-superstep thread
+//!   spawn) vs the persistent pool, same width, same output;
+//! * **engines** — per-algorithm EVPS ((|V|+|E|)/s) for all six engines
+//!   on the shared pool, and 1/2/4/8 width scaling for representative
+//!   kernels.
+//!
+//! ```text
+//! cargo run --release -p graphalytics-bench --bin repro_bench
+//! cargo run --release -p graphalytics-bench --bin repro_bench -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks every instance and writes to
+//! `target/BENCH_smoke.json` (the CI bench-smoke job); `--out <path>`
+//! overrides the output path.
+
+use std::time::Instant;
+
+use graphalytics_core::params::AlgorithmParams;
+use graphalytics_core::pool::WorkerPool;
+use graphalytics_core::{Algorithm, Csr};
+use graphalytics_engines::{all_platforms, platform_by_name};
+use graphalytics_granula::json::Json;
+use graphalytics_graph500::Graph500Config;
+
+/// Median wall seconds over `reps` runs of `f` (one warm-up first).
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn num(x: f64) -> Json {
+    // Round to keep the committed artifact stable-looking and diffable.
+    Json::Num((x * 1e6).round() / 1e6)
+}
+
+struct Config {
+    build_scale: u32,
+    kernel_scale: u32,
+    runtime_scale: u32,
+    pagerank_iterations: u32,
+    reps: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        build_scale: 14,
+        kernel_scale: 11,
+        runtime_scale: 10,
+        pagerank_iterations: 50,
+        reps: 5,
+        out: "BENCH_pr3.json".to_string(),
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                cfg.build_scale = 10;
+                cfg.kernel_scale = 8;
+                cfg.runtime_scale = 8;
+                cfg.pagerank_iterations = 10;
+                cfg.reps = 2;
+                cfg.out = "target/BENCH_smoke.json".to_string();
+                cfg.smoke = true;
+            }
+            "--out" => cfg.out = args.next().expect("--out takes a path"),
+            other => {
+                eprintln!("unknown argument {other}; supported: --smoke, --out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// CSR-build throughput: sequential baseline and pool widths 1/2/4/8.
+fn bench_upload(cfg: &Config) -> Json {
+    let graph = Graph500Config::new(cfg.build_scale).with_seed(7).with_weights(true).generate();
+    let edges = graph.edge_count() as f64;
+    let seq_secs = median_secs(cfg.reps, || {
+        std::hint::black_box(graph.try_to_csr().unwrap());
+    });
+    let mut widths = Vec::new();
+    for threads in [1u32, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        let secs = median_secs(cfg.reps, || {
+            std::hint::black_box(graph.to_csr_with(&pool).unwrap());
+        });
+        widths.push(Json::obj(vec![
+            ("threads", Json::Num(threads as f64)),
+            ("secs", num(secs)),
+            ("build_eps", num(edges / secs)),
+        ]));
+    }
+
+    // Parallel edge-file parsing, the other half of the upload path.
+    let dir = std::env::temp_dir().join(format!("galy-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (vp, ep) = (dir.join("g.v"), dir.join("g.e"));
+    graphalytics_core::graph::write_vertex_file(&graph, &vp).unwrap();
+    graphalytics_core::graph::write_edge_file(&graph, &ep).unwrap();
+    let parse_seq = median_secs(cfg.reps, || {
+        std::hint::black_box(
+            graphalytics_core::graph::read_graph(&vp, &ep, graph.is_directed(), true).unwrap(),
+        );
+    });
+    let pool = WorkerPool::new(4);
+    let parse_pool = median_secs(cfg.reps, || {
+        std::hint::black_box(
+            graphalytics_core::graph::read_graph_with(&vp, &ep, graph.is_directed(), true, &pool)
+                .unwrap(),
+        );
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    Json::obj(vec![
+        ("generator", Json::str(format!("graph500-{}", cfg.build_scale))),
+        ("vertices", Json::Num(graph.vertex_count() as f64)),
+        ("edges", Json::Num(graph.edge_count() as f64)),
+        (
+            "csr_build",
+            Json::obj(vec![
+                ("sequential_secs", num(seq_secs)),
+                ("sequential_eps", num(edges / seq_secs)),
+                ("pool", Json::Arr(widths)),
+            ]),
+        ),
+        (
+            "edge_file_parse",
+            Json::obj(vec![
+                ("sequential_secs", num(parse_seq)),
+                ("pool4_secs", num(parse_pool)),
+            ]),
+        ),
+    ])
+}
+
+/// The tentpole's headline: the same kernel on the pre-refactor
+/// spawn-per-superstep backend vs the persistent pool.
+fn bench_runtime_baseline(cfg: &Config) -> Json {
+    let graph =
+        Graph500Config::new(cfg.runtime_scale).with_seed(3).with_weights(true).generate();
+    let csr = graph.try_to_csr().unwrap();
+    let params = AlgorithmParams {
+        source_vertex: Some(csr.id_of(0)),
+        pagerank_iterations: cfg.pagerank_iterations,
+        damping_factor: 0.85,
+        cdlp_iterations: 10,
+    };
+    let engine = platform_by_name("pregel").unwrap();
+    let width = 4u32;
+
+    let spawning = WorkerPool::spawning(width);
+    let persistent = WorkerPool::new(width);
+    let run = |pool: &WorkerPool| {
+        std::hint::black_box(
+            engine.execute(&csr, Algorithm::PageRank, &params, pool).unwrap(),
+        );
+    };
+    let spawning_secs = median_secs(cfg.reps, || run(&spawning));
+    let pool_secs = median_secs(cfg.reps, || run(&persistent));
+    // Identical outputs, by construction — assert it, since the whole
+    // point of the comparison is "same answer, cheaper superstep".
+    let a = engine.execute(&csr, Algorithm::PageRank, &params, &spawning).unwrap();
+    let b = engine.execute(&csr, Algorithm::PageRank, &params, &persistent).unwrap();
+    assert_eq!(a.output, b.output, "backends must agree bit-for-bit");
+
+    Json::obj(vec![
+        ("engine", Json::str("pregel")),
+        ("algorithm", Json::str("pr")),
+        ("graph", Json::str(format!("graph500-{}", cfg.runtime_scale))),
+        ("pagerank_iterations", Json::Num(cfg.pagerank_iterations as f64)),
+        ("threads", Json::Num(width as f64)),
+        ("spawn_per_superstep_secs", num(spawning_secs)),
+        ("worker_pool_secs", num(pool_secs)),
+        ("speedup", num(spawning_secs / pool_secs)),
+    ])
+}
+
+/// Per-algorithm EVPS for every engine, plus width scaling for two
+/// representative kernels.
+fn bench_engines(cfg: &Config) -> Json {
+    let graph =
+        Graph500Config::new(cfg.kernel_scale).with_seed(11).with_weights(true).generate();
+    let csr: Csr = graph.try_to_csr().unwrap();
+    let vpe = (csr.num_vertices() + csr.num_edges()) as f64;
+    let params = AlgorithmParams {
+        source_vertex: Some(csr.id_of(0)),
+        pagerank_iterations: 10,
+        damping_factor: 0.85,
+        cdlp_iterations: 5,
+    };
+    let pool = WorkerPool::new(4);
+
+    let mut engines = Vec::new();
+    for platform in all_platforms() {
+        let mut algs = Vec::new();
+        for algorithm in Algorithm::ALL {
+            if !platform.supports(algorithm) {
+                continue;
+            }
+            let secs = median_secs(cfg.reps.min(3), || {
+                std::hint::black_box(
+                    platform.execute(&csr, algorithm, &params, &pool).unwrap(),
+                );
+            });
+            algs.push(Json::obj(vec![
+                ("algorithm", Json::str(algorithm.acronym())),
+                ("secs", num(secs)),
+                ("evps", num(vpe / secs)),
+            ]));
+        }
+        engines.push(Json::obj(vec![
+            ("engine", Json::str(platform.name())),
+            ("kernels", Json::Arr(algs)),
+        ]));
+    }
+
+    let mut scaling = Vec::new();
+    for (engine, algorithm) in [("native", Algorithm::PageRank), ("spmv", Algorithm::Cdlp)] {
+        let platform = platform_by_name(engine).unwrap();
+        let mut widths = Vec::new();
+        for threads in [1u32, 2, 4, 8] {
+            let wpool = WorkerPool::new(threads);
+            let secs = median_secs(cfg.reps.min(3), || {
+                std::hint::black_box(
+                    platform.execute(&csr, algorithm, &params, &wpool).unwrap(),
+                );
+            });
+            widths.push(Json::obj(vec![
+                ("threads", Json::Num(threads as f64)),
+                ("secs", num(secs)),
+                ("evps", num(vpe / secs)),
+            ]));
+        }
+        scaling.push(Json::obj(vec![
+            ("engine", Json::str(engine)),
+            ("algorithm", Json::str(algorithm.acronym())),
+            ("widths", Json::Arr(widths)),
+        ]));
+    }
+
+    Json::obj(vec![
+        ("graph", Json::str(format!("graph500-{}", cfg.kernel_scale))),
+        ("vertices", Json::Num(csr.num_vertices() as f64)),
+        ("edges", Json::Num(csr.num_edges() as f64)),
+        ("pool_threads", Json::Num(4.0)),
+        ("per_algorithm", Json::Arr(engines)),
+        ("thread_scaling", Json::Arr(scaling)),
+    ])
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!("repro_bench: measuring upload path ...");
+    let upload = bench_upload(&cfg);
+    println!("repro_bench: measuring runtime baseline (spawn vs pool) ...");
+    let runtime = bench_runtime_baseline(&cfg);
+    println!("repro_bench: measuring engine kernels ...");
+    let engines = bench_engines(&cfg);
+
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let report = Json::obj(vec![
+        ("pr", Json::Num(3.0)),
+        ("benchmark", Json::str("graphalytics worker-pool runtime + parallel CSR pipeline")),
+        (
+            "host",
+            Json::obj(vec![
+                ("available_parallelism", Json::Num(host_threads as f64)),
+                ("mode", Json::str(if cfg.smoke { "smoke" } else { "full" })),
+            ]),
+        ),
+        ("upload", upload),
+        ("runtime_baseline", runtime),
+        ("engines", engines),
+    ]);
+
+    if let Some(parent) = std::path::Path::new(&cfg.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
+    std::fs::write(&cfg.out, report.to_string_pretty() + "\n").expect("write report");
+    println!("repro_bench: wrote {}", cfg.out);
+
+    // Human-readable headline.
+    let rb = report.get("runtime_baseline").unwrap();
+    println!(
+        "headline: pregel pr x{} — spawn/superstep {:.4}s vs pool {:.4}s ({}x)",
+        rb.get("pagerank_iterations").and_then(Json::as_f64).unwrap_or(0.0),
+        rb.get("spawn_per_superstep_secs").and_then(Json::as_f64).unwrap_or(0.0),
+        rb.get("worker_pool_secs").and_then(Json::as_f64).unwrap_or(0.0),
+        rb.get("speedup").and_then(Json::as_f64).unwrap_or(0.0),
+    );
+}

@@ -102,8 +102,16 @@ impl GraphBuilder {
     }
 
     /// Finalizes the graph, checking all invariants.
-    pub fn build(mut self) -> Result<Graph> {
-        self.normalize()?;
+    pub fn build(self) -> Result<Graph> {
+        self.build_with(&crate::pool::WorkerPool::inline())
+    }
+
+    /// Finalizes the graph on a worker pool: the edge sort — the dominant
+    /// cost for generator-sized graphs — runs as parallel chunk sorts plus
+    /// a k-way merge. The total `(src, dst, weight)` sort key makes the
+    /// result identical for every pool width (including [`build`](Self::build)).
+    pub fn build_with(mut self, pool: &crate::pool::WorkerPool) -> Result<Graph> {
+        self.normalize(pool)?;
         let g = Graph::from_parts(self.directed, self.weighted, self.vertices, self.edges);
         g.validate()?;
         Ok(g)
@@ -113,15 +121,32 @@ impl GraphBuilder {
     /// normalized trusted input (e.g. [`Graph::as_undirected`]) use this to
     /// avoid an O(|E|) re-check.
     pub(crate) fn build_unchecked(mut self) -> Graph {
-        self.normalize().expect("normalize cannot fail when dedup is enabled");
+        self.normalize(&crate::pool::WorkerPool::inline())
+            .expect("normalize cannot fail when dedup is enabled");
         Graph::from_parts(self.directed, self.weighted, self.vertices, self.edges)
     }
 
-    fn normalize(&mut self) -> Result<()> {
+    fn normalize(&mut self, pool: &crate::pool::WorkerPool) -> Result<()> {
         self.vertices.sort_unstable();
         self.vertices.dedup();
-        // Sort edges by (src, dst) for deterministic layout and cheap dedup.
-        self.edges.sort_unstable_by_key(|e| (e.src, e.dst));
+        // Sort edges by the *total* key (src, dst, weight) for a
+        // deterministic layout independent of insertion order and pool
+        // width, and for cheap dedup (which keeps the smallest weight).
+        // The weight component uses the sign-flipped bit encoding whose
+        // integer order matches `f64::total_cmp`, so negative weights
+        // (rejected later by `validate`, but representable here) still
+        // sort numerically.
+        fn weight_key(w: f64) -> u64 {
+            let bits = w.to_bits();
+            if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            }
+        }
+        crate::pool::par_sort_by_key(pool, &mut self.edges, |e| {
+            (e.src, e.dst, weight_key(e.weight))
+        });
         if self.dedup {
             self.edges.dedup_by(|a, b| a.src == b.src && a.dst == b.dst);
         }
@@ -173,6 +198,30 @@ mod tests {
         b.add_vertex(5);
         let g = b.build().unwrap();
         assert_eq!(g.vertices(), &[1, 5]);
+    }
+
+    #[test]
+    fn build_with_matches_sequential_build() {
+        let pool = crate::pool::WorkerPool::new(4);
+        let make = || {
+            let mut b = GraphBuilder::new(true);
+            b.add_vertex_range(64);
+            b.set_weighted(true);
+            b.dedup_edges(true);
+            let mut x = 9u64;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let (s, d) = ((x >> 33) % 64, (x >> 10) % 64);
+                if s != d {
+                    b.add_weighted_edge(s, d, ((x >> 3) % 11) as f64);
+                }
+            }
+            b
+        };
+        let seq = make().build().unwrap();
+        let par = make().build_with(&pool).unwrap();
+        assert_eq!(seq.edges(), par.edges());
+        assert_eq!(seq.vertices(), par.vertices());
     }
 
     #[test]

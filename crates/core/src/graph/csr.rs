@@ -1,7 +1,22 @@
 //! Compressed-sparse-row adjacency, the compute representation shared by the
 //! reference implementations and all six platform engines.
+//!
+//! The build (the benchmark's "upload" phase) runs on a [`WorkerPool`]:
+//! per-worker degree counting over contiguous edge chunks, a prefix
+//! merge that turns the per-worker counts into exclusive row cursors,
+//! a race-free parallel scatter, and a parallel per-row sort. Because
+//! every row ends up sorted by `(target, weight)` — a total order — the
+//! result is bit-identical for every thread count, including the
+//! sequential build ([`Csr::from_graph`] uses the inline pool).
+//!
+//! Sparse-to-dense remapping is hashmap-free: the sorted vertex-id list
+//! is classified once into contiguous / dense-table / binary-search
+//! ([`Remap`]), so the common generator case (ids `0..n`) remaps each
+//! endpoint with a subtraction instead of an `O(log n)` search.
 
 use super::{Graph, VertexId};
+use crate::error::{Error, Result};
+use crate::pool::{SharedSlice, WorkerPool};
 
 /// CSR adjacency in both directions with dense `u32` vertex indices.
 ///
@@ -27,107 +42,238 @@ pub struct Csr {
     in_weights: Box<[f64]>,
 }
 
+/// The hashmap-free sparse-id → dense-index map, classified once per
+/// build from the sorted, duplicate-free vertex-id list.
+enum Remap<'a> {
+    /// Ids are exactly `lo..lo + n`: remap is a subtraction.
+    Offset { lo: u64, n: u64 },
+    /// Small id span: direct lookup table (`u32::MAX` = absent).
+    Table { lo: u64, table: Vec<u32> },
+    /// Sparse ids over a wide span: binary search.
+    Search(&'a [VertexId]),
+}
+
+impl<'a> Remap<'a> {
+    fn new(ids: &'a [VertexId]) -> Remap<'a> {
+        let n = ids.len();
+        if n == 0 {
+            return Remap::Offset { lo: 0, n: 0 };
+        }
+        let (lo, hi) = (ids[0], ids[n - 1]);
+        // Ids spanning (nearly) the whole u64 range overflow the span
+        // computation; they can only ever be the binary-search case.
+        let Some(span) = (hi - lo).checked_add(1) else {
+            return Remap::Search(ids);
+        };
+        if span == n as u64 {
+            return Remap::Offset { lo, n: n as u64 };
+        }
+        // A table costs 4 bytes per id in the span; accept a modest
+        // blow-up over the (4 bytes × n) ideal before falling back.
+        if span <= (4 * n as u64).max(1 << 16) {
+            let mut table = vec![u32::MAX; span as usize];
+            for (i, &v) in ids.iter().enumerate() {
+                table[(v - lo) as usize] = i as u32;
+            }
+            return Remap::Table { lo, table };
+        }
+        Remap::Search(ids)
+    }
+
+    #[inline]
+    fn index_of(&self, v: VertexId) -> Option<u32> {
+        match self {
+            Remap::Offset { lo, n } => {
+                v.checked_sub(*lo).filter(|d| d < n).map(|d| d as u32)
+            }
+            Remap::Table { lo, table } => {
+                let d = v.checked_sub(*lo)?;
+                table.get(d as usize).copied().filter(|&i| i != u32::MAX)
+            }
+            Remap::Search(ids) => ids.binary_search(&v).ok().map(|i| i as u32),
+        }
+    }
+}
+
+/// Rewrites `counts[w][v]` (per-worker degree contributions) into each
+/// worker's exclusive prefix within row `v` and returns the global row
+/// offsets. Parallel over vertex ranges: each task owns a disjoint set
+/// of columns across all worker rows.
+fn exclusive_offsets(pool: &WorkerPool, n: usize, counts: &mut [Vec<u32>]) -> Vec<u64> {
+    let mut offsets = vec![0u64; n + 1];
+    {
+        let off = SharedSlice::new(offsets.as_mut_ptr());
+        let rows: Vec<SharedSlice<u32>> =
+            counts.iter_mut().map(|c| SharedSlice::new(c.as_mut_ptr())).collect();
+        pool.run(n, |_, vrange| {
+            for v in vrange {
+                let mut acc = 0u64;
+                for row in &rows {
+                    // SAFETY: vertex ranges are disjoint; only this task
+                    // touches column v of any row.
+                    let cell = unsafe { row.at(v) };
+                    let c = *cell;
+                    *cell = acc as u32;
+                    acc += c as u64;
+                }
+                debug_assert!(acc <= u32::MAX as u64, "row degree overflows u32 cursor");
+                unsafe { *off.at(v + 1) = acc };
+            }
+        });
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    offsets
+}
+
 impl Csr {
-    /// Builds the CSR form of `g`.
-    pub fn from_graph(g: &Graph) -> Csr {
+    /// Builds the CSR form of `g` sequentially (the inline pool).
+    ///
+    /// Fails with [`Error::InvalidGraph`] when an edge endpoint is not a
+    /// declared vertex — possible only for graphs that bypassed
+    /// [`GraphBuilder`](super::GraphBuilder) validation.
+    pub fn from_graph(g: &Graph) -> Result<Csr> {
+        Csr::from_graph_with(g, &WorkerPool::inline())
+    }
+
+    /// Builds the CSR form of `g` on `pool`. Bit-identical to
+    /// [`Csr::from_graph`] for every pool width (see the module docs).
+    pub fn from_graph_with(g: &Graph, pool: &WorkerPool) -> Result<Csr> {
         let n = g.vertex_count();
         let vertex_ids: Box<[VertexId]> = g.vertices().into();
-        let index_of = |v: VertexId| -> u32 {
-            vertex_ids.binary_search(&v).expect("edge endpoint is a declared vertex") as u32
-        };
-
+        let remap = Remap::new(&vertex_ids);
         let directed = g.is_directed();
         let weighted = g.is_weighted();
+        let edges = g.edges();
+        let m = edges.len();
 
-        // Degree counting.
-        let mut out_deg = vec![0u64; n];
-        let mut in_deg = vec![0u64; if directed { n } else { 0 }];
-        let mut endpoints = Vec::with_capacity(g.edge_count());
-        for e in g.edges() {
-            let (s, d) = (index_of(e.src), index_of(e.dst));
-            endpoints.push((s, d, e.weight));
-            if directed {
-                out_deg[s as usize] += 1;
-                in_deg[d as usize] += 1;
-            } else {
-                out_deg[s as usize] += 1;
-                out_deg[d as usize] += 1;
-            }
-        }
-
-        let prefix = |deg: &[u64]| -> Vec<u64> {
-            let mut off = Vec::with_capacity(deg.len() + 1);
-            let mut acc = 0u64;
-            off.push(0);
-            for &d in deg {
-                acc += d;
-                off.push(acc);
-            }
-            off
-        };
-        let out_offsets = prefix(&out_deg);
-        let stored_out = *out_offsets.last().unwrap() as usize;
-        let mut out_targets = vec![0u32; stored_out];
-        let mut out_weights = vec![1.0f64; stored_out];
-        let mut out_cursor: Vec<u64> = out_offsets[..n].to_vec();
-
-        let (in_offsets, mut in_targets, mut in_weights, mut in_cursor);
-        if directed {
-            let off = prefix(&in_deg);
-            let stored_in = *off.last().unwrap() as usize;
-            in_targets = vec![0u32; stored_in];
-            in_weights = vec![1.0f64; stored_in];
-            in_cursor = off[..n].to_vec();
-            in_offsets = off;
-        } else {
-            in_offsets = Vec::new();
-            in_targets = Vec::new();
-            in_weights = Vec::new();
-            in_cursor = Vec::new();
-        }
-
-        for &(s, d, w) in &endpoints {
-            let c = out_cursor[s as usize] as usize;
-            out_targets[c] = d;
-            out_weights[c] = w;
-            out_cursor[s as usize] += 1;
-            if directed {
-                let c = in_cursor[d as usize] as usize;
-                in_targets[c] = s;
-                in_weights[c] = w;
-                in_cursor[d as usize] += 1;
-            } else {
-                let c = out_cursor[d as usize] as usize;
-                out_targets[c] = s;
-                out_weights[c] = w;
-                out_cursor[d as usize] += 1;
-            }
-        }
-
-        // Sort every row by target for deterministic layout + binary search.
-        let sort_rows = |offsets: &[u64], targets: &mut [u32], weights: &mut [f64]| {
-            for i in 0..n {
-                let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
-                if hi - lo > 1 {
-                    let mut row: Vec<(u32, f64)> = targets[lo..hi]
-                        .iter()
-                        .copied()
-                        .zip(weights[lo..hi].iter().copied())
-                        .collect();
-                    row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-                    for (k, (t, w)) in row.into_iter().enumerate() {
-                        targets[lo + k] = t;
-                        weights[lo + k] = w;
+        // Pass 1 — remap endpoints and count per-worker degrees over
+        // contiguous edge chunks.
+        let mut endpoints: Vec<(u32, u32, f64)> = vec![(0, 0, 0.0); m];
+        let counted = {
+            let ep = SharedSlice::new(endpoints.as_mut_ptr());
+            pool.run(m, |_, chunk| -> Result<(Vec<u32>, Vec<u32>)> {
+                let mut out_cnt = vec![0u32; n];
+                let mut in_cnt = vec![0u32; if directed { n } else { 0 }];
+                for i in chunk {
+                    let e = &edges[i];
+                    let (s, d) = match (remap.index_of(e.src), remap.index_of(e.dst)) {
+                        (Some(s), Some(d)) => (s, d),
+                        _ => {
+                            return Err(Error::InvalidGraph(format!(
+                                "edge ({}, {}) references undeclared vertex",
+                                e.src, e.dst
+                            )))
+                        }
+                    };
+                    // SAFETY: edge chunks are disjoint; only this worker
+                    // writes slot i.
+                    unsafe { *ep.at(i) = (s, d, e.weight) };
+                    out_cnt[s as usize] += 1;
+                    if directed {
+                        in_cnt[d as usize] += 1;
+                    } else {
+                        out_cnt[d as usize] += 1;
                     }
                 }
-            }
+                Ok((out_cnt, in_cnt))
+            })
+        };
+        let mut out_counts = Vec::with_capacity(counted.len());
+        let mut in_counts = Vec::with_capacity(counted.len());
+        for worker in counted {
+            let (o, i) = worker?;
+            out_counts.push(o);
+            in_counts.push(i);
+        }
+
+        // Pass 2 — per-worker counts → global offsets + exclusive cursors.
+        let out_offsets = exclusive_offsets(pool, n, &mut out_counts);
+        let in_offsets =
+            if directed { exclusive_offsets(pool, n, &mut in_counts) } else { Vec::new() };
+
+        // Pass 3 — scatter: worker w fills the slots its exclusive
+        // cursors reserve, so no two workers ever write the same index
+        // and the layout is thread-count-independent after the row sort.
+        let stored_out = out_offsets[n] as usize;
+        let mut out_targets = vec![0u32; stored_out];
+        let mut out_weights = vec![1.0f64; stored_out];
+        let stored_in = if directed { *in_offsets.last().unwrap() as usize } else { 0 };
+        let mut in_targets = vec![0u32; stored_in];
+        let mut in_weights = vec![1.0f64; stored_in];
+        {
+            let tgt = SharedSlice::new(out_targets.as_mut_ptr());
+            let wts = SharedSlice::new(out_weights.as_mut_ptr());
+            let itgt = SharedSlice::new(in_targets.as_mut_ptr());
+            let iwts = SharedSlice::new(in_weights.as_mut_ptr());
+            let out_cursors: Vec<SharedSlice<u32>> =
+                out_counts.iter_mut().map(|c| SharedSlice::new(c.as_mut_ptr())).collect();
+            let in_cursors: Vec<SharedSlice<u32>> =
+                in_counts.iter_mut().map(|c| SharedSlice::new(c.as_mut_ptr())).collect();
+            let endpoints = &endpoints;
+            pool.run(m, |w, chunk| {
+                // SAFETY (whole loop): cursor row w belongs to worker w
+                // alone; slot indices derived from exclusive cursors are
+                // globally unique.
+                for i in chunk {
+                    let (s, d, weight) = endpoints[i];
+                    unsafe {
+                        let c = out_cursors[w].at(s as usize);
+                        let pos = out_offsets[s as usize] as usize + *c as usize;
+                        *c += 1;
+                        *tgt.at(pos) = d;
+                        *wts.at(pos) = weight;
+                        if directed {
+                            let c = in_cursors[w].at(d as usize);
+                            let pos = in_offsets[d as usize] as usize + *c as usize;
+                            *c += 1;
+                            *itgt.at(pos) = s;
+                            *iwts.at(pos) = weight;
+                        } else {
+                            let c = out_cursors[w].at(d as usize);
+                            let pos = out_offsets[d as usize] as usize + *c as usize;
+                            *c += 1;
+                            *tgt.at(pos) = s;
+                            *wts.at(pos) = weight;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Pass 4 — sort every row by (target, weight), a total order:
+        // the final layout is independent of scatter order, hence of the
+        // thread count. Parallel over vertex ranges (disjoint rows).
+        let sort_rows = |offsets: &[u64], targets: &mut Vec<u32>, weights: &mut Vec<f64>| {
+            let tgt = SharedSlice::new(targets.as_mut_ptr());
+            let wts = SharedSlice::new(weights.as_mut_ptr());
+            pool.run(n, |_, vrange| {
+                for v in vrange {
+                    let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+                    if hi - lo <= 1 {
+                        continue;
+                    }
+                    // SAFETY: rows are disjoint slices and vertex ranges
+                    // are disjoint.
+                    let trow = unsafe { tgt.slice_mut(lo, hi - lo) };
+                    let wrow = unsafe { wts.slice_mut(lo, hi - lo) };
+                    let mut row: Vec<(u32, f64)> =
+                        trow.iter().copied().zip(wrow.iter().copied()).collect();
+                    row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                    for (k, (t, w)) in row.into_iter().enumerate() {
+                        trow[k] = t;
+                        wrow[k] = w;
+                    }
+                }
+            });
         };
         sort_rows(&out_offsets, &mut out_targets, &mut out_weights);
         if directed {
             sort_rows(&in_offsets, &mut in_targets, &mut in_weights);
         }
 
-        Csr {
+        Ok(Csr {
             directed,
             weighted,
             vertex_ids,
@@ -137,7 +283,7 @@ impl Csr {
             in_offsets: in_offsets.into(),
             in_targets: in_targets.into(),
             in_weights: in_weights.into(),
-        }
+        })
     }
 
     /// Number of vertices.
@@ -394,6 +540,86 @@ mod tests {
         let csr = b.build().unwrap().to_csr();
         assert_eq!(csr.neighborhood_union(0), vec![1, 2, 3]);
         assert_eq!(csr.neighborhood_union(2), vec![0]);
+    }
+
+    #[test]
+    fn undeclared_endpoint_is_invalid_graph_not_panic() {
+        use crate::graph::Edge;
+        // `from_parts` bypasses builder validation, the only way an edge
+        // can reference a vertex that was never declared.
+        let g = Graph::from_parts(true, false, vec![1, 2], vec![Edge::new(1, 3)]);
+        let err = Csr::from_graph(&g).unwrap_err();
+        assert!(matches!(err, crate::error::Error::InvalidGraph(_)), "{err}");
+        assert!(err.to_string().contains("undeclared vertex"), "{err}");
+        // The parallel build reports the same error.
+        let pool = crate::pool::WorkerPool::new(3);
+        assert!(Csr::from_graph_with(&g, &pool).is_err());
+        assert!(g.try_to_csr().is_err());
+    }
+
+    #[test]
+    fn remap_strategies_agree() {
+        // Contiguous ids (offset), clustered ids (table), and sparse ids
+        // spanning a wide range (binary search) must all produce the
+        // same adjacency as the sorted-order dense mapping promises.
+        for ids in [
+            vec![0u64, 1, 2, 3],
+            vec![100, 101, 102, 103],
+            vec![10, 12, 13, 19],
+            vec![5, 1 << 20, 1 << 40, 1 << 60],
+            // Full-range span: `hi - lo + 1` overflows u64 and must fall
+            // back to binary search instead of panicking.
+            vec![0, 1, u64::MAX - 1, u64::MAX],
+        ] {
+            let mut b = GraphBuilder::new(true);
+            for &v in &ids {
+                b.add_vertex(v);
+            }
+            b.add_edge(ids[0], ids[2]);
+            b.add_edge(ids[3], ids[1]);
+            let csr = b.build().unwrap().to_csr();
+            assert_eq!(csr.out_neighbors(0), &[2], "ids={ids:?}");
+            assert_eq!(csr.out_neighbors(3), &[1], "ids={ids:?}");
+            assert_eq!(csr.in_degree(2), 1);
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // A mid-sized pseudo-random graph, built inline and on pools of
+        // several widths: offsets, targets and weights must be identical.
+        for directed in [true, false] {
+            let mut b = GraphBuilder::new(directed);
+            b.set_weighted(true);
+            b.dedup_edges(true);
+            let n = 257u64;
+            for v in 0..n {
+                b.add_vertex(v);
+            }
+            let mut x = 0x5EEDu64;
+            for _ in 0..2048 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let s = (x >> 33) % n;
+                let d = (x >> 13) % n;
+                if s != d {
+                    b.add_weighted_edge(s, d, ((x >> 3) % 97) as f64 / 7.0);
+                }
+            }
+            let g = b.build().unwrap();
+            let seq = g.to_csr();
+            for threads in [2u32, 3, 8] {
+                let pool = crate::pool::WorkerPool::new(threads);
+                let par = g.to_csr_with(&pool).unwrap();
+                assert_eq!(par.num_vertices(), seq.num_vertices());
+                assert_eq!(par.num_arcs(), seq.num_arcs());
+                for u in 0..seq.num_vertices() as u32 {
+                    assert_eq!(par.out_neighbors(u), seq.out_neighbors(u), "u={u}");
+                    assert_eq!(par.out_weights(u), seq.out_weights(u), "u={u}");
+                    assert_eq!(par.in_neighbors(u), seq.in_neighbors(u), "u={u}");
+                    assert_eq!(par.in_weights(u), seq.in_weights(u), "u={u}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::path::Path;
 
 use super::{Graph, GraphBuilder, VertexId};
 use crate::error::{Error, Result};
+use crate::pool::WorkerPool;
 
 /// Reads a vertex file into sorted, deduplicated ids.
 pub fn read_vertex_file(path: &Path) -> Result<Vec<VertexId>> {
@@ -29,15 +30,41 @@ pub fn read_edge_file(path: &Path, builder: &mut GraphBuilder, weighted: bool) -
     parse_edges(BufReader::new(file), &path.display().to_string(), builder, weighted)
 }
 
+/// Reads an edge file on a worker pool: the file is read into memory,
+/// split into newline-aligned chunks, parsed in parallel, and appended
+/// to `builder` in chunk order — byte-for-byte the same edges (and the
+/// same first-error line number) as [`read_edge_file`].
+pub fn read_edge_file_with(
+    path: &Path,
+    builder: &mut GraphBuilder,
+    weighted: bool,
+    pool: &WorkerPool,
+) -> Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    parse_edges_chunked(&text, &path.display().to_string(), builder, weighted, pool)
+}
+
 /// Loads a full graph from a vertex file and an edge file.
 pub fn read_graph(vertex_path: &Path, edge_path: &Path, directed: bool, weighted: bool) -> Result<Graph> {
+    read_graph_with(vertex_path, edge_path, directed, weighted, &WorkerPool::inline())
+}
+
+/// Loads a full graph with parallel edge parsing and a parallel build —
+/// the upload path the harness and service use.
+pub fn read_graph_with(
+    vertex_path: &Path,
+    edge_path: &Path,
+    directed: bool,
+    weighted: bool,
+    pool: &WorkerPool,
+) -> Result<Graph> {
     let mut builder = GraphBuilder::new(directed);
     builder.set_weighted(weighted);
     for v in read_vertex_file(vertex_path)? {
         builder.add_vertex(v);
     }
-    read_edge_file(edge_path, &mut builder, weighted)?;
-    builder.build()
+    read_edge_file_with(edge_path, &mut builder, weighted, pool)?;
+    builder.build_with(pool)
 }
 
 /// Writes the vertex file for `g`.
@@ -85,51 +112,140 @@ fn parse_vertices<R: Read>(reader: BufReader<R>, file: &str) -> Result<Vec<Verte
     Ok(vertices)
 }
 
+/// Parses one stripped edge line into `(src, dst, weight)`; `None` for
+/// blank/comment lines. The error string carries no line number — the
+/// sequential and chunked drivers attach their own.
+fn parse_edge_line(
+    content: &str,
+    weighted: bool,
+) -> std::result::Result<Option<(VertexId, VertexId, f64)>, String> {
+    if content.is_empty() {
+        return Ok(None);
+    }
+    let mut cols = content.split_ascii_whitespace();
+    let src: VertexId = cols
+        .next()
+        .ok_or_else(|| "missing source column".to_string())?
+        .parse()
+        .map_err(|e| format!("bad source: {e}"))?;
+    let dst: VertexId = cols
+        .next()
+        .ok_or_else(|| "missing target column".to_string())?
+        .parse()
+        .map_err(|e| format!("bad target: {e}"))?;
+    let weight = if weighted {
+        let w: f64 = cols
+            .next()
+            .ok_or_else(|| "missing weight column".to_string())?
+            .parse()
+            .map_err(|e| format!("bad weight: {e}"))?;
+        if !w.is_finite() || w < 0.0 {
+            return Err(format!("weight {w} is not a finite non-negative number"));
+        }
+        w
+    } else {
+        if cols.next().is_some() {
+            return Err("unexpected third column in unweighted edge file".to_string());
+        }
+        1.0
+    };
+    Ok(Some((src, dst, weight)))
+}
+
 fn parse_edges<R: Read>(
     reader: BufReader<R>,
     file: &str,
     builder: &mut GraphBuilder,
     weighted: bool,
 ) -> Result<()> {
-    let err = |lineno: usize, message: String| Error::Parse {
-        file: file.to_string(),
-        line: lineno as u64 + 1,
-        message,
-    };
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
-        let content = strip(&line);
-        if content.is_empty() {
-            continue;
+        match parse_edge_line(strip(&line), weighted) {
+            Ok(Some((src, dst, weight))) => {
+                builder.add_weighted_edge(src, dst, weight);
+            }
+            Ok(None) => {}
+            Err(message) => {
+                return Err(Error::Parse {
+                    file: file.to_string(),
+                    line: lineno as u64 + 1,
+                    message,
+                })
+            }
         }
-        let mut cols = content.split_ascii_whitespace();
-        let src: VertexId = cols
-            .next()
-            .ok_or_else(|| err(lineno, "missing source column".into()))?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad source: {e}")))?;
-        let dst: VertexId = cols
-            .next()
-            .ok_or_else(|| err(lineno, "missing target column".into()))?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad target: {e}")))?;
-        let weight = if weighted {
-            let w: f64 = cols
-                .next()
-                .ok_or_else(|| err(lineno, "missing weight column".into()))?
-                .parse()
-                .map_err(|e| err(lineno, format!("bad weight: {e}")))?;
-            if !w.is_finite() || w < 0.0 {
-                return Err(err(lineno, format!("weight {w} is not a finite non-negative number")));
-            }
-            w
-        } else {
-            if cols.next().is_some() {
-                return Err(err(lineno, "unexpected third column in unweighted edge file".into()));
-            }
-            1.0
-        };
-        builder.add_weighted_edge(src, dst, weight);
+    }
+    Ok(())
+}
+
+/// One worker's share of a chunked parse.
+struct ChunkParse {
+    edges: Vec<(VertexId, VertexId, f64)>,
+    /// Lines consumed (complete only when `error` is `None`).
+    lines: usize,
+    /// First failure: (line offset within the chunk, message).
+    error: Option<(usize, String)>,
+}
+
+fn parse_edges_chunked(
+    text: &str,
+    file: &str,
+    builder: &mut GraphBuilder,
+    weighted: bool,
+    pool: &WorkerPool,
+) -> Result<()> {
+    // Newline-aligned chunk boundaries over the raw bytes.
+    let bytes = text.as_bytes();
+    let mut bounds = vec![0usize];
+    for range in pool.split(bytes.len()) {
+        let mut end = range.end;
+        while end < bytes.len() && bytes[end - 1] != b'\n' {
+            end += 1;
+        }
+        if end > *bounds.last().unwrap() {
+            bounds.push(end);
+        }
+    }
+    let chunks: Vec<&str> =
+        bounds.windows(2).map(|w| &text[w[0]..w[1]]).collect();
+
+    // One chunk per pool worker: parse in parallel, splice in order.
+    let parsed: Vec<ChunkParse> = pool
+        .run(chunks.len(), |_, crange| {
+            crange.map(|ci| {
+                let mut chunk = ChunkParse { edges: Vec::new(), lines: 0, error: None };
+                for (rel, line) in chunks[ci].lines().enumerate() {
+                    match parse_edge_line(strip(line), weighted) {
+                        Ok(Some(edge)) => chunk.edges.push(edge),
+                        Ok(None) => {}
+                        Err(message) => {
+                            chunk.error = Some((rel, message));
+                            break;
+                        }
+                    }
+                    chunk.lines = rel + 1;
+                }
+                chunk
+            }).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let mut base_line = 0usize;
+    for chunk in parsed {
+        if let Some((rel, message)) = chunk.error {
+            // Chunks before the first failing one parsed fully, so their
+            // line tallies give the exact absolute line number.
+            return Err(Error::Parse {
+                file: file.to_string(),
+                line: (base_line + rel) as u64 + 1,
+                message,
+            });
+        }
+        for (src, dst, weight) in chunk.edges {
+            builder.add_weighted_edge(src, dst, weight);
+        }
+        base_line += chunk.lines;
     }
     Ok(())
 }
@@ -192,6 +308,50 @@ mod tests {
         let mut b = GraphBuilder::new(true);
         b.add_vertex_range(2);
         assert!(parse_edges(BufReader::new("0 1 -4\n".as_bytes()), "m", &mut b, true).is_err());
+    }
+
+    #[test]
+    fn chunked_parse_matches_sequential() {
+        // Enough lines that every pool width actually splits the text.
+        let mut text = String::from("# header comment\n");
+        for i in 0..500u64 {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 501));
+            if i % 97 == 0 {
+                text.push('\n'); // blank lines survive chunking
+            }
+        }
+        let sequential = {
+            let mut b = GraphBuilder::new(true);
+            b.add_vertex_range(501);
+            parse_edges(BufReader::new(text.as_bytes()), "mem", &mut b, false).unwrap();
+            b.build().unwrap()
+        };
+        for threads in [1u32, 2, 5] {
+            let pool = WorkerPool::new(threads);
+            let mut b = GraphBuilder::new(true);
+            b.add_vertex_range(501);
+            parse_edges_chunked(&text, "mem", &mut b, false, &pool).unwrap();
+            let g = b.build_with(&pool).unwrap();
+            assert_eq!(g.edges(), sequential.edges(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_parse_reports_exact_error_line() {
+        let mut text = String::new();
+        for i in 0..300u64 {
+            text.push_str(&format!("{} {}\n", i, i + 1));
+        }
+        text.push_str("not an edge\n"); // line 301
+        for i in 0..300u64 {
+            text.push_str(&format!("{} {}\n", i + 400, i + 401));
+        }
+        for threads in [1u32, 4] {
+            let pool = WorkerPool::new(threads);
+            let mut b = GraphBuilder::new(true);
+            let err = parse_edges_chunked(&text, "mem", &mut b, false, &pool).unwrap_err();
+            assert!(err.to_string().contains("mem:301"), "threads={threads}: {err}");
+        }
     }
 
     #[test]

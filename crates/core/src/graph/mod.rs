@@ -20,7 +20,10 @@ mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
-pub use io::{read_edge_file, read_graph, read_vertex_file, write_edge_file, write_vertex_file};
+pub use io::{
+    read_edge_file, read_edge_file_with, read_graph, read_graph_with, read_vertex_file,
+    write_edge_file, write_vertex_file,
+};
 pub use stats::GraphStats;
 
 use crate::error::{Error, Result};
@@ -163,8 +166,24 @@ impl Graph {
     }
 
     /// Builds the CSR form used by algorithms and engines.
+    ///
+    /// Convenience wrapper for graphs produced by [`GraphBuilder`] (whose
+    /// invariants guarantee success); graphs of unvalidated provenance
+    /// should go through [`Graph::try_to_csr`] or [`Graph::to_csr_with`],
+    /// which surface [`Error::InvalidGraph`] instead.
     pub fn to_csr(&self) -> Csr {
+        Csr::from_graph(self).expect("builder-validated graph converts to CSR")
+    }
+
+    /// Fallible CSR conversion (sequential).
+    pub fn try_to_csr(&self) -> Result<Csr> {
         Csr::from_graph(self)
+    }
+
+    /// Fallible CSR conversion on a worker pool — the parallel upload
+    /// path. Bit-identical output for every pool width.
+    pub fn to_csr_with(&self, pool: &crate::pool::WorkerPool) -> Result<Csr> {
+        Csr::from_graph_with(self, pool)
     }
 
     /// Returns a copy of this graph with direction dropped (used by the

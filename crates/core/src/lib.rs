@@ -19,7 +19,10 @@
 //!   (Table 4) datasets together with structural traits used by proxies and
 //!   by the analytic performance model;
 //! * [`params`] — per-dataset algorithm parameters (BFS/SSSP roots, PageRank
-//!   and CDLP iteration counts) as prescribed by the benchmark description.
+//!   and CDLP iteration counts) as prescribed by the benchmark description;
+//! * [`pool`] — the shared execution runtime: a persistent, deterministic
+//!   worker pool used by the parallel CSR build, the edge-file loader, and
+//!   (through `graphalytics-engines`) all six platform engines.
 //!
 //! Everything downstream (generators, engines, harness) builds on this crate.
 
@@ -29,11 +32,13 @@ pub mod error;
 pub mod graph;
 pub mod output;
 pub mod params;
+pub mod pool;
 pub mod scale;
 pub mod validation;
 
 pub use error::{Error, Result};
 pub use graph::{Csr, Edge, Graph, GraphBuilder, VertexId};
+pub use pool::WorkerPool;
 pub use output::{AlgorithmOutput, OutputValues};
 pub use scale::{scale_of, SizeClass};
 

@@ -1,8 +1,10 @@
-//! Shared engine infrastructure: the scoped-thread parallel-for and the
-//! frontier (active-set) structure.
+//! Shared engine infrastructure: the worker-pool execution runtime, the
+//! partitioned-map helpers, and the frontier (active-set) structure.
 
 pub mod frontier;
 pub mod par;
+pub mod pool;
 
 pub use frontier::Frontier;
-pub use par::run_partitioned;
+pub use par::{map_vertices, run_partitioned};
+pub use pool::WorkerPool;

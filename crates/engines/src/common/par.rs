@@ -1,45 +1,62 @@
-//! A minimal deterministic parallel-for built on std scoped threads.
+//! Partitioned-execution helpers shared by the engines.
 //!
-//! Engines parallelize over contiguous dense-index ranges. Contiguous
-//! static partitioning (rather than work stealing) keeps executions
-//! *deterministic for a given thread count* and, combined with per-vertex
-//! aggregation in the algorithms, makes outputs identical across thread
-//! counts. Each worker returns a result (typically per-thread
-//! `WorkCounters` or message buffers) that the caller merges in thread
-//! order — again deterministic.
+//! The engines parallelize over contiguous dense-index ranges on the
+//! shared [`WorkerPool`] (see [`super::pool`]). This module holds what
+//! sits *on top* of the pool:
+//!
+//! * [`map_vertices`] — the per-vertex map + per-worker tally shape that
+//!   every vector-iteration engine repeats (values land in vertex order,
+//!   tallies merge in worker order), deduplicated here now that the pool
+//!   owns partitioning;
+//! * [`run_partitioned`] — the historical spawn-per-call primitive, kept
+//!   **only** as the pre-pool baseline for `repro_bench` and regression
+//!   tests. Engine code must not call it.
 
-/// Splits `0..n` into contiguous ranges for `threads` workers, never
-/// more workers than elements (but at least one range, possibly empty).
-pub fn split_ranges(threads: u32, n: usize) -> Vec<std::ops::Range<usize>> {
-    let workers = (threads.max(1) as usize).min(n.max(1));
-    let chunk = n.div_ceil(workers);
-    (0..workers).map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n)).collect()
-}
+use super::pool::WorkerPool;
+
+pub use super::pool::split_ranges;
 
 /// Splits `0..n` into up to `threads` contiguous ranges and runs `task`
-/// on each concurrently; returns results in range order.
-///
-/// `task` receives `(worker_index, range)`. With `threads == 1` or a tiny
-/// `n` the task runs inline on the caller's thread.
+/// on each, spawning **fresh scoped threads on every call** — the
+/// pre-pool behaviour whose per-superstep cost the shared [`WorkerPool`]
+/// exists to eliminate. Results come back in range order, identical to
+/// `WorkerPool::new(threads).run(n, task)`.
 pub fn run_partitioned<R, F>(threads: u32, n: usize, task: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
 {
-    if threads.max(1) == 1 || n < 2 {
-        return vec![task(0, 0..n)];
-    }
-    let ranges = split_ranges(threads, n);
-    let mut slots: Vec<Option<R>> = (0..ranges.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for ((w, slot), range) in slots.iter_mut().enumerate().zip(ranges) {
-            let task = &task;
-            scope.spawn(move || {
-                *slot = Some(task(w, range));
-            });
+    WorkerPool::spawning(threads).run(n, task)
+}
+
+/// Maps every dense vertex `0..n` through `f` on the pool, giving each
+/// worker a scalar tally `A` to fold side counts into (edges scanned,
+/// random accesses, scratch maps, …).
+///
+/// Returns the per-vertex values in vertex order and the per-worker
+/// tallies in worker order — the deterministic merge every engine used
+/// to hand-roll around `run_partitioned`.
+pub fn map_vertices<T, A, F>(pool: &WorkerPool, n: usize, f: F) -> (Vec<T>, Vec<A>)
+where
+    T: Send,
+    A: Default + Send,
+    F: Fn(u32, &mut A) -> T + Sync,
+{
+    let parts = pool.run(n, |_, range| {
+        let mut tally = A::default();
+        let mut out = Vec::with_capacity(range.len());
+        for v in range {
+            out.push(f(v as u32, &mut tally));
         }
+        (out, tally)
     });
-    slots.into_iter().map(|s| s.expect("every worker ran")).collect()
+    let mut values = Vec::with_capacity(n);
+    let mut tallies = Vec::with_capacity(parts.len());
+    for (part, tally) in parts {
+        values.extend(part);
+        tallies.push(tally);
+    }
+    (values, tallies)
 }
 
 #[cfg(test)]
@@ -84,5 +101,21 @@ mod tests {
     fn empty_range_single_worker() {
         let parts = run_partitioned(8, 0, |_, r| r.len());
         assert_eq!(parts, vec![0]);
+    }
+
+    #[test]
+    fn map_vertices_orders_values_and_tallies() {
+        let data: Vec<u64> = (0..512).map(|i| i * 3 % 17).collect();
+        let expect: u64 = data.iter().sum();
+        for threads in [1u32, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let (values, tallies): (Vec<u64>, Vec<u64>) =
+                map_vertices(&pool, data.len(), |v, tally| {
+                    *tally += data[v as usize];
+                    data[v as usize] * 2
+                });
+            assert_eq!(values, data.iter().map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(tallies.iter().sum::<u64>(), expect, "threads={threads}");
+        }
     }
 }

@@ -1,0 +1,11 @@
+//! The shared execution runtime, re-exported for the engines.
+//!
+//! The pool itself lives in [`graphalytics_core::pool`] because the
+//! reference CSR build and the edge-file loader parallelize on it too;
+//! every engine reaches it through this module. See the core module docs
+//! for the determinism contract (contiguous static partitioning, results
+//! merged in worker order, bit-identical outputs across thread counts).
+
+pub use graphalytics_core::pool::{
+    default_threads, par_sort_by_key, split_ranges, PoolStats, SharedSlice, WorkerPool,
+};

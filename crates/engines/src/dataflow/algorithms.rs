@@ -10,6 +10,8 @@ use graphalytics_core::{Csr, VertexId};
 
 use graphalytics_cluster::WorkCounters;
 
+use crate::common::pool::WorkerPool;
+
 use super::{group_by_key, reduce_by_key, Dataset};
 
 /// Builds the edge dataset `(src, dst, weight)` partitioned by source.
@@ -40,18 +42,19 @@ fn edge_dataset(csr: &Csr, parts: usize, both_directions: bool) -> Dataset<(u32,
 pub fn pregel_loop<V, M>(
     csr: &Csr,
     parts: usize,
+    pool: &WorkerPool,
     c: &mut WorkCounters,
     both_directions: bool,
     init: impl Fn(u32) -> V,
     initially_active: Vec<u32>,
-    send: impl Fn(u32, u32, f64, &V) -> Option<M>,
+    send: impl Fn(u32, u32, f64, &V) -> Option<M> + Sync,
     combine: impl Fn(M, M) -> M + Copy,
     apply: impl Fn(&V, M) -> (V, bool),
     message_bytes: u64,
 ) -> Vec<V>
 where
-    V: Clone,
-    M: Clone,
+    V: Clone + Sync,
+    M: Clone + Send,
 {
     let n = csr.num_vertices();
     let edges = edge_dataset(csr, parts, both_directions);
@@ -69,17 +72,28 @@ where
         c.supersteps += 1;
         // Ship active vertex views to edge partitions (replication).
         c.add_messages(active_count, message_bytes + 4);
-        // Scan every edge partition; only active sources emit.
+        // Scan the edge partitions on the pool (task-parallel partition
+        // scans, like Spark executors); merging in partition order keeps
+        // the message stream deterministic. Only active sources emit.
         c.edges_scanned += total_arcs;
-        let mut outgoing: Vec<(u32, M)> = Vec::new();
-        for part in edges.partitions() {
-            for &(s, d, w) in part {
-                if active[s as usize] {
-                    if let Some(m) = send(s, d, w, &values[s as usize]) {
-                        outgoing.push((d, m));
+        let partitions = edges.partitions();
+        let (active_ref, values_ref) = (&active, &values);
+        let scans = pool.run(partitions.len(), |_, prange| {
+            let mut local: Vec<(u32, M)> = Vec::new();
+            for part in &partitions[prange] {
+                for &(s, d, w) in part {
+                    if active_ref[s as usize] {
+                        if let Some(m) = send(s, d, w, &values_ref[s as usize]) {
+                            local.push((d, m));
+                        }
                     }
                 }
             }
+            local
+        });
+        let mut outgoing: Vec<(u32, M)> = Vec::with_capacity(scans.iter().map(Vec::len).sum());
+        for scan in scans {
+            outgoing.extend(scan);
         }
         let reduced = reduce_by_key(outgoing, parts, message_bytes, c, combine);
         // Join messages into a brand-new vertex dataset.
@@ -103,10 +117,11 @@ where
 }
 
 /// BFS with a min combiner.
-pub fn bfs(csr: &Csr, root: u32, parts: usize, c: &mut WorkCounters) -> Vec<i64> {
+pub fn bfs(csr: &Csr, root: u32, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<i64> {
     pregel_loop(
         csr,
         parts,
+        pool,
         c,
         false,
         |u| if u == root { 0i64 } else { i64::MAX },
@@ -119,10 +134,11 @@ pub fn bfs(csr: &Csr, root: u32, parts: usize, c: &mut WorkCounters) -> Vec<i64>
 }
 
 /// SSSP with a min combiner over weighted relaxations.
-pub fn sssp(csr: &Csr, root: u32, parts: usize, c: &mut WorkCounters) -> Vec<f64> {
+pub fn sssp(csr: &Csr, root: u32, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     pregel_loop(
         csr,
         parts,
+        pool,
         c,
         false,
         |u| if u == root { 0.0f64 } else { f64::INFINITY },
@@ -135,11 +151,12 @@ pub fn sssp(csr: &Csr, root: u32, parts: usize, c: &mut WorkCounters) -> Vec<f64
 }
 
 /// WCC: min-label diffusion over both directions.
-pub fn wcc(csr: &Csr, parts: usize, c: &mut WorkCounters) -> Vec<VertexId> {
+pub fn wcc(csr: &Csr, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
     let n = csr.num_vertices();
     pregel_loop(
         csr,
         parts,
+        pool,
         c,
         true,
         |u| csr.id_of(u),
@@ -152,7 +169,7 @@ pub fn wcc(csr: &Csr, parts: usize, c: &mut WorkCounters) -> Vec<VertexId> {
 }
 
 /// PageRank: full dense iterations with shipped views and a sum combiner.
-pub fn pagerank(csr: &Csr, iterations: u32, damping: f64, parts: usize, c: &mut WorkCounters) -> Vec<f64> {
+pub fn pagerank(csr: &Csr, iterations: u32, damping: f64, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -173,11 +190,20 @@ pub fn pagerank(csr: &Csr, iterations: u32, damping: f64, parts: usize, c: &mut 
         // Ship every vertex view; scan every edge.
         c.add_messages(n as u64, 12);
         c.edges_scanned += total_arcs;
-        let mut contributions: Vec<(u32, f64)> = Vec::with_capacity(total_arcs as usize);
-        for part in edges.partitions() {
-            for &(s, d, _w) in part {
-                contributions.push((d, rank[s as usize] / csr.out_degree(s) as f64));
+        let partitions = edges.partitions();
+        let rank_ref = &rank;
+        let scans = pool.run(partitions.len(), |_, prange| {
+            let mut local: Vec<(u32, f64)> = Vec::new();
+            for part in &partitions[prange] {
+                for &(s, d, _w) in part {
+                    local.push((d, rank_ref[s as usize] / csr.out_degree(s) as f64));
+                }
             }
+            local
+        });
+        let mut contributions: Vec<(u32, f64)> = Vec::with_capacity(total_arcs as usize);
+        for scan in scans {
+            contributions.extend(scan);
         }
         let sums = reduce_by_key(contributions, parts, 12, c, |a, b| a + b);
         // Materialize the next vertex dataset.
@@ -194,7 +220,7 @@ pub fn pagerank(csr: &Csr, iterations: u32, damping: f64, parts: usize, c: &mut 
 /// CDLP: label multisets via `groupByKey` — no combiner exists for the
 /// mode, so every label record crosses the shuffle and whole multisets
 /// materialize per vertex.
-pub fn cdlp(csr: &Csr, iterations: u32, parts: usize, c: &mut WorkCounters) -> Vec<VertexId> {
+pub fn cdlp(csr: &Csr, iterations: u32, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
     let n = csr.num_vertices();
     let edges = edge_dataset(csr, parts, true);
     let total_arcs = edges.count() as u64;
@@ -203,13 +229,22 @@ pub fn cdlp(csr: &Csr, iterations: u32, parts: usize, c: &mut WorkCounters) -> V
         c.supersteps += 1;
         c.add_messages(n as u64, 12); // vertex views
         c.edges_scanned += total_arcs;
-        let mut votes: Vec<(u32, VertexId)> = Vec::with_capacity(total_arcs as usize);
-        for part in edges.partitions() {
-            for &(s, d, _w) in part {
-                // Both orientations are present, so each arc delivers the
-                // source label to the target.
-                votes.push((d, labels[s as usize]));
+        let partitions = edges.partitions();
+        let labels_ref = &labels;
+        let scans = pool.run(partitions.len(), |_, prange| {
+            let mut local: Vec<(u32, VertexId)> = Vec::new();
+            for part in &partitions[prange] {
+                for &(s, d, _w) in part {
+                    // Both orientations are present, so each arc delivers
+                    // the source label to the target.
+                    local.push((d, labels_ref[s as usize]));
+                }
             }
+            local
+        });
+        let mut votes: Vec<(u32, VertexId)> = Vec::with_capacity(total_arcs as usize);
+        for scan in scans {
+            votes.extend(scan);
         }
         let grouped = group_by_key(votes, parts, 8, c);
         c.random_accesses += total_arcs;
@@ -232,7 +267,7 @@ pub fn cdlp(csr: &Csr, iterations: u32, parts: usize, c: &mut WorkCounters) -> V
 /// LCC: collect neighbour sets, ship each vertex's set to its neighbours,
 /// count intersections, reduce. The shipped sets are the `Σ d(v)²`-scale
 /// shuffle that breaks JVM dataflow engines on dense graphs.
-pub fn lcc(csr: &Csr, parts: usize, c: &mut WorkCounters) -> Vec<f64> {
+pub fn lcc(csr: &Csr, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     // Stage 1: neighbour sets (group arcs by source over both directions).
     let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(csr.num_arcs());
@@ -272,24 +307,36 @@ pub fn lcc(csr: &Csr, parts: usize, c: &mut WorkCounters) -> Vec<f64> {
     c.messages += requests.len() as u64;
     c.message_bytes += shipped_bytes;
 
-    let mut counts: Vec<(u32, f64)> = Vec::with_capacity(requests.len());
-    for (u, (v, set)) in requests {
-        let ou = csr.out_neighbors(u);
-        c.edges_scanned += ou.len().min(set.len()) as u64;
-        let mut links = 0u64;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < ou.len() && j < set.len() {
-            match ou[i].cmp(&set[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    links += 1;
-                    i += 1;
-                    j += 1;
+    // Intersections run task-parallel over request chunks; counts merge
+    // in request order (reduce_by_key re-sorts anyway).
+    let requests_ref = &requests;
+    let scanned_and_counts = pool.run(requests.len(), |_, rrange| {
+        let mut scanned = 0u64;
+        let mut local: Vec<(u32, f64)> = Vec::with_capacity(rrange.len());
+        for (u, (v, set)) in &requests_ref[rrange] {
+            let ou = csr.out_neighbors(*u);
+            scanned += ou.len().min(set.len()) as u64;
+            let mut links = 0u64;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < ou.len() && j < set.len() {
+                match ou[i].cmp(&set[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        links += 1;
+                        i += 1;
+                        j += 1;
+                    }
                 }
             }
+            local.push((*v, links as f64));
         }
-        counts.push((v, links as f64));
+        (scanned, local)
+    });
+    let mut counts: Vec<(u32, f64)> = Vec::with_capacity(requests.len());
+    for (scanned, local) in scanned_and_counts {
+        c.edges_scanned += scanned;
+        counts.extend(local);
     }
     let sums = reduce_by_key(counts, parts, 12, c, |a, b| a + b);
     c.vertices_processed += n as u64;
@@ -329,8 +376,14 @@ mod tests {
             let engine = crate::dataflow::DataflowEngine::new();
             let params = AlgorithmParams::with_source(0);
             for alg in Algorithm::ALL {
-                let run =
-                    crate::platform::Platform::execute(&engine, &csr, alg, &params, 2).unwrap();
+                let run = crate::platform::Platform::execute(
+                    &engine,
+                    &csr,
+                    alg,
+                    &params,
+                    &WorkerPool::new(2),
+                )
+                .unwrap();
                 let expected =
                     graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
                 graphalytics_core::validation::validate(&expected, &run.output)
@@ -345,7 +398,7 @@ mod tests {
     fn full_edge_scan_every_iteration() {
         let csr = sample(true);
         let mut c = WorkCounters::new();
-        let _ = bfs(&csr, 0, 2, &mut c);
+        let _ = bfs(&csr, 0, 2, &WorkerPool::new(2), &mut c);
         // 6 arcs scanned per superstep regardless of frontier size.
         assert_eq!(c.edges_scanned, 6 * c.supersteps);
     }
@@ -354,7 +407,7 @@ mod tests {
     fn cdlp_shuffles_without_combiner() {
         let csr = sample(false);
         let mut c = WorkCounters::new();
-        let _ = cdlp(&csr, 2, 2, &mut c);
+        let _ = cdlp(&csr, 2, 2, &WorkerPool::new(2), &mut c);
         // Each iteration ships one vote per arc (12 arcs undirected)
         // plus n vertex views.
         assert!(c.messages >= 2 * (12 + 6));

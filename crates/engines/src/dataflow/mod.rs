@@ -32,6 +32,7 @@ use graphalytics_core::{Algorithm, Csr};
 
 use graphalytics_cluster::WorkCounters;
 
+use crate::common::pool::WorkerPool;
 use crate::platform::{Execution, Platform};
 use crate::profile::PerfProfile;
 
@@ -215,28 +216,29 @@ impl Platform for DataflowEngine {
         csr: &Csr,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        threads: u32,
+        pool: &WorkerPool,
     ) -> Result<Execution> {
         let start = Instant::now();
         let mut c = WorkCounters::new();
-        let parts = (threads.max(1) as usize) * 2; // Spark-style over-partitioning
+        let parts = (pool.threads() as usize) * 2; // Spark-style over-partitioning
         let values = match algorithm {
             Algorithm::Bfs => {
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(algorithms::bfs(csr, root, parts, &mut c))
+                OutputValues::I64(algorithms::bfs(csr, root, parts, pool, &mut c))
             }
             Algorithm::PageRank => OutputValues::F64(algorithms::pagerank(
                 csr,
                 params.pagerank_iterations,
                 params.damping_factor,
                 parts,
+                pool,
                 &mut c,
             )),
-            Algorithm::Wcc => OutputValues::Id(algorithms::wcc(csr, parts, &mut c)),
+            Algorithm::Wcc => OutputValues::Id(algorithms::wcc(csr, parts, pool, &mut c)),
             Algorithm::Cdlp => {
-                OutputValues::Id(algorithms::cdlp(csr, params.cdlp_iterations, parts, &mut c))
+                OutputValues::Id(algorithms::cdlp(csr, params.cdlp_iterations, parts, pool, &mut c))
             }
-            Algorithm::Lcc => OutputValues::F64(algorithms::lcc(csr, parts, &mut c)),
+            Algorithm::Lcc => OutputValues::F64(algorithms::lcc(csr, parts, pool, &mut c)),
             Algorithm::Sssp => {
                 if !csr.is_weighted() {
                     return Err(graphalytics_core::Error::InvalidParameters(
@@ -244,7 +246,7 @@ impl Platform for DataflowEngine {
                     ));
                 }
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(algorithms::sssp(csr, root, parts, &mut c))
+                OutputValues::F64(algorithms::sssp(csr, root, parts, pool, &mut c))
             }
         };
         Ok(Execution {

@@ -34,7 +34,7 @@ use graphalytics_core::{Algorithm, Csr, VertexId};
 use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
-use crate::common::par::run_partitioned;
+use crate::common::pool::WorkerPool;
 use crate::platform::{Execution, Platform};
 use crate::profile::PerfProfile;
 
@@ -101,11 +101,11 @@ pub trait GasProgram: Sync {
     }
 }
 
-/// Runs a [`GasProgram`] to completion.
+/// Runs a [`GasProgram`] to completion on the shared pool.
 pub fn run_gas<P: GasProgram>(
     csr: &Csr,
     program: &P,
-    threads: u32,
+    pool: &WorkerPool,
     counters: &mut WorkCounters,
 ) -> Vec<P::Value> {
     let n = csr.num_vertices();
@@ -147,7 +147,7 @@ pub fn run_gas<P: GasProgram>(
         let values_ref = &values;
         // Gather + apply in parallel over the active set (synchronous:
         // gathers read `values_ref`, the previous iteration's state).
-        let parts = run_partitioned(threads, members.len(), |_, range| {
+        let parts = pool.run(members.len(), |_, range| {
             let mut updates: Vec<(u32, P::Value, bool)> = Vec::with_capacity(range.len());
             let mut edges = 0u64;
             let mut contributions = 0u64;
@@ -282,14 +282,14 @@ impl Platform for GasEngine {
         csr: &Csr,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        threads: u32,
+        pool: &WorkerPool,
     ) -> Result<Execution> {
         let start = Instant::now();
         let mut c = WorkCounters::new();
         let values = match algorithm {
             Algorithm::Bfs => {
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(run_gas(csr, &BfsGas { root }, threads, &mut c))
+                OutputValues::I64(run_gas(csr, &BfsGas { root }, pool, &mut c))
             }
             Algorithm::PageRank => OutputValues::F64(run_gas(
                 csr,
@@ -298,17 +298,17 @@ impl Platform for GasEngine {
                     damping: params.damping_factor,
                     n: csr.num_vertices() as f64,
                 },
-                threads,
+                pool,
                 &mut c,
             )),
-            Algorithm::Wcc => OutputValues::Id(run_gas(csr, &WccGas, threads, &mut c)),
+            Algorithm::Wcc => OutputValues::Id(run_gas(csr, &WccGas, pool, &mut c)),
             Algorithm::Cdlp => OutputValues::Id(run_gas(
                 csr,
                 &CdlpGas { iterations: params.cdlp_iterations },
-                threads,
+                pool,
                 &mut c,
             )),
-            Algorithm::Lcc => OutputValues::F64(streamed_lcc(csr, threads, &mut c)),
+            Algorithm::Lcc => OutputValues::F64(streamed_lcc(csr, pool, &mut c)),
             Algorithm::Sssp => {
                 if !csr.is_weighted() {
                     return Err(graphalytics_core::Error::InvalidParameters(
@@ -316,7 +316,7 @@ impl Platform for GasEngine {
                     ));
                 }
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(run_gas(csr, &SsspGas { root }, threads, &mut c))
+                OutputValues::F64(run_gas(csr, &SsspGas { root }, pool, &mut c))
             }
         };
         Ok(Execution {
@@ -370,46 +370,37 @@ impl Platform for GasEngine {
 
 /// LCC as a streaming gather: per active vertex, fold neighbour-set
 /// intersections without materializing lists.
-fn streamed_lcc(csr: &Csr, threads: u32, c: &mut WorkCounters) -> Vec<f64> {
+fn streamed_lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     c.supersteps += 1;
     c.vertices_processed += n as u64;
-    let parts = run_partitioned(threads, n, |_, range| {
-        let mut out = Vec::with_capacity(range.len());
-        let mut edges = 0u64;
-        let mut contributions = 0u64;
-        for v in range {
-            let neigh = csr.neighborhood_union(v as u32);
-            let d = neigh.len();
-            if d < 2 {
-                out.push(0.0);
-                continue;
-            }
-            contributions += d as u64;
-            let mut links = 0u64;
-            for &u in &neigh {
-                let ou = csr.out_neighbors(u);
-                edges += ou.len().min(d) as u64;
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < ou.len() && j < d {
-                    match ou[i].cmp(&neigh[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            links += 1;
-                            i += 1;
-                            j += 1;
-                        }
+    let (values, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut (u64, u64)| {
+        let neigh = csr.neighborhood_union(v);
+        let d = neigh.len();
+        if d < 2 {
+            return 0.0;
+        }
+        tally.1 += d as u64;
+        let mut links = 0u64;
+        for &u in &neigh {
+            let ou = csr.out_neighbors(u);
+            tally.0 += ou.len().min(d) as u64;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < ou.len() && j < d {
+                match ou[i].cmp(&neigh[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        links += 1;
+                        i += 1;
+                        j += 1;
                     }
                 }
             }
-            out.push(links as f64 / (d as f64 * (d as f64 - 1.0)));
         }
-        (out, edges, contributions)
+        links as f64 / (d as f64 * (d as f64 - 1.0))
     });
-    let mut values = Vec::with_capacity(n);
-    for (part, edges, contributions) in parts {
-        values.extend(part);
+    for (edges, contributions) in tallies {
         c.edges_scanned += edges;
         c.add_messages(contributions, 8);
     }
@@ -445,7 +436,7 @@ mod tests {
             let engine = GasEngine::new();
             let params = AlgorithmParams::with_source(0);
             for alg in Algorithm::ALL {
-                let run = engine.execute(&csr, alg, &params, 2).unwrap();
+                let run = engine.execute(&csr, alg, &params, &WorkerPool::new(2)).unwrap();
                 let expected =
                     graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
                 graphalytics_core::validation::validate(&expected, &run.output)
@@ -460,7 +451,7 @@ mod tests {
     fn active_set_drains_for_traversals() {
         let csr = sample(true);
         let mut c = WorkCounters::new();
-        let _ = run_gas(&csr, &BfsGas { root: 0 }, 1, &mut c);
+        let _ = run_gas(&csr, &BfsGas { root: 0 }, &WorkerPool::inline(), &mut c);
         // Active-set processing: far fewer vertex activations than
         // |V| × supersteps.
         assert!(c.vertices_processed < 6 * c.supersteps);

@@ -288,6 +288,7 @@ impl GasProgram for CdlpGas {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::pool::WorkerPool;
     use crate::gas::run_gas;
     use graphalytics_cluster::WorkCounters;
     use graphalytics_core::GraphBuilder;
@@ -300,7 +301,7 @@ mod tests {
         b.add_edge(2, 1);
         let csr = b.build().unwrap().to_csr();
         let mut c = WorkCounters::new();
-        let depths = run_gas(&csr, &BfsGas { root: 0 }, 1, &mut c);
+        let depths = run_gas(&csr, &BfsGas { root: 0 }, &WorkerPool::inline(), &mut c);
         assert_eq!(depths, vec![0, 1, i64::MAX]);
     }
 
@@ -311,7 +312,7 @@ mod tests {
         b.add_edge(0, 1);
         let csr = b.build().unwrap().to_csr();
         let mut c = WorkCounters::new();
-        let pr = run_gas(&csr, &PageRankGas { iterations: 0, damping: 0.85, n: 4.0 }, 1, &mut c);
+        let pr = run_gas(&csr, &PageRankGas { iterations: 0, damping: 0.85, n: 4.0 }, &WorkerPool::inline(), &mut c);
         assert_eq!(pr, vec![0.25; 4]);
         assert_eq!(c.supersteps, 0);
     }

@@ -28,7 +28,7 @@ use graphalytics_core::{Algorithm, Csr, VertexId};
 
 use graphalytics_cluster::WorkCounters;
 
-use crate::common::par::{run_partitioned, split_ranges};
+use crate::common::pool::{SharedSlice, WorkerPool};
 use crate::platform::{Execution, Platform};
 use crate::profile::PerfProfile;
 
@@ -63,7 +63,7 @@ impl Platform for NativeEngine {
         csr: &Csr,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        threads: u32,
+        pool: &WorkerPool,
     ) -> Result<Execution> {
         let start = Instant::now();
         let mut counters = WorkCounters::new();
@@ -76,17 +76,17 @@ impl Platform for NativeEngine {
                 csr,
                 params.pagerank_iterations,
                 params.damping_factor,
-                threads,
+                pool,
                 &mut counters,
             )),
             Algorithm::Wcc => OutputValues::Id(union_find_wcc(csr, &mut counters)),
             Algorithm::Cdlp => OutputValues::Id(sync_cdlp(
                 csr,
                 params.cdlp_iterations,
-                threads,
+                pool,
                 &mut counters,
             )),
-            Algorithm::Lcc => OutputValues::F64(intersect_lcc(csr, threads, &mut counters)),
+            Algorithm::Lcc => OutputValues::F64(intersect_lcc(csr, pool, &mut counters)),
             Algorithm::Sssp => {
                 if !csr.is_weighted() {
                     return Err(graphalytics_core::Error::InvalidParameters(
@@ -186,8 +186,9 @@ fn queue_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
 }
 
 /// Pull-based PageRank; bit-identical to the reference (same traversal
-/// order), parallel over vertex ranges.
-fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, threads: u32, c: &mut WorkCounters) -> Vec<f64> {
+/// order), parallel over vertex ranges on the shared pool with
+/// allocation-free double buffering.
+fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -199,79 +200,41 @@ fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, threads: u32, c: &mut
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let rank_ref = &rank;
-        let dangling: f64 = run_partitioned(threads, n, |_, r| {
-            let mut local = 0.0f64;
-            for u in r {
-                if csr.out_degree(u as u32) == 0 {
-                    local += rank_ref[u];
+        let dangling: f64 = pool
+            .run(n, |_, r| {
+                let mut local = 0.0f64;
+                for u in r {
+                    if csr.out_degree(u as u32) == 0 {
+                        local += rank_ref[u];
+                    }
                 }
-            }
-            local
-        })
-        .into_iter()
-        .sum();
+                local
+            })
+            .into_iter()
+            .sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
         let edges: u64 = {
-            let next_slices = split_ranges(threads, n);
-            let mut out = std::mem::take(&mut next);
-            let edge_counts = run_with_output(csr, rank_ref, &mut out, &next_slices, |csr, rank, v| {
-                let mut sum = 0.0f64;
-                for &u in csr.in_neighbors(v) {
-                    sum += rank[u as usize] / csr.out_degree(u) as f64;
+            let out = SharedSlice::new(next.as_mut_ptr());
+            pool.run(n, |_, r| {
+                let mut edges = 0u64;
+                for v in r {
+                    let mut sum = 0.0f64;
+                    for &u in csr.in_neighbors(v as u32) {
+                        sum += rank_ref[u as usize] / csr.out_degree(u) as f64;
+                    }
+                    edges += csr.in_degree(v as u32) as u64;
+                    // SAFETY: vertex ranges are disjoint.
+                    unsafe { *out.at(v) = base + damping * sum };
                 }
-                (base + damping * sum, csr.in_degree(v) as u64)
-            });
-            next = out;
-            edge_counts
+                edges
+            })
+            .into_iter()
+            .sum()
         };
         c.edges_scanned += edges;
         std::mem::swap(&mut rank, &mut next);
     }
     rank
-}
-
-/// Applies `f` per vertex writing into disjoint slices of `out`;
-/// returns total scanned edges.
-fn run_with_output<F>(
-    csr: &Csr,
-    rank: &[f64],
-    out: &mut [f64],
-    ranges: &[std::ops::Range<usize>],
-    f: F,
-) -> u64
-where
-    F: Fn(&Csr, &[f64], u32) -> (f64, u64) + Sync,
-{
-    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(ranges.len());
-    let mut rest = out;
-    let mut cursor = 0usize;
-    for r in ranges {
-        let (head, tail) = rest.split_at_mut(r.end - cursor);
-        slices.push(head);
-        rest = tail;
-        cursor = r.end;
-    }
-    let mut totals = 0u64;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (slice, r) in slices.into_iter().zip(ranges.iter()) {
-            let f = &f;
-            let r = r.clone();
-            handles.push(scope.spawn(move || {
-                let mut edges = 0u64;
-                for (offset, v) in r.clone().enumerate() {
-                    let (val, e) = f(csr, rank, v as u32);
-                    slice[offset] = val;
-                    edges += e;
-                }
-                edges
-            }));
-        }
-        for h in handles {
-            totals += h.join().expect("pagerank worker");
-        }
-    });
-    totals
 }
 
 /// Union–find WCC with path compression; labels = min id per component.
@@ -305,42 +268,34 @@ fn union_find_wcc(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
 }
 
 /// Synchronous CDLP identical to the reference semantics, parallel over
-/// vertices.
-fn sync_cdlp(csr: &Csr, iterations: u32, threads: u32, c: &mut WorkCounters) -> Vec<VertexId> {
+/// vertices with a per-worker scratch map.
+fn sync_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
+    type Tally = (u64, std::collections::HashMap<VertexId, u32>);
     let n = csr.num_vertices();
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;
-        let parts = run_partitioned(threads, n, |_, range| {
-            let mut out = Vec::with_capacity(range.len());
-            let mut freq: std::collections::HashMap<VertexId, u32> = std::collections::HashMap::new();
-            let mut edges = 0u64;
-            for u in range {
-                freq.clear();
-                let outn = csr.out_neighbors(u as u32);
-                edges += outn.len() as u64;
-                for &v in outn {
+        let (next, tallies) = crate::common::map_vertices(pool, n, |u, tally: &mut Tally| {
+            let (edges, freq) = tally;
+            freq.clear();
+            let outn = csr.out_neighbors(u);
+            *edges += outn.len() as u64;
+            for &v in outn {
+                *freq.entry(labels_ref[v as usize]).or_insert(0) += 1;
+            }
+            if csr.is_directed() {
+                let inn = csr.in_neighbors(u);
+                *edges += inn.len() as u64;
+                for &v in inn {
                     *freq.entry(labels_ref[v as usize]).or_insert(0) += 1;
                 }
-                if csr.is_directed() {
-                    let inn = csr.in_neighbors(u as u32);
-                    edges += inn.len() as u64;
-                    for &v in inn {
-                        *freq.entry(labels_ref[v as usize]).or_insert(0) += 1;
-                    }
-                }
-                out.push(
-                    graphalytics_core::algorithms::cdlp::select_label(&freq)
-                        .unwrap_or(labels_ref[u]),
-                );
             }
-            (out, edges)
+            graphalytics_core::algorithms::cdlp::select_label(freq)
+                .unwrap_or(labels_ref[u as usize])
         });
-        let mut next = Vec::with_capacity(n);
-        for (part, edges) in parts {
-            next.extend(part);
+        for (edges, _) in tallies {
             c.edges_scanned += edges;
             c.random_accesses += edges;
         }
@@ -350,44 +305,36 @@ fn sync_cdlp(csr: &Csr, iterations: u32, threads: u32, c: &mut WorkCounters) -> 
 }
 
 /// LCC via sorted-adjacency intersections (streams; no materialization).
-fn intersect_lcc(csr: &Csr, threads: u32, c: &mut WorkCounters) -> Vec<f64> {
+fn intersect_lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     c.supersteps = 1;
     c.vertices_processed += n as u64;
-    let parts = run_partitioned(threads, n, |_, range| {
-        let mut out = Vec::with_capacity(range.len());
-        let mut edges = 0u64;
-        for v in range {
-            let neigh = csr.neighborhood_union(v as u32);
-            let d = neigh.len();
-            if d < 2 {
-                out.push(0.0);
-                continue;
-            }
-            let mut links = 0u64;
-            for &u in &neigh {
-                let ou = csr.out_neighbors(u);
-                edges += (ou.len() + d) as u64;
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < ou.len() && j < d {
-                    match ou[i].cmp(&neigh[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            links += 1;
-                            i += 1;
-                            j += 1;
-                        }
+    let (values, tallies) = crate::common::map_vertices(pool, n, |v, edges: &mut u64| {
+        let neigh = csr.neighborhood_union(v);
+        let d = neigh.len();
+        if d < 2 {
+            return 0.0;
+        }
+        let mut links = 0u64;
+        for &u in &neigh {
+            let ou = csr.out_neighbors(u);
+            *edges += (ou.len() + d) as u64;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < ou.len() && j < d {
+                match ou[i].cmp(&neigh[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        links += 1;
+                        i += 1;
+                        j += 1;
                     }
                 }
             }
-            out.push(links as f64 / (d as f64 * (d as f64 - 1.0)));
         }
-        (out, edges)
+        links as f64 / (d as f64 * (d as f64 - 1.0))
     });
-    let mut values = Vec::with_capacity(n);
-    for (part, edges) in parts {
-        values.extend(part);
+    for edges in tallies {
         c.edges_scanned += edges;
     }
     values
@@ -459,7 +406,7 @@ mod tests {
         let engine = NativeEngine::new();
         let params = AlgorithmParams::with_source(0);
         for alg in Algorithm::ALL {
-            let run = engine.execute(&csr, alg, &params, 2).unwrap();
+            let run = engine.execute(&csr, alg, &params, &WorkerPool::new(2)).unwrap();
             let expected =
                 graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
             graphalytics_core::validation::validate(&expected, &run.output)
@@ -485,8 +432,8 @@ mod tests {
         let csr = sample();
         let mut c1 = WorkCounters::new();
         let mut c2 = WorkCounters::new();
-        let a = pull_pagerank(&csr, 10, 0.85, 1, &mut c1);
-        let b = pull_pagerank(&csr, 10, 0.85, 4, &mut c2);
+        let a = pull_pagerank(&csr, 10, 0.85, &WorkerPool::inline(), &mut c1);
+        let b = pull_pagerank(&csr, 10, 0.85, &WorkerPool::new(4), &mut c2);
         assert_eq!(a, b, "pull PR is bit-identical across thread counts");
         assert_eq!(c1.edges_scanned, c2.edges_scanned);
     }

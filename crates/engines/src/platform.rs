@@ -10,6 +10,7 @@
 use graphalytics_core::error::{Error, Result};
 use graphalytics_core::output::AlgorithmOutput;
 use graphalytics_core::params::AlgorithmParams;
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Algorithm, Csr};
 
 use graphalytics_cluster::WorkCounters;
@@ -40,13 +41,18 @@ pub trait Platform: Send + Sync {
         true
     }
 
-    /// Executes `algorithm` on `csr` with `threads` worker threads.
+    /// Executes `algorithm` on `csr` on the shared execution runtime.
+    ///
+    /// The pool is owned by the caller (one per benchmark run in the
+    /// harness, one per daemon in the service) so engines never spawn
+    /// threads themselves; outputs are bit-identical for every pool
+    /// width.
     fn execute(
         &self,
         csr: &Csr,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        threads: u32,
+        pool: &WorkerPool,
     ) -> Result<Execution>;
 
     /// Estimates the counters a run on a graph with the given size/traits

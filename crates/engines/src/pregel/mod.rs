@@ -32,7 +32,7 @@ use graphalytics_core::{Algorithm, Csr};
 
 use graphalytics_cluster::WorkCounters;
 
-use crate::common::par::run_partitioned;
+use crate::common::pool::{SharedSlice, WorkerPool};
 use crate::platform::{Execution, Platform};
 use crate::profile::PerfProfile;
 
@@ -127,30 +127,14 @@ pub trait VertexProgram: Sync {
     }
 }
 
-/// Shared mutable slice for disjoint-range parallel access.
-///
-/// Workers produced by [`run_partitioned`] own non-overlapping vertex
-/// ranges, so per-vertex mutation through this wrapper is race-free.
-struct SharedSlice<T>(*mut T);
-unsafe impl<T: Send> Sync for SharedSlice<T> {}
-impl<T> SharedSlice<T> {
-    /// # Safety
-    /// Caller guarantees `i` is accessed by at most one thread at a time
-    /// (disjoint ranges), which is what makes handing out `&mut` through
-    /// a shared reference sound here.
-    #[allow(clippy::mut_from_ref)]
-    #[inline]
-    unsafe fn at(&self, i: usize) -> &mut T {
-        unsafe { &mut *self.0.add(i) }
-    }
-}
-
 /// Runs `program` to completion; returns final vertex values and populates
-/// `counters`.
+/// `counters`. Supersteps execute on the shared pool: parked workers own
+/// disjoint vertex ranges (mutated through [`SharedSlice`]) and their
+/// contexts merge at the barrier in worker order.
 pub fn run_pregel<P: VertexProgram>(
     csr: &Csr,
     program: &P,
-    threads: u32,
+    pool: &WorkerPool,
     counters: &mut WorkCounters,
 ) -> Vec<P::Value> {
     let n = csr.num_vertices();
@@ -166,10 +150,10 @@ pub fn run_pregel<P: VertexProgram>(
         // The partition store iterates every vertex to test activity.
         counters.vertices_processed += n as u64;
 
-        let values_ptr = SharedSlice(values.as_mut_ptr());
-        let active_ptr = SharedSlice(active.as_mut_ptr());
+        let values_ptr = SharedSlice::new(values.as_mut_ptr());
+        let active_ptr = SharedSlice::new(active.as_mut_ptr());
         let inbox_ref: &Vec<Vec<P::Message>> = &inboxes;
-        let results = run_partitioned(threads, n, |_, range| {
+        let results = pool.run(n, |_, range| {
             let mut ctx = ComputeCtx::new(msg_bytes);
             for u in range {
                 let has_messages = !inbox_ref[u].is_empty();
@@ -251,14 +235,14 @@ impl Platform for PregelEngine {
         csr: &Csr,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        threads: u32,
+        pool: &WorkerPool,
     ) -> Result<Execution> {
         let start = Instant::now();
         let mut counters = WorkCounters::new();
         let values = match algorithm {
             Algorithm::Bfs => {
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(run_pregel(csr, &BfsProgram { root }, threads, &mut counters))
+                OutputValues::I64(run_pregel(csr, &BfsProgram { root }, pool, &mut counters))
             }
             Algorithm::PageRank => OutputValues::F64(run_pregel(
                 csr,
@@ -267,20 +251,20 @@ impl Platform for PregelEngine {
                     damping: params.damping_factor,
                     n: csr.num_vertices() as f64,
                 },
-                threads,
+                pool,
                 &mut counters,
             )),
             Algorithm::Wcc => {
-                OutputValues::Id(run_pregel(csr, &WccProgram, threads, &mut counters))
+                OutputValues::Id(run_pregel(csr, &WccProgram, pool, &mut counters))
             }
             Algorithm::Cdlp => OutputValues::Id(run_pregel(
                 csr,
                 &CdlpProgram { iterations: params.cdlp_iterations },
-                threads,
+                pool,
                 &mut counters,
             )),
             Algorithm::Lcc => {
-                OutputValues::F64(run_pregel(csr, &LccProgram, threads, &mut counters))
+                OutputValues::F64(run_pregel(csr, &LccProgram, pool, &mut counters))
             }
             Algorithm::Sssp => {
                 if !csr.is_weighted() {
@@ -289,7 +273,7 @@ impl Platform for PregelEngine {
                     ));
                 }
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(run_pregel(csr, &SsspProgram { root }, threads, &mut counters))
+                OutputValues::F64(run_pregel(csr, &SsspProgram { root }, pool, &mut counters))
             }
         };
         Ok(Execution {

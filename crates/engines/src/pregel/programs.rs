@@ -359,6 +359,7 @@ impl VertexProgram for SsspProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::pool::WorkerPool;
     use crate::pregel::run_pregel;
     use graphalytics_cluster::WorkCounters;
     use graphalytics_core::GraphBuilder;
@@ -379,7 +380,7 @@ mod tests {
     fn bfs_program_matches_reference() {
         let csr = diamond();
         let mut c = WorkCounters::new();
-        let depths = run_pregel(&csr, &BfsProgram { root: 0 }, 2, &mut c);
+        let depths = run_pregel(&csr, &BfsProgram { root: 0 }, &WorkerPool::new(2), &mut c);
         assert_eq!(depths, graphalytics_core::algorithms::bfs(&csr, 0));
         assert!(c.supersteps >= 3);
         assert!(c.messages > 0);
@@ -391,7 +392,7 @@ mod tests {
     fn sssp_program_matches_reference() {
         let csr = diamond();
         let mut c = WorkCounters::new();
-        let dist = run_pregel(&csr, &SsspProgram { root: 0 }, 1, &mut c);
+        let dist = run_pregel(&csr, &SsspProgram { root: 0 }, &WorkerPool::inline(), &mut c);
         let expected = graphalytics_core::algorithms::sssp(&csr, 0);
         for (a, b) in dist.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-12);
@@ -405,7 +406,7 @@ mod tests {
         let pr = run_pregel(
             &csr,
             &PageRankProgram { iterations: 10, damping: 0.85, n: 4.0 },
-            2,
+            &WorkerPool::new(2),
             &mut c,
         );
         let expected = graphalytics_core::algorithms::pagerank(&csr, 10, 0.85);
@@ -419,11 +420,11 @@ mod tests {
     fn wcc_and_cdlp_match_reference() {
         let csr = diamond();
         let mut c = WorkCounters::new();
-        let labels = run_pregel(&csr, &WccProgram, 2, &mut c);
+        let labels = run_pregel(&csr, &WccProgram, &WorkerPool::new(2), &mut c);
         assert_eq!(labels, graphalytics_core::algorithms::wcc(&csr));
 
         let mut c = WorkCounters::new();
-        let cd = run_pregel(&csr, &CdlpProgram { iterations: 5 }, 2, &mut c);
+        let cd = run_pregel(&csr, &CdlpProgram { iterations: 5 }, &WorkerPool::new(2), &mut c);
         assert_eq!(cd, graphalytics_core::algorithms::cdlp(&csr, 5));
     }
 
@@ -437,7 +438,7 @@ mod tests {
         }
         let csr = b.build().unwrap().to_csr();
         let mut c = WorkCounters::new();
-        let lcc = run_pregel(&csr, &LccProgram, 2, &mut c);
+        let lcc = run_pregel(&csr, &LccProgram, &WorkerPool::new(2), &mut c);
         let expected = graphalytics_core::algorithms::lcc(&csr);
         for (a, b) in lcc.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");

@@ -25,7 +25,7 @@ use graphalytics_core::{Algorithm, Csr, VertexId};
 use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
-use crate::common::par::run_partitioned;
+use crate::common::pool::WorkerPool;
 use crate::platform::{unsupported, Execution, Platform};
 use crate::profile::PerfProfile;
 
@@ -67,7 +67,7 @@ impl Platform for PushPullEngine {
         csr: &Csr,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        threads: u32,
+        pool: &WorkerPool,
     ) -> Result<Execution> {
         let start = Instant::now();
         let mut c = WorkCounters::new();
@@ -80,12 +80,12 @@ impl Platform for PushPullEngine {
                 csr,
                 params.pagerank_iterations,
                 params.damping_factor,
-                threads,
+                pool,
                 &mut c,
             )),
             Algorithm::Wcc => OutputValues::Id(pushpull_wcc(csr, &mut c)),
             Algorithm::Cdlp => {
-                OutputValues::Id(pull_cdlp(csr, params.cdlp_iterations, threads, &mut c))
+                OutputValues::Id(pull_cdlp(csr, params.cdlp_iterations, pool, &mut c))
             }
             Algorithm::Lcc => return Err(unsupported(self.name(), algorithm)),
             Algorithm::Sssp => {
@@ -205,7 +205,7 @@ fn direction_optimizing_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i
 }
 
 /// Pull PageRank (PGX.D's home turf: pure reads, no message buffers).
-fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, threads: u32, c: &mut WorkCounters) -> Vec<f64> {
+fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -221,23 +221,16 @@ fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, threads: u32, c: &mut
             .map(|u| rank_ref[u as usize])
             .sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
-        let parts = run_partitioned(threads, n, |_, range| {
-            let mut out = Vec::with_capacity(range.len());
-            let mut edges = 0u64;
-            for v in range {
-                let inn = csr.in_neighbors(v as u32);
-                edges += inn.len() as u64;
-                let mut sum = 0.0f64;
-                for &u in inn {
-                    sum += rank_ref[u as usize] / csr.out_degree(u) as f64;
-                }
-                out.push(base + damping * sum);
+        let (next, tallies) = crate::common::map_vertices(pool, n, |v, edges: &mut u64| {
+            let inn = csr.in_neighbors(v);
+            *edges += inn.len() as u64;
+            let mut sum = 0.0f64;
+            for &u in inn {
+                sum += rank_ref[u as usize] / csr.out_degree(u) as f64;
             }
-            (out, edges)
+            base + damping * sum
         });
-        let mut next = Vec::with_capacity(n);
-        for (part, edges) in parts {
-            next.extend(part);
+        for edges in tallies {
             c.edges_scanned += edges;
         }
         rank = next;
@@ -282,41 +275,33 @@ fn pushpull_wcc(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
 }
 
 /// CDLP: pull mode — each vertex reads neighbour labels directly.
-fn pull_cdlp(csr: &Csr, iterations: u32, threads: u32, c: &mut WorkCounters) -> Vec<VertexId> {
+fn pull_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
+    type Tally = (u64, std::collections::HashMap<VertexId, u32>);
     let n = csr.num_vertices();
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;
-        let parts = run_partitioned(threads, n, |_, range| {
-            let mut out = Vec::with_capacity(range.len());
-            let mut freq = std::collections::HashMap::new();
-            let mut edges = 0u64;
-            for v in range {
-                freq.clear();
-                let outn = csr.out_neighbors(v as u32);
-                edges += outn.len() as u64;
-                for &u in outn {
-                    *freq.entry(labels_ref[u as usize]).or_insert(0u32) += 1;
-                }
-                if csr.is_directed() {
-                    let inn = csr.in_neighbors(v as u32);
-                    edges += inn.len() as u64;
-                    for &u in inn {
-                        *freq.entry(labels_ref[u as usize]).or_insert(0) += 1;
-                    }
-                }
-                out.push(
-                    graphalytics_core::algorithms::cdlp::select_label(&freq)
-                        .unwrap_or(labels_ref[v]),
-                );
+        let (next, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut Tally| {
+            let (edges, freq) = tally;
+            freq.clear();
+            let outn = csr.out_neighbors(v);
+            *edges += outn.len() as u64;
+            for &u in outn {
+                *freq.entry(labels_ref[u as usize]).or_insert(0u32) += 1;
             }
-            (out, edges)
+            if csr.is_directed() {
+                let inn = csr.in_neighbors(v);
+                *edges += inn.len() as u64;
+                for &u in inn {
+                    *freq.entry(labels_ref[u as usize]).or_insert(0) += 1;
+                }
+            }
+            graphalytics_core::algorithms::cdlp::select_label(freq)
+                .unwrap_or(labels_ref[v as usize])
         });
-        let mut next = Vec::with_capacity(n);
-        for (part, edges) in parts {
-            next.extend(part);
+        for (edges, _) in tallies {
             c.edges_scanned += edges;
             c.random_accesses += edges;
         }
@@ -379,10 +364,10 @@ mod tests {
             let params = AlgorithmParams::with_source(0);
             for alg in Algorithm::ALL {
                 if alg == Algorithm::Lcc {
-                    assert!(engine.execute(&csr, alg, &params, 2).is_err());
+                    assert!(engine.execute(&csr, alg, &params, &WorkerPool::new(2)).is_err());
                     continue;
                 }
-                let run = engine.execute(&csr, alg, &params, 2).unwrap();
+                let run = engine.execute(&csr, alg, &params, &WorkerPool::new(2)).unwrap();
                 let expected =
                     graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
                 graphalytics_core::validation::validate(&expected, &run.output)
@@ -414,7 +399,7 @@ mod tests {
     fn pull_pagerank_no_messages() {
         let csr = sample(true);
         let mut c = WorkCounters::new();
-        let _ = pull_pagerank(&csr, 5, 0.85, 2, &mut c);
+        let _ = pull_pagerank(&csr, 5, 0.85, &WorkerPool::new(2), &mut c);
         assert_eq!(c.messages, 0, "pull mode reads, never sends");
         assert!(c.edges_scanned > 0);
     }

@@ -26,7 +26,7 @@ use graphalytics_core::{Algorithm, Csr, VertexId};
 use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
-use crate::common::par::run_partitioned;
+use crate::common::pool::WorkerPool;
 use crate::platform::{Execution, Platform};
 use crate::profile::PerfProfile;
 
@@ -108,12 +108,13 @@ pub fn spmspv<K: SpmvKernel>(
 }
 
 /// One *dense* pull iteration (SPMV): for every vertex, combine over all
-/// in-edges. Parallel over rows; deterministic because each row folds its
-/// in-neighbours in CSR order.
+/// in-edges. Parallel over rows on the shared pool; deterministic because
+/// each row folds its in-neighbours in CSR order.
 pub fn spmv_dense<K: SpmvKernel>(
     csr: &Csr,
     kernel: &K,
     x: &[f64],
+    pool: &WorkerPool,
     c: &mut WorkCounters,
 ) -> Vec<K::Partial>
 where
@@ -121,24 +122,17 @@ where
 {
     let n = csr.num_vertices();
     c.vertices_processed += n as u64;
-    let parts = run_partitioned(4, n, |_, range| {
-        let mut out = Vec::with_capacity(range.len());
-        let mut edges = 0u64;
-        for v in range {
-            let inn = csr.in_neighbors(v as u32);
-            let weights = csr.in_weights(v as u32);
-            edges += inn.len() as u64;
-            let mut acc = kernel.identity();
-            for (&u, &w) in inn.iter().zip(weights) {
-                acc = kernel.add(acc, kernel.multiply(x[u as usize], w, csr.out_degree(u)));
-            }
-            out.push(acc);
+    let (result, tallies) = crate::common::map_vertices(pool, n, |v, edges: &mut u64| {
+        let inn = csr.in_neighbors(v);
+        let weights = csr.in_weights(v);
+        *edges += inn.len() as u64;
+        let mut acc = kernel.identity();
+        for (&u, &w) in inn.iter().zip(weights) {
+            acc = kernel.add(acc, kernel.multiply(x[u as usize], w, csr.out_degree(u)));
         }
-        (out, edges)
+        acc
     });
-    let mut result = Vec::with_capacity(n);
-    for (part, edges) in parts {
-        result.extend(part);
+    for edges in tallies {
         c.edges_scanned += edges;
         c.add_messages(edges, 8);
     }
@@ -176,7 +170,7 @@ impl Platform for SpmvEngine {
         csr: &Csr,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        threads: u32,
+        pool: &WorkerPool,
     ) -> Result<Execution> {
         let start = Instant::now();
         let mut c = WorkCounters::new();
@@ -189,11 +183,12 @@ impl Platform for SpmvEngine {
                 csr,
                 params.pagerank_iterations,
                 params.damping_factor,
+                pool,
                 &mut c,
             )),
             Algorithm::Wcc => OutputValues::Id(wcc(csr, &mut c)),
-            Algorithm::Cdlp => OutputValues::Id(cdlp(csr, params.cdlp_iterations, threads, &mut c)),
-            Algorithm::Lcc => OutputValues::F64(lcc(csr, threads, &mut c)),
+            Algorithm::Cdlp => OutputValues::Id(cdlp(csr, params.cdlp_iterations, pool, &mut c)),
+            Algorithm::Lcc => OutputValues::F64(lcc(csr, pool, &mut c)),
             Algorithm::Sssp => {
                 if !csr.is_weighted() {
                     return Err(graphalytics_core::Error::InvalidParameters(
@@ -287,7 +282,7 @@ fn bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
 }
 
 /// PageRank as dense plus-times SPMV iterations with dangling mass.
-fn pagerank(csr: &Csr, iterations: u32, damping: f64, c: &mut WorkCounters) -> Vec<f64> {
+fn pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -299,7 +294,7 @@ fn pagerank(csr: &Csr, iterations: u32, damping: f64, c: &mut WorkCounters) -> V
         let dangling: f64 =
             (0..n as u32).filter(|&u| csr.out_degree(u) == 0).map(|u| rank[u as usize]).sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
-        let sums = spmv_dense(csr, &RankSpread, &rank, c);
+        let sums = spmv_dense(csr, &RankSpread, &rank, pool, c);
         rank = sums.into_iter().map(|s| base + damping * s).collect();
     }
     rank
@@ -344,42 +339,35 @@ fn wcc(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
 }
 
 /// CDLP: generalized reduce (multiset mode) per row — GraphMat-style
-/// "vertex program mapped onto a matrix pass".
-fn cdlp(csr: &Csr, iterations: u32, threads: u32, c: &mut WorkCounters) -> Vec<VertexId> {
+/// "vertex program mapped onto a matrix pass". The per-worker tally
+/// carries a reusable frequency map so rows never reallocate.
+fn cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
+    type Tally = (u64, std::collections::HashMap<VertexId, u32>);
     let n = csr.num_vertices();
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;
-        let parts = run_partitioned(threads, n, |_, range| {
-            let mut out = Vec::with_capacity(range.len());
-            let mut freq: std::collections::HashMap<VertexId, u32> = std::collections::HashMap::new();
-            let mut edges = 0u64;
-            for v in range {
-                freq.clear();
-                let inn = csr.in_neighbors(v as u32);
-                edges += inn.len() as u64;
-                for &u in inn {
+        let (next, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut Tally| {
+            let (edges, freq) = tally;
+            freq.clear();
+            let inn = csr.in_neighbors(v);
+            *edges += inn.len() as u64;
+            for &u in inn {
+                *freq.entry(labels_ref[u as usize]).or_insert(0) += 1;
+            }
+            if csr.is_directed() {
+                let outn = csr.out_neighbors(v);
+                *edges += outn.len() as u64;
+                for &u in outn {
                     *freq.entry(labels_ref[u as usize]).or_insert(0) += 1;
                 }
-                if csr.is_directed() {
-                    let outn = csr.out_neighbors(v as u32);
-                    edges += outn.len() as u64;
-                    for &u in outn {
-                        *freq.entry(labels_ref[u as usize]).or_insert(0) += 1;
-                    }
-                }
-                out.push(
-                    graphalytics_core::algorithms::cdlp::select_label(&freq)
-                        .unwrap_or(labels_ref[v]),
-                );
             }
-            (out, edges)
+            graphalytics_core::algorithms::cdlp::select_label(freq)
+                .unwrap_or(labels_ref[v as usize])
         });
-        let mut next = Vec::with_capacity(n);
-        for (part, edges) in parts {
-            next.extend(part);
+        for (edges, _) in tallies {
             c.edges_scanned += edges;
             c.random_accesses += edges; // sparse-accumulator probes
             c.add_messages(edges, 8);
@@ -391,46 +379,38 @@ fn cdlp(csr: &Csr, iterations: u32, threads: u32, c: &mut WorkCounters) -> Vec<V
 
 /// LCC as masked sparse-matrix products (triangle counting); intersection
 /// work counted as SpGEMM non-zeros.
-fn lcc(csr: &Csr, threads: u32, c: &mut WorkCounters) -> Vec<f64> {
+fn lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     c.supersteps += 1;
     c.vertices_processed += n as u64;
-    let parts = run_partitioned(threads, n, |_, range| {
-        let mut out = Vec::with_capacity(range.len());
-        let mut edges = 0u64;
-        let mut products = 0u64;
-        for v in range {
-            let neigh = csr.neighborhood_union(v as u32);
-            let d = neigh.len();
-            if d < 2 {
-                out.push(0.0);
-                continue;
-            }
-            let mut links = 0u64;
-            for &u in &neigh {
-                let ou = csr.out_neighbors(u);
-                edges += ou.len() as u64;
-                products += (ou.len().min(d)) as u64;
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < ou.len() && j < d {
-                    match ou[i].cmp(&neigh[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            links += 1;
-                            i += 1;
-                            j += 1;
-                        }
+    let (values, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut (u64, u64)| {
+        let (edges, products) = tally;
+        let neigh = csr.neighborhood_union(v);
+        let d = neigh.len();
+        if d < 2 {
+            return 0.0;
+        }
+        let mut links = 0u64;
+        for &u in &neigh {
+            let ou = csr.out_neighbors(u);
+            *edges += ou.len() as u64;
+            *products += (ou.len().min(d)) as u64;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < ou.len() && j < d {
+                match ou[i].cmp(&neigh[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        links += 1;
+                        i += 1;
+                        j += 1;
                     }
                 }
             }
-            out.push(links as f64 / (d as f64 * (d as f64 - 1.0)));
         }
-        (out, edges, products)
+        links as f64 / (d as f64 * (d as f64 - 1.0))
     });
-    let mut values = Vec::with_capacity(n);
-    for (part, edges, products) in parts {
-        values.extend(part);
+    for (edges, products) in tallies {
         c.edges_scanned += edges;
         c.add_messages(products, 12);
     }
@@ -480,7 +460,7 @@ mod tests {
         let engine = SpmvEngine::new();
         let params = AlgorithmParams::with_source(0);
         for alg in Algorithm::ALL {
-            let run = engine.execute(&csr, alg, &params, 2).unwrap();
+            let run = engine.execute(&csr, alg, &params, &WorkerPool::new(2)).unwrap();
             let expected =
                 graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
             graphalytics_core::validation::validate(&expected, &run.output)

@@ -117,6 +117,12 @@ pub struct BenchmarkConfig {
     pub repetitions: u32,
     /// Base RNG seed for generation and simulated noise.
     pub seed: u64,
+    /// Worker-pool width for *real* (measured) execution and proxy CSR
+    /// builds; `0` sizes the pool from available parallelism. One pool is
+    /// created per benchmark run and shared by every job — never per
+    /// call. Distinct from the *simulated* `threads_per_machine` of the
+    /// cluster spec.
+    pub threads: u32,
 }
 
 impl Default for BenchmarkConfig {
@@ -129,6 +135,7 @@ impl Default for BenchmarkConfig {
             scale_divisor: 1,
             repetitions: 10,
             seed: 0xB5ED,
+            threads: 0,
         }
     }
 }
@@ -137,7 +144,7 @@ impl BenchmarkConfig {
     /// Builds a config from parsed properties. Recognized keys:
     /// `benchmark.name`, `benchmark.platforms`, `benchmark.datasets`,
     /// `benchmark.algorithms`, `benchmark.scale-divisor`,
-    /// `benchmark.repetitions`, `benchmark.seed`.
+    /// `benchmark.repetitions`, `benchmark.seed`, `benchmark.threads`.
     pub fn from_properties(props: &Properties) -> Result<BenchmarkConfig> {
         let defaults = BenchmarkConfig::default();
         let algorithms = props
@@ -156,7 +163,18 @@ impl BenchmarkConfig {
             scale_divisor: props.get_or("benchmark.scale-divisor", defaults.scale_divisor)?,
             repetitions: props.get_or("benchmark.repetitions", defaults.repetitions)?,
             seed: props.get_or("benchmark.seed", defaults.seed)?,
+            threads: props.get_or("benchmark.threads", defaults.threads)?,
         })
+    }
+
+    /// The configured worker-pool width (`0` resolves to the host
+    /// default).
+    pub fn pool_threads(&self) -> u32 {
+        if self.threads == 0 {
+            graphalytics_core::pool::default_threads()
+        } else {
+            self.threads
+        }
     }
 
     /// Parses a config from properties text.
@@ -198,7 +216,7 @@ mod tests {
         let cfg = BenchmarkConfig::parse(
             "benchmark.name = weekly\nbenchmark.platforms = spmv, native\n\
              benchmark.algorithms = bfs, pr\nbenchmark.scale-divisor = 100\n\
-             benchmark.seed = 7\n",
+             benchmark.seed = 7\nbenchmark.threads = 3\n",
         )
         .unwrap();
         assert_eq!(cfg.name, "weekly");
@@ -207,6 +225,15 @@ mod tests {
         assert_eq!(cfg.scale_divisor, 100);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.repetitions, 10, "default preserved");
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.pool_threads(), 3);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_default() {
+        let cfg = BenchmarkConfig::default();
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.pool_threads() >= 1);
     }
 
     #[test]

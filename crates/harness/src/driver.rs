@@ -9,11 +9,14 @@
 //! output validation against the reference implementation, and Granula
 //! archiving.
 
+use std::sync::Arc;
+
 use graphalytics_cluster::cost::{noise_factor, processing_time};
 use graphalytics_cluster::memory::MemoryOutcome;
 use graphalytics_cluster::partition::{estimate_replication, PartitionStrategy};
 use graphalytics_cluster::{ClusterSpec, NetworkSpec, WorkCounters};
 use graphalytics_core::datasets::DatasetSpec;
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Algorithm, Csr};
 use graphalytics_engines::profile::NetworkKind;
 use graphalytics_engines::Platform;
@@ -119,11 +122,18 @@ pub struct Driver {
     pub noise: bool,
     /// Base seed for the noise stream.
     pub seed: u64,
+    /// The execution runtime measured runs execute on. Owned by whoever
+    /// owns the driver (one per benchmark run in the [`Runner`],
+    /// one per daemon in the service); the default is the process-wide
+    /// shared pool, so ad-hoc drivers never spawn private thread sets.
+    ///
+    /// [`Runner`]: crate::runner::Runner
+    pub pool: Arc<WorkerPool>,
 }
 
 impl Default for Driver {
     fn default() -> Self {
-        Driver { validate: true, noise: true, seed: 0xB5ED }
+        Driver { validate: true, noise: true, seed: 0xB5ED, pool: WorkerPool::shared() }
     }
 }
 
@@ -224,7 +234,10 @@ impl Driver {
             RunMode::Measured { csr } => {
                 let params = desc.params_for(csr);
                 archiver.begin("ExecuteReal");
-                match platform.execute(csr, spec.algorithm, &params, cluster.threads_per_machine) {
+                // Real execution runs on the shared pool; the simulated
+                // cluster's threads_per_machine only feeds the cost model
+                // (outputs are bit-identical across pool widths anyway).
+                match platform.execute(csr, spec.algorithm, &params, &self.pool) {
                     Ok(exec) => {
                         archiver.end();
                         result.measured_wall_secs = Some(exec.wall_seconds);

@@ -8,8 +8,10 @@
 //! platforms and algorithms.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Csr, Error, Result};
 use graphalytics_engines::{all_platforms, platform_by_name, Platform};
 
@@ -79,19 +81,30 @@ impl Runner {
 
     /// Runs every job and returns the populated results database. Fails
     /// up front (before any job runs) on unknown platforms or datasets.
+    ///
+    /// One [`WorkerPool`] is created per run — width from
+    /// `benchmark.threads` — and shared by every proxy CSR build and
+    /// every measured execution; no job spawns threads of its own.
     pub fn run(&self) -> Result<ResultsDatabase> {
-        let driver = Driver { seed: self.config.seed, ..Driver::default() };
+        let pool = Arc::new(WorkerPool::new(self.config.pool_threads()));
+        let driver = Driver { seed: self.config.seed, pool: pool.clone(), ..Driver::default() };
         let platforms = self.platforms()?;
         let description = self.description()?;
         let db = ResultsDatabase::new();
-        // Proxy graphs are expensive: materialize each dataset once.
+        // Proxy graphs are expensive: materialize each dataset once,
+        // uploading (edge list → CSR) on the run's pool.
         let mut proxies: HashMap<&str, Csr> = HashMap::new();
         for job in &description.jobs {
             let csr = if self.mode == RunnerMode::Measured {
-                Some(proxies.entry(job.dataset.id).or_insert_with(|| {
-                    proxy::materialize(job.dataset, self.config.scale_divisor, self.config.seed)
-                        .to_csr()
-                }))
+                if !proxies.contains_key(job.dataset.id) {
+                    let graph = proxy::materialize(
+                        job.dataset,
+                        self.config.scale_divisor,
+                        self.config.seed,
+                    );
+                    proxies.insert(job.dataset.id, graph.to_csr_with(&pool)?);
+                }
+                proxies.get(job.dataset.id)
             } else {
                 None
             };

@@ -209,10 +209,19 @@ fn graphs(state: &ServiceState) -> Response {
 fn metrics(state: &ServiceState) -> Response {
     let counts = state.queue.counts();
     let store = state.store.metrics();
+    let pool = state.pool.stats();
     Response::json(
         200,
         &Json::obj(vec![
             ("uptime_secs", Json::Num(state.uptime_secs())),
+            (
+                "pool",
+                Json::obj(vec![
+                    ("threads", Json::Num(state.pool.threads() as f64)),
+                    ("runs", Json::Num(pool.runs as f64)),
+                    ("dispatches", Json::Num(pool.dispatches as f64)),
+                ]),
+            ),
             (
                 "jobs",
                 Json::obj(vec![

@@ -15,6 +15,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_engines::platform_by_name;
 use graphalytics_harness::{Driver, JobResult, JobSpec, ResultsDatabase, RunMode};
 
@@ -33,6 +34,12 @@ pub struct ServiceConfig {
     pub store: GraphStoreConfig,
     /// Driver seed (noise streams and proxy generation).
     pub seed: u64,
+    /// Width of the **single** execution pool all job workers share for
+    /// real engine execution and proxy CSR builds (`0` = host default).
+    /// Sharing one pool keeps `workers` concurrent jobs from each
+    /// spawning their own thread set and oversubscribing the host; the
+    /// pool serializes their parallel sections instead.
+    pub pool_threads: u32,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +49,7 @@ impl Default for ServiceConfig {
             workers: 4,
             store: GraphStoreConfig::default(),
             seed: 0xB5ED,
+            pool_threads: 0,
         }
     }
 }
@@ -51,16 +59,26 @@ pub struct ServiceState {
     pub store: GraphStore,
     pub queue: JobQueue,
     pub results: ResultsDatabase,
+    /// The daemon-wide execution runtime: one pool, shared by every job
+    /// worker (and the store's CSR builds) for the process lifetime.
+    pub pool: Arc<WorkerPool>,
     pub seed: u64,
     started: Instant,
 }
 
 impl ServiceState {
     pub fn new(config: &ServiceConfig) -> Self {
+        let width = if config.pool_threads == 0 {
+            graphalytics_core::pool::default_threads()
+        } else {
+            config.pool_threads
+        };
+        let pool = Arc::new(WorkerPool::new(width));
         ServiceState {
-            store: GraphStore::new(config.store),
+            store: GraphStore::new(config.store, pool.clone()),
             queue: JobQueue::new(),
             results: ResultsDatabase::new(),
+            pool,
             seed: config.seed,
             started: Instant::now(),
         }
@@ -79,7 +97,7 @@ impl ServiceState {
             .ok_or_else(|| format!("unknown dataset {}", request.dataset))?;
         let platform = platform_by_name(&request.platform)
             .ok_or_else(|| format!("unknown platform {}", request.platform))?;
-        let driver = Driver { seed: self.seed, ..Driver::default() };
+        let driver = Driver { seed: self.seed, pool: self.pool.clone(), ..Driver::default() };
         let spec = JobSpec {
             dataset,
             algorithm: request.algorithm,

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use graphalytics_core::datasets::DatasetSpec;
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::Csr;
 use graphalytics_harness::proxy;
 
@@ -95,12 +96,15 @@ struct Inner {
 /// The shared, thread-safe graph store.
 pub struct GraphStore {
     config: GraphStoreConfig,
+    /// The daemon's shared execution runtime; edge-list → CSR uploads
+    /// run on it instead of single-threaded.
+    pool: Arc<WorkerPool>,
     inner: Mutex<Inner>,
 }
 
 impl GraphStore {
-    pub fn new(config: GraphStoreConfig) -> Self {
-        GraphStore { config, inner: Mutex::new(Inner::default()) }
+    pub fn new(config: GraphStoreConfig, pool: Arc<WorkerPool>) -> Self {
+        GraphStore { config, pool, inner: Mutex::new(Inner::default()) }
     }
 
     /// The store's configuration.
@@ -141,7 +145,9 @@ impl GraphStore {
         // lock so concurrent same-dataset requests wait instead of
         // duplicating the work.
         let csr = Arc::new(
-            proxy::materialize(spec, self.config.scale_divisor, self.config.seed).to_csr(),
+            proxy::materialize(spec, self.config.scale_divisor, self.config.seed)
+                .to_csr_with(&self.pool)
+                .expect("generated proxy graph is valid"),
         );
         let bytes = csr.resident_bytes();
         *graph = Some(csr.clone());
@@ -241,11 +247,10 @@ mod tests {
     use graphalytics_core::datasets::dataset;
 
     fn small_store(capacity_bytes: u64) -> GraphStore {
-        GraphStore::new(GraphStoreConfig {
-            capacity_bytes,
-            scale_divisor: 16384,
-            seed: 7,
-        })
+        GraphStore::new(
+            GraphStoreConfig { capacity_bytes, scale_divisor: 16384, seed: 7 },
+            Arc::new(WorkerPool::new(2)),
+        )
     }
 
     #[test]

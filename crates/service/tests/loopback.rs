@@ -21,6 +21,7 @@ fn start_service(workers: usize) -> (Service, Client) {
         workers,
         store: GraphStoreConfig { scale_divisor: 8192, ..GraphStoreConfig::default() },
         seed: 0xB5ED,
+        pool_threads: 2,
     })
     .expect("bind ephemeral port");
     let client = Client::new(service.addr().to_string());
@@ -88,6 +89,23 @@ fn concurrent_jobs_share_generated_graphs() {
     let jobs = metrics.get("jobs").unwrap();
     assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(12));
     assert_eq!(jobs.get("failed").and_then(Json::as_u64), Some(0));
+
+    // The shared-pool gate: every measured execution (and both CSR
+    // uploads) must have run on the daemon's single worker pool — if the
+    // pool were bypassed (or per-job pools spawned), `runs` would be 0.
+    let pool = metrics.get("pool").expect("pool metrics present");
+    assert_eq!(pool.get("threads").and_then(Json::as_u64), Some(2));
+    assert!(
+        pool.get("runs").and_then(Json::as_u64).unwrap() > 0,
+        "measured jobs must execute on the shared pool: {metrics:?}"
+    );
+    assert!(
+        pool.get("dispatches").and_then(Json::as_u64).unwrap() > 0,
+        "a 2-wide pool must actually dispatch to its worker: {metrics:?}"
+    );
+    // The HTTP-reported counters and the in-process pool agree.
+    let in_process = service.state().pool.stats();
+    assert!(in_process.runs >= pool.get("runs").and_then(Json::as_u64).unwrap());
 
     // EPS/EVPS aggregates cover both platforms.
     let results = metrics.get("results").unwrap();

@@ -26,6 +26,7 @@ fn main() {
     let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
     let params = AlgorithmParams::with_source(root);
     let cluster = ClusterSpec::single_machine();
+    let pool = WorkerPool::new(2);
 
     for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
         println!("-- {algorithm} --");
@@ -35,7 +36,7 @@ fn main() {
         );
         let reference = run_reference(&csr, algorithm, &params).unwrap();
         for platform in all_platforms() {
-            let run = platform.execute(&csr, algorithm, &params, 2).expect("supported");
+            let run = platform.execute(&csr, algorithm, &params, &pool).expect("supported");
             let valid = validate(&reference, &run.output).unwrap().is_valid();
             let sim = processing_time(&platform.profile().cost, &run.counters, &cluster, 0.0);
             println!(

@@ -27,11 +27,13 @@ fn main() {
     let params = AlgorithmParams::with_source(root);
 
     // 3. Run all six algorithms on the GraphMat-like SpMV engine and
-    //    validate each against the reference implementation.
+    //    validate each against the reference implementation. All engine
+    //    runs share one persistent worker pool.
     let platform = platform_by_name("GraphMat").expect("registered platform");
+    let pool = WorkerPool::new(2);
     for algorithm in Algorithm::ALL {
         let run = platform
-            .execute(&csr, algorithm, &params, 2)
+            .execute(&csr, algorithm, &params, &pool)
             .expect("algorithm supported by this engine");
         let reference = run_reference(&csr, algorithm, &params).expect("reference runs");
         let report = validate(&reference, &run.output).expect("comparable outputs");

@@ -31,8 +31,10 @@
 //! let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
 //! let params = AlgorithmParams::with_source(root);
 //! let reference = run_reference(&csr, Algorithm::Bfs, &params).unwrap();
+//! // One shared execution runtime for every engine run.
+//! let pool = WorkerPool::new(2);
 //! for platform in all_platforms() {
-//!     let run = platform.execute(&csr, Algorithm::Bfs, &params, 2).unwrap();
+//!     let run = platform.execute(&csr, Algorithm::Bfs, &params, &pool).unwrap();
 //!     validate(&reference, &run.output).unwrap().into_result().unwrap();
 //! }
 //! ```
@@ -52,7 +54,7 @@ pub mod prelude {
     pub use graphalytics_core::algorithms::run_reference;
     pub use graphalytics_core::params::{AlgorithmParams, SourceSelection};
     pub use graphalytics_core::validation::validate;
-    pub use graphalytics_core::{Algorithm, Csr, Graph, GraphBuilder};
+    pub use graphalytics_core::{Algorithm, Csr, Graph, GraphBuilder, WorkerPool};
     pub use graphalytics_datagen::DatagenConfig;
     pub use graphalytics_engines::{all_platforms, platform_by_name, Platform};
     pub use graphalytics_graph500::Graph500Config;

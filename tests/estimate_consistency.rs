@@ -46,12 +46,13 @@ fn estimates_track_measured_counters() {
         cdlp_iterations: 10,
     };
 
+    let pool = WorkerPool::new(2);
     for platform in all_platforms() {
         for algorithm in [Algorithm::Bfs, Algorithm::PageRank, Algorithm::Cdlp] {
             if !platform.supports(algorithm) {
                 continue;
             }
-            let run = platform.execute(&csr, algorithm, &params, 2).unwrap();
+            let run = platform.execute(&csr, algorithm, &params, &pool).unwrap();
             let est = platform.estimate(
                 stats.vertices,
                 stats.edges,
@@ -84,12 +85,13 @@ fn estimated_cost_ordering_matches_measured_walltime_ordering() {
     let graph = Graph500Config::new(11).with_seed(23).generate();
     let csr = graph.to_csr();
     let params = AlgorithmParams::with_source(csr.id_of(0));
+    let pool = WorkerPool::new(2);
     let wall = |name: &str| {
         let p = platform_by_name(name).unwrap();
         // Two warm-up + best-of-3 to de-noise.
         let mut best = f64::INFINITY;
         for _ in 0..3 {
-            let run = p.execute(&csr, Algorithm::PageRank, &params, 2).unwrap();
+            let run = p.execute(&csr, Algorithm::PageRank, &params, &pool).unwrap();
             best = best.min(run.wall_seconds);
         }
         best

@@ -1,0 +1,138 @@
+//! `bench_compare` — gates the perf trajectory between two `repro_bench`
+//! artifacts (`BENCH_pr<N>.json`).
+//!
+//! ```text
+//! cargo run --release -p graphalytics-bench --bin bench_compare -- \
+//!     BENCH_pr3.json BENCH_pr4.json --max-regression 0.30
+//! ```
+//!
+//! Compares every **shared** engine EVPS metric (same engine, same
+//! algorithm present in both artifacts under `engines.per_algorithm`) and
+//! exits non-zero when any regresses by more than the threshold
+//! (default 30%). Metrics present in only one artifact — new phases,
+//! renamed sections — are reported but never gate, so the comparison
+//! survives schema evolution. Upload-phase EPS (present from PR 4 on) is
+//! compared the same way once both artifacts carry it.
+
+use graphalytics_granula::json::Json;
+
+struct Metric {
+    key: String,
+    value: f64,
+}
+
+/// Flattens the comparable metrics of one artifact.
+fn metrics(report: &Json) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let engines = report.get("engines");
+    if let Some(list) = engines.and_then(|e| e.get("per_algorithm")).and_then(Json::as_arr) {
+        for entry in list {
+            let Some(engine) = entry.get("engine").and_then(Json::as_str) else { continue };
+            let Some(kernels) = entry.get("kernels").and_then(Json::as_arr) else { continue };
+            for kernel in kernels {
+                let (Some(alg), Some(evps)) = (
+                    kernel.get("algorithm").and_then(Json::as_str),
+                    kernel.get("evps").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                out.push(Metric { key: format!("evps/{engine}/{alg}"), value: evps });
+            }
+        }
+    }
+    if let Some(list) = engines.and_then(|e| e.get("upload_phase")).and_then(Json::as_arr) {
+        for entry in list {
+            let (Some(engine), Some(eps)) = (
+                entry.get("engine").and_then(Json::as_str),
+                entry.get("upload_eps").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            out.push(Metric { key: format!("upload_eps/{engine}"), value: eps });
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| die(&format!("{path} is not valid JSON: {e}")))
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("bench_compare: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.30f64;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-regression" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    die("--max-regression takes a fraction (e.g. 0.30)")
+                });
+                max_regression = value
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad threshold {value:?}")));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        die("usage: bench_compare <old.json> <new.json> [--max-regression 0.30]");
+    };
+
+    let old_metrics = metrics(&load(old_path));
+    let new_report = load(new_path);
+    let new_metrics = metrics(&new_report);
+
+    let mut shared = 0usize;
+    let mut failures = Vec::new();
+    println!("{:<28} {:>14} {:>14} {:>9}", "metric", "old", "new", "ratio");
+    for old in &old_metrics {
+        let Some(new) = new_metrics.iter().find(|m| m.key == old.key) else {
+            println!("{:<28} {:>14.0} {:>14} {:>9}", old.key, old.value, "-", "gone");
+            continue;
+        };
+        shared += 1;
+        let ratio = new.value / old.value;
+        let verdict = if ratio < 1.0 - max_regression { "FAIL" } else { "" };
+        println!(
+            "{:<28} {:>14.0} {:>14.0} {:>8.2}x {verdict}",
+            old.key, old.value, new.value, ratio
+        );
+        if ratio < 1.0 - max_regression {
+            failures.push(format!(
+                "{}: {:.0} -> {:.0} ({:.0}% regression)",
+                old.key,
+                old.value,
+                new.value,
+                (1.0 - ratio) * 100.0
+            ));
+        }
+    }
+    for new in &new_metrics {
+        if !old_metrics.iter().any(|m| m.key == new.key) {
+            println!("{:<28} {:>14} {:>14.0} {:>9}", new.key, "-", new.value, "new");
+        }
+    }
+
+    if shared == 0 {
+        die("no shared metrics between the two artifacts");
+    }
+    println!("\n{shared} shared metrics, threshold {:.0}%", max_regression * 100.0);
+    if failures.is_empty() {
+        println!("bench_compare: OK");
+    } else {
+        eprintln!("bench_compare: {} regression(s) beyond threshold:", failures.len());
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! graphctl <addr> serve [workers]                  run a daemon in the foreground
-//! graphctl <addr> submit <platform> <dataset> <algorithm> [measured|analytic]
+//! graphctl <addr> submit <platform> <dataset> <algorithm> [measured|analytic] [repetitions]
 //! graphctl <addr> status <id>                      one job's record
 //! graphctl <addr> wait <id> [timeout-secs]         block until the job finishes
 //! graphctl <addr> cancel <id>                      cancel a queued job
@@ -18,7 +18,8 @@ use graphalytics_service::{Client, ClientResult, JobMode, Service, ServiceConfig
 const USAGE: &str = "usage: graphctl <addr> <command> [args]
 commands:
   serve [workers]                                    run a daemon bound to <addr>
-  submit <platform> <dataset> <algorithm> [mode]     enqueue a job (mode: measured|analytic)
+  submit <platform> <dataset> <algorithm> [mode] [n] enqueue a job (mode: measured|analytic,
+                                                     n: execute-phase repetitions, default 1)
   status <id>                                        one job's record
   wait <id> [timeout-secs]                           block until the job finishes
   cancel <id>                                        cancel a queued job
@@ -50,14 +51,21 @@ fn run(args: &[String]) -> Result<(), String> {
     let client = Client::new(addr);
     let output = match (command, rest) {
         ("submit", [platform, dataset, algorithm, rest @ ..]) => {
-            let mode = match rest {
-                [] => JobMode::Measured,
-                [mode] => JobMode::from_str_opt(mode)
-                    .ok_or_else(|| format!("unknown mode {mode:?} (measured|analytic)"))?,
-                _ => return Err(USAGE.to_string()),
+            let (mode, repetitions) = match rest {
+                [] => (JobMode::Measured, 1),
+                [mode, reps @ ..] => {
+                    let mode = JobMode::from_str_opt(mode)
+                        .ok_or_else(|| format!("unknown mode {mode:?} (measured|analytic)"))?;
+                    let repetitions = match reps {
+                        [] => 1,
+                        [n] => n.parse().map_err(|_| format!("bad repetition count {n:?}"))?,
+                        _ => return Err(USAGE.to_string()),
+                    };
+                    (mode, repetitions)
+                }
             };
             let id = client
-                .submit(platform, dataset, algorithm, mode)
+                .submit_repeated(platform, dataset, algorithm, mode, repetitions)
                 .map_err(|e| e.to_string())?;
             print_line(&id.to_string());
             return Ok(());

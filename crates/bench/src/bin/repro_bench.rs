@@ -1,16 +1,19 @@
 //! `repro_bench` — the perf-trajectory emitter.
 //!
-//! Measures the hot paths this repository's PR 3 refactor targets and
-//! writes `BENCH_pr3.json`:
+//! Measures the hot paths this repository's refactors target and writes
+//! `BENCH_pr4.json`:
 //!
 //! * **upload** — CSR build throughput (edges/s), sequential baseline vs
 //!   the pool build at widths 1/2/4/8, plus parallel edge-file parsing;
 //! * **runtime** — one superstep-heavy engine kernel (Pregel PageRank)
 //!   on the *spawning* backend (the pre-refactor per-superstep thread
 //!   spawn) vs the persistent pool, same width, same output;
-//! * **engines** — per-algorithm EVPS ((|V|+|E|)/s) for all six engines
-//!   on the shared pool, and 1/2/4/8 width scaling for representative
-//!   kernels.
+//! * **engines** — the platform lifecycle, phase by phase: per-engine
+//!   *upload-phase* EPS (edges/s of `Platform::upload`, reported
+//!   separately per the paper's load-vs-process split) and per-algorithm
+//!   *per-run* EVPS ((|V|+|E|)/s of `Platform::run` alone, upload
+//!   excluded) for all six engines on the shared pool, plus 1/2/4/8
+//!   width scaling for representative kernels.
 //!
 //! ```text
 //! cargo run --release -p graphalytics-bench --bin repro_bench
@@ -19,14 +22,16 @@
 //!
 //! `--smoke` shrinks every instance and writes to
 //! `target/BENCH_smoke.json` (the CI bench-smoke job); `--out <path>`
-//! overrides the output path.
+//! overrides the output path. `bench_compare` diffs two artifacts and
+//! gates CI on EVPS regressions.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::params::AlgorithmParams;
 use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Algorithm, Csr};
-use graphalytics_engines::{all_platforms, platform_by_name};
+use graphalytics_engines::{all_platforms, platform_by_name, Platform, RunContext};
 use graphalytics_granula::json::Json;
 use graphalytics_graph500::Graph500Config;
 
@@ -66,7 +71,7 @@ fn parse_args() -> Config {
         runtime_scale: 10,
         pagerank_iterations: 50,
         reps: 5,
-        out: "BENCH_pr3.json".to_string(),
+        out: "BENCH_pr4.json".to_string(),
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -153,12 +158,26 @@ fn bench_upload(cfg: &Config) -> Json {
     ])
 }
 
-/// The tentpole's headline: the same kernel on the pre-refactor
-/// spawn-per-superstep backend vs the persistent pool.
+/// One upload → run execution on `pool`, for benchmarking call sites.
+fn run_on(
+    platform: &dyn Platform,
+    loaded: &dyn graphalytics_engines::LoadedGraph,
+    algorithm: Algorithm,
+    params: &AlgorithmParams,
+    pool: &WorkerPool,
+) -> graphalytics_engines::Execution {
+    let mut ctx = RunContext::new(pool);
+    platform.run(loaded, algorithm, params, &mut ctx).unwrap()
+}
+
+/// The PR 3 headline, preserved for trajectory comparisons: the same
+/// kernel on the pre-refactor spawn-per-superstep backend vs the
+/// persistent pool. Upload happens once per backend outside the timed
+/// body (the lifecycle split).
 fn bench_runtime_baseline(cfg: &Config) -> Json {
     let graph =
         Graph500Config::new(cfg.runtime_scale).with_seed(3).with_weights(true).generate();
-    let csr = graph.try_to_csr().unwrap();
+    let csr = Arc::new(graph.try_to_csr().unwrap());
     let params = AlgorithmParams {
         source_vertex: Some(csr.id_of(0)),
         pagerank_iterations: cfg.pagerank_iterations,
@@ -170,18 +189,39 @@ fn bench_runtime_baseline(cfg: &Config) -> Json {
 
     let spawning = WorkerPool::spawning(width);
     let persistent = WorkerPool::new(width);
-    let run = |pool: &WorkerPool| {
-        std::hint::black_box(
-            engine.execute(&csr, Algorithm::PageRank, &params, pool).unwrap(),
-        );
-    };
-    let spawning_secs = median_secs(cfg.reps, || run(&spawning));
-    let pool_secs = median_secs(cfg.reps, || run(&persistent));
+    let loaded_spawning = engine.upload(csr.clone(), &spawning).unwrap();
+    let loaded_persistent = engine.upload(csr.clone(), &persistent).unwrap();
+    let spawning_secs = median_secs(cfg.reps, || {
+        std::hint::black_box(run_on(
+            engine.as_ref(),
+            loaded_spawning.as_ref(),
+            Algorithm::PageRank,
+            &params,
+            &spawning,
+        ));
+    });
+    let pool_secs = median_secs(cfg.reps, || {
+        std::hint::black_box(run_on(
+            engine.as_ref(),
+            loaded_persistent.as_ref(),
+            Algorithm::PageRank,
+            &params,
+            &persistent,
+        ));
+    });
     // Identical outputs, by construction — assert it, since the whole
     // point of the comparison is "same answer, cheaper superstep".
-    let a = engine.execute(&csr, Algorithm::PageRank, &params, &spawning).unwrap();
-    let b = engine.execute(&csr, Algorithm::PageRank, &params, &persistent).unwrap();
+    let a = run_on(engine.as_ref(), loaded_spawning.as_ref(), Algorithm::PageRank, &params, &spawning);
+    let b = run_on(
+        engine.as_ref(),
+        loaded_persistent.as_ref(),
+        Algorithm::PageRank,
+        &params,
+        &persistent,
+    );
     assert_eq!(a.output, b.output, "backends must agree bit-for-bit");
+    engine.delete(loaded_spawning);
+    engine.delete(loaded_persistent);
 
     Json::obj(vec![
         ("engine", Json::str("pregel")),
@@ -195,13 +235,15 @@ fn bench_runtime_baseline(cfg: &Config) -> Json {
     ])
 }
 
-/// Per-algorithm EVPS for every engine, plus width scaling for two
+/// The lifecycle, phase by phase: per-engine upload EPS, per-algorithm
+/// per-run EVPS (upload excluded), plus width scaling for two
 /// representative kernels.
 fn bench_engines(cfg: &Config) -> Json {
     let graph =
         Graph500Config::new(cfg.kernel_scale).with_seed(11).with_weights(true).generate();
-    let csr: Csr = graph.try_to_csr().unwrap();
+    let csr: Arc<Csr> = Arc::new(graph.try_to_csr().unwrap());
     let vpe = (csr.num_vertices() + csr.num_edges()) as f64;
+    let edges = csr.num_edges() as f64;
     let params = AlgorithmParams {
         source_vertex: Some(csr.id_of(0)),
         pagerank_iterations: 10,
@@ -211,16 +253,35 @@ fn bench_engines(cfg: &Config) -> Json {
     let pool = WorkerPool::new(4);
 
     let mut engines = Vec::new();
+    let mut uploads = Vec::new();
     for platform in all_platforms() {
+        // Upload phase, timed on its own (the paper's load-vs-process
+        // split): EPS here is edges per *upload* second.
+        let upload_secs = median_secs(cfg.reps.min(3), || {
+            let loaded = platform.upload(csr.clone(), &pool).unwrap();
+            platform.delete(std::hint::black_box(loaded));
+        });
+        uploads.push(Json::obj(vec![
+            ("engine", Json::str(platform.name())),
+            ("secs", num(upload_secs)),
+            ("upload_eps", num(edges / upload_secs)),
+        ]));
+
+        // Execute phase: one upload outside the timed body, per-run EVPS.
+        let loaded = platform.upload(csr.clone(), &pool).unwrap();
         let mut algs = Vec::new();
         for algorithm in Algorithm::ALL {
             if !platform.supports(algorithm) {
                 continue;
             }
             let secs = median_secs(cfg.reps.min(3), || {
-                std::hint::black_box(
-                    platform.execute(&csr, algorithm, &params, &pool).unwrap(),
-                );
+                std::hint::black_box(run_on(
+                    platform.as_ref(),
+                    loaded.as_ref(),
+                    algorithm,
+                    &params,
+                    &pool,
+                ));
             });
             algs.push(Json::obj(vec![
                 ("algorithm", Json::str(algorithm.acronym())),
@@ -228,6 +289,7 @@ fn bench_engines(cfg: &Config) -> Json {
                 ("evps", num(vpe / secs)),
             ]));
         }
+        platform.delete(loaded);
         engines.push(Json::obj(vec![
             ("engine", Json::str(platform.name())),
             ("kernels", Json::Arr(algs)),
@@ -240,11 +302,17 @@ fn bench_engines(cfg: &Config) -> Json {
         let mut widths = Vec::new();
         for threads in [1u32, 2, 4, 8] {
             let wpool = WorkerPool::new(threads);
+            let loaded = platform.upload(csr.clone(), &wpool).unwrap();
             let secs = median_secs(cfg.reps.min(3), || {
-                std::hint::black_box(
-                    platform.execute(&csr, algorithm, &params, &wpool).unwrap(),
-                );
+                std::hint::black_box(run_on(
+                    platform.as_ref(),
+                    loaded.as_ref(),
+                    algorithm,
+                    &params,
+                    &wpool,
+                ));
             });
+            platform.delete(loaded);
             widths.push(Json::obj(vec![
                 ("threads", Json::Num(threads as f64)),
                 ("secs", num(secs)),
@@ -263,6 +331,7 @@ fn bench_engines(cfg: &Config) -> Json {
         ("vertices", Json::Num(csr.num_vertices() as f64)),
         ("edges", Json::Num(csr.num_edges() as f64)),
         ("pool_threads", Json::Num(4.0)),
+        ("upload_phase", Json::Arr(uploads)),
         ("per_algorithm", Json::Arr(engines)),
         ("thread_scaling", Json::Arr(scaling)),
     ])
@@ -279,8 +348,8 @@ fn main() {
 
     let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
     let report = Json::obj(vec![
-        ("pr", Json::Num(3.0)),
-        ("benchmark", Json::str("graphalytics worker-pool runtime + parallel CSR pipeline")),
+        ("pr", Json::Num(4.0)),
+        ("benchmark", Json::str("graphalytics phased platform lifecycle (upload / execute×N / delete)")),
         (
             "host",
             Json::obj(vec![

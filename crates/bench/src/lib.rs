@@ -24,6 +24,12 @@
 //! | `repro_table11` | Table 11 — variability (mean, CV) |
 //! | `repro_all`     | everything above, in order |
 //!
+//! Two trajectory tools ride along: `repro_bench` measures this
+//! repository's own hot paths (upload-phase EPS and per-run EVPS per
+//! engine, CSR build throughput, runtime-backend baselines) into
+//! `BENCH_pr<N>.json`, and `bench_compare` diffs two such artifacts,
+//! failing on >30% EVPS regressions over shared metrics (the CI gate).
+//!
 //! Criterion benches (`cargo bench -p graphalytics-bench`) cover the real
 //! execution paths: reference kernels, all six engines, both generators
 //! and the partitioners.

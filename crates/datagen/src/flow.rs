@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Graph, GraphBuilder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -114,6 +115,18 @@ pub fn analytic_sim_seconds(persons: u64, flow: FlowKind, cluster: &HadoopCluste
 
 /// Runs generation under `cfg` and accounts costs on `cluster`.
 pub fn run(cfg: DatagenConfig, cluster: &HadoopCluster) -> (Graph, FlowReport) {
+    run_with(cfg, cluster, &WorkerPool::inline())
+}
+
+/// Runs generation under `cfg`, finalizing the edge list (the
+/// sort-dominated materialization step) on `pool`. The per-block RNG
+/// streams are keyed by `(seed, step, block)` — never by the pool — so
+/// the output graph is identical to [`run`] for every pool width.
+pub fn run_with(
+    cfg: DatagenConfig,
+    cluster: &HadoopCluster,
+    pool: &WorkerPool,
+) -> (Graph, FlowReport) {
     let start = Instant::now();
     let n = cfg.persons;
     let persons = generate_persons(n, mean_degree(n), cfg.max_degree, cfg.seed);
@@ -224,7 +237,7 @@ pub fn run(cfg: DatagenConfig, cluster: &HadoopCluster) -> (Graph, FlowReport) {
         b.add_weighted_edge(*s, *d, w);
     }
     b.dedup_edges(true);
-    let graph = b.build().expect("datagen output satisfies the data model");
+    let graph = b.build_with(pool).expect("datagen output satisfies the data model");
 
     let report = FlowReport {
         flow: cfg.flow,

@@ -111,6 +111,13 @@ impl DatagenConfig {
         self.generate_with_report(&HadoopCluster::single_node()).0
     }
 
+    /// Generates the graph, finalizing the edge list on `pool` (see
+    /// [`flow::run_with`]); output is identical to
+    /// [`DatagenConfig::generate`] for every pool width.
+    pub fn generate_with(self, pool: &graphalytics_core::pool::WorkerPool) -> Graph {
+        flow::run_with(self, &HadoopCluster::single_node(), pool).0
+    }
+
     /// Generates the graph and reports per-step costs on the given
     /// (simulated) Hadoop cluster — the entry point of the Section 4.8
     /// data-generation self-test.
@@ -140,6 +147,15 @@ mod tests {
         assert_eq!(old.vertices(), new.vertices());
         let pairs = |g: &Graph| g.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>();
         assert_eq!(pairs(&old), pairs(&new));
+    }
+
+    #[test]
+    fn pool_generation_is_bit_identical_to_sequential() {
+        let sequential = DatagenConfig::with_persons(300).generate();
+        let pool = graphalytics_core::pool::WorkerPool::new(4);
+        let pooled = DatagenConfig::with_persons(300).generate_with(&pool);
+        assert_eq!(sequential.vertices(), pooled.vertices());
+        assert_eq!(sequential.edges(), pooled.edges());
     }
 
     #[test]

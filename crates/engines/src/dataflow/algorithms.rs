@@ -11,12 +11,15 @@ use graphalytics_core::{Csr, VertexId};
 use graphalytics_cluster::WorkCounters;
 
 use crate::common::pool::WorkerPool;
+use crate::platform::LoadedGraph;
 
-use super::{group_by_key, reduce_by_key, Dataset};
+use super::{group_by_key, reduce_by_key, Dataset, DataflowGraph};
 
 /// Builds the edge dataset `(src, dst, weight)` partitioned by source.
 /// For undirected CSR the out-rows already contain both orientations.
-fn edge_dataset(csr: &Csr, parts: usize, both_directions: bool) -> Dataset<(u32, u32, f64)> {
+/// Called once per direction by the upload phase (see
+/// [`DataflowGraph`]); iterations reuse the cached datasets.
+pub fn edge_dataset(csr: &Csr, parts: usize, both_directions: bool) -> Dataset<(u32, u32, f64)> {
     let mut arcs = Vec::with_capacity(csr.num_arcs());
     for u in 0..csr.num_vertices() as u32 {
         for (&v, &w) in csr.out_neighbors(u).iter().zip(csr.out_weights(u)) {
@@ -32,7 +35,8 @@ fn edge_dataset(csr: &Csr, parts: usize, both_directions: bool) -> Dataset<(u32,
 }
 
 /// The generic Pregel-on-joins loop for algorithms with a message
-/// combiner (BFS, SSSP, WCC).
+/// combiner (BFS, SSSP, WCC), over a pre-partitioned (uploaded) edge
+/// dataset.
 ///
 /// Per iteration: ship active vertex values to edge partitions, scan the
 /// *entire* edge dataset producing messages from active sources, shuffle-
@@ -41,10 +45,10 @@ fn edge_dataset(csr: &Csr, parts: usize, both_directions: bool) -> Dataset<(u32,
 #[allow(clippy::too_many_arguments)]
 pub fn pregel_loop<V, M>(
     csr: &Csr,
+    edges: &Dataset<(u32, u32, f64)>,
     parts: usize,
     pool: &WorkerPool,
     c: &mut WorkCounters,
-    both_directions: bool,
     init: impl Fn(u32) -> V,
     initially_active: Vec<u32>,
     send: impl Fn(u32, u32, f64, &V) -> Option<M> + Sync,
@@ -57,7 +61,6 @@ where
     M: Clone + Send,
 {
     let n = csr.num_vertices();
-    let edges = edge_dataset(csr, parts, both_directions);
     let total_arcs = edges.count() as u64;
     let mut values: Vec<V> = (0..n as u32).map(&init).collect();
     let mut active = vec![false; n];
@@ -117,13 +120,13 @@ where
 }
 
 /// BFS with a min combiner.
-pub fn bfs(csr: &Csr, root: u32, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<i64> {
+pub fn bfs(g: &DataflowGraph, root: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<i64> {
     pregel_loop(
-        csr,
-        parts,
+        g.csr(),
+        g.edges_out(),
+        g.parts(),
         pool,
         c,
-        false,
         |u| if u == root { 0i64 } else { i64::MAX },
         vec![root],
         |_s, _d, _w, v| if *v == i64::MAX { None } else { Some(*v + 1) },
@@ -134,13 +137,13 @@ pub fn bfs(csr: &Csr, root: u32, parts: usize, pool: &WorkerPool, c: &mut WorkCo
 }
 
 /// SSSP with a min combiner over weighted relaxations.
-pub fn sssp(csr: &Csr, root: u32, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
+pub fn sssp(g: &DataflowGraph, root: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     pregel_loop(
-        csr,
-        parts,
+        g.csr(),
+        g.edges_out(),
+        g.parts(),
         pool,
         c,
-        false,
         |u| if u == root { 0.0f64 } else { f64::INFINITY },
         vec![root],
         |_s, _d, w, v| if v.is_finite() { Some(*v + w) } else { None },
@@ -151,14 +154,15 @@ pub fn sssp(csr: &Csr, root: u32, parts: usize, pool: &WorkerPool, c: &mut WorkC
 }
 
 /// WCC: min-label diffusion over both directions.
-pub fn wcc(csr: &Csr, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
+pub fn wcc(g: &DataflowGraph, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
+    let csr = g.csr();
     let n = csr.num_vertices();
     pregel_loop(
         csr,
-        parts,
+        g.edges_both(),
+        g.parts(),
         pool,
         c,
-        true,
         |u| csr.id_of(u),
         (0..n as u32).collect(),
         |_s, _d, _w, v| Some(*v),
@@ -169,13 +173,21 @@ pub fn wcc(csr: &Csr, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> 
 }
 
 /// PageRank: full dense iterations with shipped views and a sum combiner.
-pub fn pagerank(csr: &Csr, iterations: u32, damping: f64, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
+pub fn pagerank(
+    g: &DataflowGraph,
+    iterations: u32,
+    damping: f64,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    let csr = g.csr();
+    let parts = g.parts();
     let n = csr.num_vertices();
     if n == 0 {
         return Vec::new();
     }
     let inv_n = 1.0 / n as f64;
-    let edges = edge_dataset(csr, parts, false);
+    let edges = g.edges_out();
     let total_arcs = edges.count() as u64;
     let mut rank = vec![inv_n; n];
     for _ in 0..iterations {
@@ -220,9 +232,16 @@ pub fn pagerank(csr: &Csr, iterations: u32, damping: f64, parts: usize, pool: &W
 /// CDLP: label multisets via `groupByKey` — no combiner exists for the
 /// mode, so every label record crosses the shuffle and whole multisets
 /// materialize per vertex.
-pub fn cdlp(csr: &Csr, iterations: u32, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
+pub fn cdlp(
+    g: &DataflowGraph,
+    iterations: u32,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<VertexId> {
+    let csr = g.csr();
+    let parts = g.parts();
     let n = csr.num_vertices();
-    let edges = edge_dataset(csr, parts, true);
+    let edges = g.edges_both();
     let total_arcs = edges.count() as u64;
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     for _ in 0..iterations {
@@ -354,10 +373,11 @@ pub fn lcc(csr: &Csr, parts: usize, pool: &WorkerPool, c: &mut WorkCounters) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::{Platform, RunContext};
     use graphalytics_core::params::AlgorithmParams;
     use graphalytics_core::{Algorithm, GraphBuilder};
 
-    fn sample(directed: bool) -> Csr {
+    fn sample(directed: bool) -> Arc<Csr> {
         let mut b = GraphBuilder::new(directed);
         b.set_weighted(true);
         b.add_vertex_range(6);
@@ -366,7 +386,11 @@ mod tests {
         {
             b.add_weighted_edge(s, d, w);
         }
-        b.build().unwrap().to_csr()
+        Arc::new(b.build().unwrap().to_csr())
+    }
+
+    fn uploaded(csr: &Arc<Csr>, pool: &WorkerPool) -> Box<dyn crate::platform::LoadedGraph> {
+        crate::dataflow::DataflowEngine::new().upload(csr.clone(), pool).unwrap()
     }
 
     #[test]
@@ -375,15 +399,11 @@ mod tests {
             let csr = sample(directed);
             let engine = crate::dataflow::DataflowEngine::new();
             let params = AlgorithmParams::with_source(0);
+            let pool = WorkerPool::new(2);
+            let loaded = engine.upload(csr.clone(), &pool).unwrap();
             for alg in Algorithm::ALL {
-                let run = crate::platform::Platform::execute(
-                    &engine,
-                    &csr,
-                    alg,
-                    &params,
-                    &WorkerPool::new(2),
-                )
-                .unwrap();
+                let mut ctx = RunContext::new(&pool);
+                let run = engine.run(loaded.as_ref(), alg, &params, &mut ctx).unwrap();
                 let expected =
                     graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
                 graphalytics_core::validation::validate(&expected, &run.output)
@@ -391,14 +411,18 @@ mod tests {
                     .into_result()
                     .unwrap();
             }
+            engine.delete(loaded);
         }
     }
 
     #[test]
     fn full_edge_scan_every_iteration() {
         let csr = sample(true);
+        let pool = WorkerPool::new(2);
+        let loaded = uploaded(&csr, &pool);
+        let g = loaded.as_any().downcast_ref::<DataflowGraph>().unwrap();
         let mut c = WorkCounters::new();
-        let _ = bfs(&csr, 0, 2, &WorkerPool::new(2), &mut c);
+        let _ = bfs(g, 0, &pool, &mut c);
         // 6 arcs scanned per superstep regardless of frontier size.
         assert_eq!(c.edges_scanned, 6 * c.supersteps);
     }
@@ -406,10 +430,38 @@ mod tests {
     #[test]
     fn cdlp_shuffles_without_combiner() {
         let csr = sample(false);
+        let pool = WorkerPool::new(2);
+        let loaded = uploaded(&csr, &pool);
+        let g = loaded.as_any().downcast_ref::<DataflowGraph>().unwrap();
         let mut c = WorkCounters::new();
-        let _ = cdlp(&csr, 2, 2, &WorkerPool::new(2), &mut c);
+        let _ = cdlp(g, 2, &pool, &mut c);
         // Each iteration ships one vote per arc (12 arcs undirected)
         // plus n vertex views.
         assert!(c.messages >= 2 * (12 + 6));
+    }
+
+    #[test]
+    fn upload_caches_both_edge_datasets() {
+        let directed = sample(true);
+        let pool = WorkerPool::new(2);
+        let loaded = uploaded(&directed, &pool);
+        let g = loaded.as_any().downcast_ref::<DataflowGraph>().unwrap();
+        assert_eq!(g.edges_out().count(), 6);
+        assert_eq!(g.edges_both().count(), 12, "reverse orientation added");
+        assert_eq!(g.parts(), 4, "threads × 2 over-partitioning");
+        assert!(g.resident_bytes() > directed.resident_bytes());
+
+        // Undirected graphs alias the out dataset instead of caching a
+        // byte-identical copy.
+        let undirected = sample(false);
+        let loaded = uploaded(&undirected, &pool);
+        let g = loaded.as_any().downcast_ref::<DataflowGraph>().unwrap();
+        assert_eq!(g.edges_out().count(), 12, "both orientations stored once");
+        assert_eq!(g.edges_both().count(), g.edges_out().count());
+        assert_eq!(
+            g.resident_bytes(),
+            undirected.resident_bytes() + 16 * 12,
+            "no duplicate arc cache for undirected graphs"
+        );
     }
 }

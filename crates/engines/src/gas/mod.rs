@@ -24,6 +24,7 @@
 //! in the paper's Figure 6.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
@@ -35,7 +36,7 @@ use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
 use crate::common::pool::WorkerPool;
-use crate::platform::{Execution, Platform};
+use crate::platform::{downcast_graph, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
 
 /// Which incident edges a stage visits.
@@ -251,6 +252,26 @@ pub fn run_gas<P: GasProgram>(
 mod programs;
 pub use programs::{BfsGas, CdlpGas, PageRankGas, SsspGas, WccGas};
 
+/// The uploaded representation: PowerGraph's finalized graph. The upload
+/// phase (PowerGraph's "finalize" step) pins the adjacency both ways —
+/// gather and scatter each visit a configurable edge direction — and the
+/// vertex-cut mirror/master structure is *simulated*: its replication
+/// factor enters through the cost model, not through real per-machine
+/// state, so the loaded graph carries no extra derived data.
+pub struct GasGraph {
+    csr: Arc<Csr>,
+}
+
+impl LoadedGraph for GasGraph {
+    fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 /// The PowerGraph-like platform.
 pub struct GasEngine {
     profile: PerfProfile,
@@ -277,13 +298,20 @@ impl Platform for GasEngine {
         &self.profile
     }
 
-    fn execute(
+    fn upload(&self, csr: Arc<Csr>, _pool: &WorkerPool) -> Result<Box<dyn LoadedGraph>> {
+        Ok(Box::new(GasGraph { csr }))
+    }
+
+    fn run(
         &self,
-        csr: &Csr,
+        graph: &dyn LoadedGraph,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        pool: &WorkerPool,
+        ctx: &mut RunContext<'_>,
     ) -> Result<Execution> {
+        let loaded = downcast_graph::<GasGraph>(self.name(), graph)?;
+        let csr = loaded.csr();
+        let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
         let values = match algorithm {
@@ -319,10 +347,12 @@ impl Platform for GasEngine {
                 OutputValues::F64(run_gas(csr, &SsspGas { root }, pool, &mut c))
             }
         };
+        let wall_seconds = start.elapsed().as_secs_f64();
+        ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
             output: AlgorithmOutput::from_dense(algorithm, csr, values),
             counters: c,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds,
         })
     }
 
@@ -432,11 +462,14 @@ mod tests {
     #[test]
     fn all_algorithms_match_reference_directed_and_undirected() {
         for directed in [true, false] {
-            let csr = sample(directed);
+            let csr = Arc::new(sample(directed));
             let engine = GasEngine::new();
             let params = AlgorithmParams::with_source(0);
+            let pool = WorkerPool::new(2);
+            let loaded = engine.upload(csr.clone(), &pool).unwrap();
             for alg in Algorithm::ALL {
-                let run = engine.execute(&csr, alg, &params, &WorkerPool::new(2)).unwrap();
+                let mut ctx = RunContext::new(&pool);
+                let run = engine.run(loaded.as_ref(), alg, &params, &mut ctx).unwrap();
                 let expected =
                     graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
                 graphalytics_core::validation::validate(&expected, &run.output)
@@ -444,8 +477,10 @@ mod tests {
                     .into_result()
                     .unwrap();
             }
+            engine.delete(loaded);
         }
     }
+
 
     #[test]
     fn active_set_drains_for_traversals() {

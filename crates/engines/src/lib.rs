@@ -42,7 +42,10 @@ pub mod profile;
 pub mod pushpull;
 pub mod spmv;
 
-pub use platform::{all_platforms, platform_by_name, Execution, Platform};
+pub use platform::{
+    all_platforms, platform_by_name, run_once, Execution, LoadedGraph, PhaseRecord, Platform,
+    RunContext,
+};
 pub use profile::PerfProfile;
 
 pub use graphalytics_cluster::WorkCounters;

@@ -1,11 +1,32 @@
 //! The `Platform` abstraction: what the harness drives.
 //!
 //! A platform is an engine (programming model + runtime) that can execute
-//! the Graphalytics workload. [`Platform::execute`] runs an algorithm *for
-//! real* on this host and returns the output (validated by the harness
-//! against the reference implementation), measured wall time, and the
+//! the Graphalytics workload. The benchmark process is a phased
+//! *lifecycle*, not a single call (paper §3; the Graphalytics driver API
+//! codifies the same phases):
+//!
+//! 1. **upload** — [`Platform::upload`] hands the engine the generic
+//!    [`Csr`] once; the engine builds its own preprocessed representation
+//!    (a [`LoadedGraph`]): partitioned adjacency, cached degree/transpose
+//!    views, pre-built edge datasets. Built once, reused across runs *and*
+//!    algorithms.
+//! 2. **execute × N** — [`Platform::run`] executes one algorithm on the
+//!    uploaded graph. The harness repeats this `benchmark.repetitions`
+//!    times; only this phase counts towards the paper's `T_proc`
+//!    (EPS/EVPS are derived from processing time, never from upload).
+//! 3. **delete** — [`Platform::delete`] releases the engine-owned
+//!    representation.
+//!
+//! [`RunContext`] carries the shared execution runtime (the
+//! [`WorkerPool`]), the repetition index, and phase-timing hooks whose
+//! records the harness folds into the Granula archive; the returned
+//! [`Execution`] carries the output (validated by the harness against the
+//! reference implementation), measured wall time, and the
 //! [`WorkCounters`] the run accumulated — which the harness feeds through
 //! the engine's [`PerfProfile`] to obtain simulated cluster time.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use graphalytics_core::error::{Error, Result};
 use graphalytics_core::output::AlgorithmOutput;
@@ -17,16 +38,99 @@ use graphalytics_cluster::WorkCounters;
 
 use crate::profile::PerfProfile;
 
-/// The result of one real execution.
+/// The result of one real execution (one repetition of the execute phase).
 #[derive(Debug, Clone)]
 pub struct Execution {
     pub output: AlgorithmOutput,
     pub counters: WorkCounters,
-    /// Wall-clock seconds of the real local execution.
+    /// Wall-clock seconds of the real local execution — the processing
+    /// phase only; upload time is measured separately by the caller.
     pub wall_seconds: f64,
 }
 
-/// A graph-analysis platform engine.
+/// An engine-owned, preprocessed graph representation produced by
+/// [`Platform::upload`].
+///
+/// Engines downcast (via [`LoadedGraph::as_any`]) to their own concrete
+/// type inside [`Platform::run`]; handing a graph uploaded by one engine
+/// to another is an error, exactly like pointing a Giraph job at a
+/// GraphMat heap.
+pub trait LoadedGraph: Send + Sync {
+    /// The generic CSR this representation was built from.
+    fn csr(&self) -> &Csr;
+
+    /// Downcast hook for the owning engine.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Estimated resident bytes of the engine-owned representation
+    /// (defaults to the CSR footprint; engines with extra derived state
+    /// add it on top).
+    fn resident_bytes(&self) -> u64 {
+        self.csr().resident_bytes()
+    }
+}
+
+/// One timed phase recorded by an engine during [`Platform::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRecord {
+    pub name: &'static str,
+    pub secs: f64,
+}
+
+/// Per-run context: the execution runtime, the repetition index (drives
+/// deterministic noise streams downstream), and phase-timer hooks whose
+/// records the harness archives.
+pub struct RunContext<'a> {
+    /// The shared execution runtime. Owned by whoever owns the benchmark
+    /// run (one per run in the harness, one per daemon in the service) so
+    /// engines never spawn threads themselves; outputs are bit-identical
+    /// for every pool width.
+    pub pool: &'a WorkerPool,
+    /// Repetition index of this execution within the job (0-based).
+    pub run_index: u64,
+    phases: Vec<PhaseRecord>,
+}
+
+impl<'a> RunContext<'a> {
+    /// A context for the first (or only) repetition.
+    pub fn new(pool: &'a WorkerPool) -> Self {
+        Self::with_run_index(pool, 0)
+    }
+
+    /// A context for repetition `run_index`.
+    pub fn with_run_index(pool: &'a WorkerPool, run_index: u64) -> Self {
+        RunContext { pool, run_index, phases: Vec::new() }
+    }
+
+    /// Runs `f`, recording its wall time under `name`.
+    pub fn time_phase<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let start = Instant::now();
+        let result = f(self);
+        self.record_phase(name, start.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Records an already-measured phase duration.
+    pub fn record_phase(&mut self, name: &'static str, secs: f64) {
+        self.phases.push(PhaseRecord { name, secs });
+    }
+
+    /// Phases recorded so far, in recording order.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// Drains the recorded phases (the harness moves them into the
+    /// Granula archive after each repetition).
+    pub fn take_phases(&mut self) -> Vec<PhaseRecord> {
+        std::mem::take(&mut self.phases)
+    }
+}
+
+/// A graph-analysis platform engine, driven through the benchmark-run
+/// lifecycle: [`upload`](Platform::upload) once, [`run`](Platform::run)
+/// `N` times (across repetitions and algorithms), then
+/// [`delete`](Platform::delete).
 pub trait Platform: Send + Sync {
     /// Short model name: `pregel`, `dataflow`, `gas`, `spmv`, `native`,
     /// `pushpull`.
@@ -41,19 +145,31 @@ pub trait Platform: Send + Sync {
         true
     }
 
-    /// Executes `algorithm` on `csr` on the shared execution runtime.
+    /// The upload phase: builds this engine's preprocessed representation
+    /// of `csr` on `pool`. Called once per (platform, dataset); the
+    /// result is reused by every subsequent [`run`](Platform::run).
+    fn upload(&self, csr: Arc<Csr>, pool: &WorkerPool) -> Result<Box<dyn LoadedGraph>>;
+
+    /// One execution of `algorithm` on a previously uploaded graph.
     ///
-    /// The pool is owned by the caller (one per benchmark run in the
-    /// harness, one per daemon in the service) so engines never spawn
-    /// threads themselves; outputs are bit-identical for every pool
-    /// width.
-    fn execute(
+    /// `graph` must come from this platform's own
+    /// [`upload`](Platform::upload); the engine downcasts to its concrete
+    /// representation and errors on a foreign graph. Execution happens on
+    /// `ctx.pool`; outputs are bit-identical for every pool width and
+    /// every repetition.
+    fn run(
         &self,
-        csr: &Csr,
+        graph: &dyn LoadedGraph,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        pool: &WorkerPool,
+        ctx: &mut RunContext<'_>,
     ) -> Result<Execution>;
+
+    /// The delete phase: releases the engine-owned representation. The
+    /// default simply drops it; engines with external state can override.
+    fn delete(&self, graph: Box<dyn LoadedGraph>) {
+        drop(graph);
+    }
 
     /// Estimates the counters a run on a graph with the given size/traits
     /// would produce, without executing — used for paper-scale datasets
@@ -72,6 +188,38 @@ pub trait Platform: Send + Sync {
 /// Helper: the standard unsupported-algorithm error.
 pub fn unsupported(platform: &str, algorithm: Algorithm) -> Error {
     Error::Unsupported { platform: platform.to_string(), algorithm: algorithm.to_string() }
+}
+
+/// Downcasts a [`LoadedGraph`] to the engine's concrete representation,
+/// rejecting graphs uploaded by a different platform.
+pub fn downcast_graph<'a, T: 'static>(
+    platform: &str,
+    graph: &'a dyn LoadedGraph,
+) -> Result<&'a T> {
+    graph.as_any().downcast_ref::<T>().ok_or_else(|| {
+        Error::InvalidParameters(format!(
+            "graph was not uploaded through platform {platform}"
+        ))
+    })
+}
+
+/// Convenience for one-shot callers (examples, micro-benchmarks): a full
+/// upload → run → delete lifecycle for a single `(algorithm, params)`.
+/// The returned [`Execution::wall_seconds`] covers the run phase only.
+/// Benchmark code that repeats runs should drive the phases itself so the
+/// upload is paid once.
+pub fn run_once(
+    platform: &dyn Platform,
+    csr: &Arc<Csr>,
+    algorithm: Algorithm,
+    params: &AlgorithmParams,
+    pool: &WorkerPool,
+) -> Result<Execution> {
+    let loaded = platform.upload(csr.clone(), pool)?;
+    let mut ctx = RunContext::new(pool);
+    let result = platform.run(loaded.as_ref(), algorithm, params, &mut ctx);
+    platform.delete(loaded);
+    result
 }
 
 /// All six engines, in the paper's table order (community then industry):
@@ -100,6 +248,16 @@ pub fn platform_by_name(name: &str) -> Option<Box<dyn Platform>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphalytics_core::GraphBuilder;
+
+    fn sample_csr() -> Arc<Csr> {
+        let mut b = GraphBuilder::new(true);
+        b.add_vertex_range(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        Arc::new(b.build().unwrap().to_csr())
+    }
 
     #[test]
     fn six_engines_registered() {
@@ -125,5 +283,67 @@ mod tests {
         assert!(p.supports(Algorithm::Bfs));
         let g = platform_by_name("giraph").unwrap();
         assert!(g.supports(Algorithm::Lcc));
+    }
+
+    #[test]
+    fn foreign_loaded_graph_is_rejected() {
+        // A graph uploaded through one engine must not run on another.
+        let csr = sample_csr();
+        let pool = WorkerPool::inline();
+        let spmv = platform_by_name("spmv").unwrap();
+        let pregel = platform_by_name("pregel").unwrap();
+        let loaded = spmv.upload(csr.clone(), &pool).unwrap();
+        let mut ctx = RunContext::new(&pool);
+        let err = pregel
+            .run(loaded.as_ref(), Algorithm::Bfs, &AlgorithmParams::with_source(0), &mut ctx)
+            .unwrap_err();
+        assert!(err.to_string().contains("not uploaded"), "{err}");
+        spmv.delete(loaded);
+    }
+
+    #[test]
+    fn loaded_graph_exposes_csr_and_bytes() {
+        let csr = sample_csr();
+        let pool = WorkerPool::inline();
+        for platform in all_platforms() {
+            let loaded = platform.upload(csr.clone(), &pool).unwrap();
+            assert_eq!(loaded.csr().num_vertices(), 4, "{}", platform.name());
+            assert!(
+                loaded.resident_bytes() >= csr.resident_bytes(),
+                "{}: engine representation at least pins the CSR",
+                platform.name()
+            );
+            platform.delete(loaded);
+        }
+    }
+
+    #[test]
+    fn run_context_records_phases() {
+        let pool = WorkerPool::inline();
+        let mut ctx = RunContext::with_run_index(&pool, 3);
+        assert_eq!(ctx.run_index, 3);
+        let out = ctx.time_phase("ProcessGraph", |_| 41 + 1);
+        assert_eq!(out, 42);
+        ctx.record_phase("Offload", 0.5);
+        let phases = ctx.take_phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "ProcessGraph");
+        assert_eq!(phases[1], PhaseRecord { name: "Offload", secs: 0.5 });
+        assert!(ctx.phases().is_empty(), "take_phases drains");
+    }
+
+    #[test]
+    fn run_once_matches_explicit_lifecycle() {
+        let csr = sample_csr();
+        let pool = WorkerPool::inline();
+        let platform = platform_by_name("native").unwrap();
+        let params = AlgorithmParams::with_source(0);
+        let one_shot = run_once(platform.as_ref(), &csr, Algorithm::Bfs, &params, &pool).unwrap();
+        let loaded = platform.upload(csr.clone(), &pool).unwrap();
+        let mut ctx = RunContext::new(&pool);
+        let explicit =
+            platform.run(loaded.as_ref(), Algorithm::Bfs, &params, &mut ctx).unwrap();
+        platform.delete(loaded);
+        assert_eq!(one_shot.output, explicit.output);
     }
 }

@@ -23,6 +23,7 @@
 
 mod programs;
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
@@ -33,7 +34,7 @@ use graphalytics_core::{Algorithm, Csr};
 use graphalytics_cluster::WorkCounters;
 
 use crate::common::pool::{SharedSlice, WorkerPool};
-use crate::platform::{Execution, Platform};
+use crate::platform::{downcast_graph, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
 
 pub use programs::{BfsProgram, CdlpProgram, LccMessage, LccProgram, PageRankProgram, SsspProgram, WccProgram};
@@ -204,6 +205,39 @@ pub fn run_pregel<P: VertexProgram>(
     values
 }
 
+/// The uploaded representation: the partition store. Giraph's load phase
+/// reads the edge list into per-worker partitions; here the load product
+/// is the owned CSR plus the per-vertex out-degree table the partition
+/// store serves to every superstep (PageRank's rank spread, activity
+/// scans) without re-deriving row extents from the offsets.
+pub struct PregelGraph {
+    csr: Arc<Csr>,
+    /// Cached out-degrees (partition-store vertex metadata).
+    out_degrees: Box<[u32]>,
+}
+
+impl PregelGraph {
+    /// The cached out-degree of vertex `u`.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> u32 {
+        self.out_degrees[u as usize]
+    }
+}
+
+impl LoadedGraph for PregelGraph {
+    fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.csr.resident_bytes() + 4 * self.out_degrees.len() as u64
+    }
+}
+
 /// The Giraph-like platform.
 pub struct PregelEngine {
     profile: PerfProfile,
@@ -230,13 +264,29 @@ impl Platform for PregelEngine {
         &self.profile
     }
 
-    fn execute(
+    fn upload(&self, csr: Arc<Csr>, pool: &WorkerPool) -> Result<Box<dyn LoadedGraph>> {
+        let n = csr.num_vertices();
+        let csr_ref = &csr;
+        let degrees: Vec<u32> = pool
+            .run(n, |_, range| {
+                range.map(|u| csr_ref.out_degree(u as u32) as u32).collect::<Vec<u32>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        Ok(Box::new(PregelGraph { csr, out_degrees: degrees.into() }))
+    }
+
+    fn run(
         &self,
-        csr: &Csr,
+        graph: &dyn LoadedGraph,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        pool: &WorkerPool,
+        ctx: &mut RunContext<'_>,
     ) -> Result<Execution> {
+        let loaded = downcast_graph::<PregelGraph>(self.name(), graph)?;
+        let csr = loaded.csr();
+        let pool = ctx.pool;
         let start = Instant::now();
         let mut counters = WorkCounters::new();
         let values = match algorithm {
@@ -276,10 +326,12 @@ impl Platform for PregelEngine {
                 OutputValues::F64(run_pregel(csr, &SsspProgram { root }, pool, &mut counters))
             }
         };
+        let wall_seconds = start.elapsed().as_secs_f64();
+        ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
             output: AlgorithmOutput::from_dense(algorithm, csr, values),
             counters,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds,
         })
     }
 

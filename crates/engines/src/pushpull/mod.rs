@@ -15,6 +15,7 @@
 //! like the real system — **no LCC implementation** (Figure 6 marks it
 //! `NA`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
@@ -26,11 +27,44 @@ use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
 use crate::common::pool::WorkerPool;
-use crate::platform::{unsupported, Execution, Platform};
+use crate::platform::{downcast_graph, unsupported, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
 
 /// Frontier density above which iterations switch from push to pull.
 pub const PULL_THRESHOLD: f64 = 0.05;
+
+/// The uploaded representation: PGX.D's dual-direction adjacency. The
+/// upload phase pins both CSR directions (push walks out-edges, pull
+/// walks in-edges — the engine needs both resident, which is part of
+/// PGX.D's large-memory profile) and caches the out-degree table that
+/// pull iterations divide by on every traversed in-edge.
+pub struct PushPullGraph {
+    csr: Arc<Csr>,
+    /// Cached out-degrees for the pull direction.
+    out_degrees: Box<[u32]>,
+}
+
+impl PushPullGraph {
+    /// The full cached degree vector.
+    #[inline]
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+}
+
+impl LoadedGraph for PushPullGraph {
+    fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.csr.resident_bytes() + 4 * self.out_degrees.len() as u64
+    }
+}
 
 /// The PGX.D-like platform.
 pub struct PushPullEngine {
@@ -62,13 +96,29 @@ impl Platform for PushPullEngine {
         algorithm != Algorithm::Lcc
     }
 
-    fn execute(
+    fn upload(&self, csr: Arc<Csr>, pool: &WorkerPool) -> Result<Box<dyn LoadedGraph>> {
+        let n = csr.num_vertices();
+        let csr_ref = &csr;
+        let degrees: Vec<u32> = pool
+            .run(n, |_, range| {
+                range.map(|u| csr_ref.out_degree(u as u32) as u32).collect::<Vec<u32>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        Ok(Box::new(PushPullGraph { csr, out_degrees: degrees.into() }))
+    }
+
+    fn run(
         &self,
-        csr: &Csr,
+        graph: &dyn LoadedGraph,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        pool: &WorkerPool,
+        ctx: &mut RunContext<'_>,
     ) -> Result<Execution> {
+        let loaded = downcast_graph::<PushPullGraph>(self.name(), graph)?;
+        let csr = loaded.csr();
+        let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
         let values = match algorithm {
@@ -77,7 +127,7 @@ impl Platform for PushPullEngine {
                 OutputValues::I64(direction_optimizing_bfs(csr, root, &mut c))
             }
             Algorithm::PageRank => OutputValues::F64(pull_pagerank(
-                csr,
+                loaded,
                 params.pagerank_iterations,
                 params.damping_factor,
                 pool,
@@ -98,10 +148,12 @@ impl Platform for PushPullEngine {
                 OutputValues::F64(push_sssp(csr, root, &mut c))
             }
         };
+        let wall_seconds = start.elapsed().as_secs_f64();
+        ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
             output: AlgorithmOutput::from_dense(algorithm, csr, values),
             counters: c,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds,
         })
     }
 
@@ -204,8 +256,17 @@ fn direction_optimizing_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i
     depth
 }
 
-/// Pull PageRank (PGX.D's home turf: pure reads, no message buffers).
-fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
+/// Pull PageRank (PGX.D's home turf: pure reads, no message buffers),
+/// dividing by the uploaded representation's cached out-degrees.
+fn pull_pagerank(
+    graph: &PushPullGraph,
+    iterations: u32,
+    damping: f64,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    let csr = graph.csr();
+    let degrees = graph.out_degrees();
     let n = csr.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -216,17 +277,15 @@ fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c:
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let rank_ref = &rank;
-        let dangling: f64 = (0..n as u32)
-            .filter(|&u| csr.out_degree(u) == 0)
-            .map(|u| rank_ref[u as usize])
-            .sum();
+        let dangling: f64 =
+            (0..n).filter(|&u| degrees[u] == 0).map(|u| rank_ref[u]).sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
         let (next, tallies) = crate::common::map_vertices(pool, n, |v, edges: &mut u64| {
             let inn = csr.in_neighbors(v);
             *edges += inn.len() as u64;
             let mut sum = 0.0f64;
             for &u in inn {
-                sum += rank_ref[u as usize] / csr.out_degree(u) as f64;
+                sum += rank_ref[u as usize] / degrees[u as usize] as f64;
             }
             base + damping * sum
         });
@@ -359,15 +418,18 @@ mod tests {
     #[test]
     fn supported_algorithms_match_reference() {
         for directed in [true, false] {
-            let csr = sample(directed);
+            let csr = Arc::new(sample(directed));
             let engine = PushPullEngine::new();
             let params = AlgorithmParams::with_source(0);
+            let pool = WorkerPool::new(2);
+            let loaded = engine.upload(csr.clone(), &pool).unwrap();
             for alg in Algorithm::ALL {
+                let mut ctx = RunContext::new(&pool);
                 if alg == Algorithm::Lcc {
-                    assert!(engine.execute(&csr, alg, &params, &WorkerPool::new(2)).is_err());
+                    assert!(engine.run(loaded.as_ref(), alg, &params, &mut ctx).is_err());
                     continue;
                 }
-                let run = engine.execute(&csr, alg, &params, &WorkerPool::new(2)).unwrap();
+                let run = engine.run(loaded.as_ref(), alg, &params, &mut ctx).unwrap();
                 let expected =
                     graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
                 graphalytics_core::validation::validate(&expected, &run.output)
@@ -375,6 +437,7 @@ mod tests {
                     .into_result()
                     .unwrap();
             }
+            engine.delete(loaded);
         }
     }
 
@@ -397,9 +460,13 @@ mod tests {
 
     #[test]
     fn pull_pagerank_no_messages() {
-        let csr = sample(true);
+        let csr = Arc::new(sample(true));
+        let engine = PushPullEngine::new();
+        let pool = WorkerPool::new(2);
+        let loaded = engine.upload(csr, &pool).unwrap();
+        let graph = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
         let mut c = WorkCounters::new();
-        let _ = pull_pagerank(&csr, 5, 0.85, &WorkerPool::new(2), &mut c);
+        let _ = pull_pagerank(graph, 5, 0.85, &pool, &mut c);
         assert_eq!(c.messages, 0, "pull mode reads, never sends");
         assert!(c.edges_scanned > 0);
     }

@@ -16,6 +16,7 @@
 //! vertex vector every iteration (`vertices_processed += |V|`), which is
 //! why queue-based OpenG beats it on the barely-reachable R2 BFS.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
@@ -27,7 +28,7 @@ use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
 use crate::common::pool::WorkerPool;
-use crate::platform::{Execution, Platform};
+use crate::platform::{downcast_graph, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
 
 /// A semiring-style kernel for one sparse iteration.
@@ -109,11 +110,14 @@ pub fn spmspv<K: SpmvKernel>(
 
 /// One *dense* pull iteration (SPMV): for every vertex, combine over all
 /// in-edges. Parallel over rows on the shared pool; deterministic because
-/// each row folds its in-neighbours in CSR order.
+/// each row folds its in-neighbours in CSR order. `out_degrees` is the
+/// cached column-population vector the upload phase builds (see
+/// [`SpmvGraph`]).
 pub fn spmv_dense<K: SpmvKernel>(
     csr: &Csr,
     kernel: &K,
     x: &[f64],
+    out_degrees: &[u32],
     pool: &WorkerPool,
     c: &mut WorkCounters,
 ) -> Vec<K::Partial>
@@ -128,7 +132,8 @@ where
         *edges += inn.len() as u64;
         let mut acc = kernel.identity();
         for (&u, &w) in inn.iter().zip(weights) {
-            acc = kernel.add(acc, kernel.multiply(x[u as usize], w, csr.out_degree(u)));
+            acc = kernel
+                .add(acc, kernel.multiply(x[u as usize], w, out_degrees[u as usize] as usize));
         }
         acc
     });
@@ -137,6 +142,46 @@ where
         c.add_messages(edges, 8);
     }
     result
+}
+
+/// The uploaded representation: GraphMat's preprocessed matrix view. The
+/// upload phase pins the dual-direction CSR (the matrix and its
+/// transpose) and derives the per-column out-degree vector once — the
+/// column scaling GraphMat folds into `A` during its graph-ingestion
+/// step — so dense pull iterations stop re-deriving row extents from the
+/// offset array on every edge.
+pub struct SpmvGraph {
+    csr: Arc<Csr>,
+    /// Per-vertex out-degree (matrix column population), built once.
+    out_degrees: Box<[u32]>,
+}
+
+impl SpmvGraph {
+    /// The cached out-degree (column population) of vertex `u`.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> usize {
+        self.out_degrees[u as usize] as usize
+    }
+
+    /// The full cached degree vector.
+    #[inline]
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+}
+
+impl LoadedGraph for SpmvGraph {
+    fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.csr.resident_bytes() + 4 * self.out_degrees.len() as u64
+    }
 }
 
 /// The GraphMat-like platform.
@@ -165,13 +210,29 @@ impl Platform for SpmvEngine {
         &self.profile
     }
 
-    fn execute(
+    fn upload(&self, csr: Arc<Csr>, pool: &WorkerPool) -> Result<Box<dyn LoadedGraph>> {
+        let n = csr.num_vertices();
+        let csr_ref = &csr;
+        let degrees: Vec<u32> = pool
+            .run(n, |_, range| {
+                range.map(|u| csr_ref.out_degree(u as u32) as u32).collect::<Vec<u32>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        Ok(Box::new(SpmvGraph { csr, out_degrees: degrees.into() }))
+    }
+
+    fn run(
         &self,
-        csr: &Csr,
+        graph: &dyn LoadedGraph,
         algorithm: Algorithm,
         params: &AlgorithmParams,
-        pool: &WorkerPool,
+        ctx: &mut RunContext<'_>,
     ) -> Result<Execution> {
+        let loaded = downcast_graph::<SpmvGraph>(self.name(), graph)?;
+        let csr = loaded.csr();
+        let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
         let values = match algorithm {
@@ -180,7 +241,7 @@ impl Platform for SpmvEngine {
                 OutputValues::I64(bfs(csr, root, &mut c))
             }
             Algorithm::PageRank => OutputValues::F64(pagerank(
-                csr,
+                loaded,
                 params.pagerank_iterations,
                 params.damping_factor,
                 pool,
@@ -199,10 +260,12 @@ impl Platform for SpmvEngine {
                 OutputValues::F64(sssp(csr, root, &mut c))
             }
         };
+        let wall_seconds = start.elapsed().as_secs_f64();
+        ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
             output: AlgorithmOutput::from_dense(algorithm, csr, values),
             counters: c,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds,
         })
     }
 
@@ -281,8 +344,17 @@ fn bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
     dist.into_iter().map(|d| if d.is_finite() { d as i64 } else { i64::MAX }).collect()
 }
 
-/// PageRank as dense plus-times SPMV iterations with dangling mass.
-fn pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
+/// PageRank as dense plus-times SPMV iterations with dangling mass,
+/// reading the uploaded matrix view (cached column degrees).
+fn pagerank(
+    graph: &SpmvGraph,
+    iterations: u32,
+    damping: f64,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    let csr = graph.csr();
+    let degrees = graph.out_degrees();
     let n = csr.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -292,9 +364,9 @@ fn pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c: &mut
     for _ in 0..iterations {
         c.supersteps += 1;
         let dangling: f64 =
-            (0..n as u32).filter(|&u| csr.out_degree(u) == 0).map(|u| rank[u as usize]).sum();
+            (0..n).filter(|&u| degrees[u] == 0).map(|u| rank[u]).sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
-        let sums = spmv_dense(csr, &RankSpread, &rank, pool, c);
+        let sums = spmv_dense(csr, &RankSpread, &rank, degrees, pool, c);
         rank = sums.into_iter().map(|s| base + damping * s).collect();
     }
     rank
@@ -456,11 +528,15 @@ mod tests {
 
     #[test]
     fn all_algorithms_match_reference() {
-        let csr = sample();
+        // One upload serves every algorithm (the lifecycle contract).
+        let csr = Arc::new(sample());
         let engine = SpmvEngine::new();
         let params = AlgorithmParams::with_source(0);
+        let pool = WorkerPool::new(2);
+        let loaded = engine.upload(csr.clone(), &pool).unwrap();
         for alg in Algorithm::ALL {
-            let run = engine.execute(&csr, alg, &params, &WorkerPool::new(2)).unwrap();
+            let mut ctx = RunContext::new(&pool);
+            let run = engine.run(loaded.as_ref(), alg, &params, &mut ctx).unwrap();
             let expected =
                 graphalytics_core::algorithms::run_reference(&csr, alg, &params).unwrap();
             graphalytics_core::validation::validate(&expected, &run.output)
@@ -468,6 +544,7 @@ mod tests {
                 .into_result()
                 .unwrap();
         }
+        engine.delete(loaded);
     }
 
     #[test]

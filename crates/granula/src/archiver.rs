@@ -93,6 +93,23 @@ impl Archiver {
         });
     }
 
+    /// Appends a completed operation whose duration was *measured* by the
+    /// caller (an engine phase timer, the driver's upload stopwatch) at
+    /// the current nesting level. Unlike [`Archiver::record_simulated`]
+    /// the record keeps `simulated: false` and does not advance the
+    /// simulated clock; its start is the wall offset at insertion.
+    pub fn record_measured(&mut self, name: impl Into<String>, duration_secs: f64, infos: &[(&str, &str)]) {
+        let start = self.t0.elapsed().as_secs_f64() - duration_secs;
+        self.current().children.push(OperationRecord {
+            name: name.into(),
+            start_secs: start.max(0.0),
+            duration_secs,
+            simulated: false,
+            infos: infos.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            children: Vec::new(),
+        });
+    }
+
     /// Attaches an info key/value to the innermost open operation.
     pub fn info(&mut self, key: impl Into<String>, value: impl ToString) {
         let kv = (key.into(), value.to_string());
@@ -137,6 +154,20 @@ mod tests {
         let process = archive.root.find("ProcessGraph").unwrap();
         assert_eq!(process.children[1].start_secs, 0.5);
         assert!(process.children[0].simulated);
+    }
+
+    #[test]
+    fn measured_records_keep_wall_clock_semantics() {
+        let mut a = Archiver::new("p", "j");
+        a.begin("ExecuteReal");
+        a.record_measured("ProcessGraph", 0.125, &[("run", "0")]);
+        a.end();
+        let archive = a.finish();
+        let rec = archive.root.find("ProcessGraph").unwrap();
+        assert!(!rec.simulated);
+        assert_eq!(rec.duration_secs, 0.125);
+        assert!(rec.start_secs >= 0.0);
+        assert_eq!(archive.info("ProcessGraph", "run"), Some("0"));
     }
 
     #[test]

@@ -89,6 +89,13 @@ impl Graph500Config {
     pub fn generate(self) -> Graph {
         self.rmat().generate()
     }
+
+    /// Generates the graph, finalizing the edge list on `pool` (see
+    /// [`RmatConfig::generate_with`]); output is identical to
+    /// [`Graph500Config::generate`] for every pool width.
+    pub fn generate_with(self, pool: &graphalytics_core::pool::WorkerPool) -> Graph {
+        self.rmat().generate_with(pool)
+    }
 }
 
 #[cfg(test)]

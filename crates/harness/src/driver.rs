@@ -1,15 +1,29 @@
 //! The driver: running one benchmark job against a platform.
 //!
 //! A job is platform × dataset × algorithm × cluster configuration. The
-//! driver performs what Figure 1's platform driver + harness services do:
-//! admission (does the platform support the algorithm? does the working
-//! set fit in memory?), execution (real, on a materialized graph) or
-//! analytic counter estimation (paper-scale datasets), conversion of
-//! counters to simulated time through the engine profile, SLA evaluation,
-//! output validation against the reference implementation, and Granula
-//! archiving.
+//! driver performs what Figure 1's platform driver + harness services do,
+//! phased exactly like the benchmark process of §3:
+//!
+//! 1. **admission** — does the platform support the algorithm? does the
+//!    working set fit in memory?
+//! 2. **upload** — hand the graph to the engine once
+//!    ([`Platform::upload`]); the measured wall time of this phase is
+//!    reported separately from processing time.
+//! 3. **execute × N** — run the algorithm [`JobSpec::repetitions`] times
+//!    on the uploaded representation; only these executions contribute to
+//!    `T_proc` (and therefore EPS/EVPS). Each repetition draws its own
+//!    deterministic noise sample (keyed by `run_index + repetition`).
+//! 4. **validate** — outputs are checked against the reference
+//!    implementation (a reference-side failure is a
+//!    [`JobStatus::ValidationFailed`], never a panic).
+//! 5. **delete** — release the engine-owned representation.
+//!
+//! Analytic jobs (paper-scale datasets) skip upload/delete and estimate
+//! counters instead, but still produce one [`RunMeasurement`] per
+//! repetition so mean/min/max and CV work identically in both modes.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use graphalytics_cluster::cost::{noise_factor, processing_time};
 use graphalytics_cluster::memory::MemoryOutcome;
@@ -19,7 +33,7 @@ use graphalytics_core::datasets::DatasetSpec;
 use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Algorithm, Csr};
 use graphalytics_engines::profile::NetworkKind;
-use graphalytics_engines::Platform;
+use graphalytics_engines::{LoadedGraph, Platform, RunContext};
 use graphalytics_granula::{Archiver, PerformanceArchive};
 
 use crate::description::JobDescription;
@@ -28,8 +42,8 @@ use crate::SLA_MAKESPAN_SECS;
 /// How the job obtains its work counters.
 pub enum RunMode<'a> {
     /// Execute for real on a materialized graph (usually a scaled-down
-    /// proxy); counters are measured, output is validated.
-    Measured { csr: &'a Csr },
+    /// proxy): upload once, execute `repetitions` times, validate, delete.
+    Measured { csr: &'a Arc<Csr> },
     /// Estimate counters analytically at the dataset's published size.
     Analytic,
 }
@@ -40,8 +54,25 @@ pub struct JobSpec {
     pub dataset: &'static DatasetSpec,
     pub algorithm: Algorithm,
     pub cluster: ClusterSpec,
-    /// Repetition index (drives the deterministic noise stream).
+    /// Base repetition index (drives the deterministic noise stream);
+    /// repetition `k` of this job uses `run_index + k`.
     pub run_index: u64,
+    /// How many times the execute phase repeats on the uploaded graph
+    /// (`benchmark.repetitions`; clamped to at least 1).
+    pub repetitions: u32,
+}
+
+impl JobSpec {
+    /// A single-repetition spec starting at noise index 0.
+    pub fn new(dataset: &'static DatasetSpec, algorithm: Algorithm, cluster: ClusterSpec) -> Self {
+        JobSpec { dataset, algorithm, cluster, run_index: 0, repetitions: 1 }
+    }
+
+    /// Builder-style repetition count.
+    pub fn with_repetitions(mut self, repetitions: u32) -> Self {
+        self.repetitions = repetitions;
+        self
+    }
 }
 
 /// Job outcome classification. Everything except `Completed` breaks the
@@ -55,7 +86,9 @@ pub enum JobStatus {
     OutOfMemory,
     /// Makespan exceeded the one-hour SLA (rendered `F`).
     SlaViolation,
-    /// Output did not match the reference implementation.
+    /// Output did not match the reference implementation — or the
+    /// reference/engine itself failed, in which case the benchmark run
+    /// records the failure instead of dying.
     ValidationFailed(String),
 }
 
@@ -78,7 +111,22 @@ impl JobStatus {
     }
 }
 
-/// The result of one job.
+/// One repetition of the execute phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeasurement {
+    /// The repetition's noise-stream index (`spec.run_index + k`).
+    pub run_index: u64,
+    /// Simulated processing seconds (`T_proc`) for this repetition.
+    pub processing_secs: f64,
+    /// Simulated makespan for this repetition (upload + `T_proc` +
+    /// offload).
+    pub makespan_secs: f64,
+    /// Wall-clock of the real execution (measured mode only).
+    pub measured_wall_secs: Option<f64>,
+}
+
+/// The result of one job (all repetitions aggregated; per-repetition
+/// detail in [`JobResult::runs`]).
 #[derive(Debug, Clone)]
 pub struct JobResult {
     pub platform: String,
@@ -92,25 +140,55 @@ pub struct JobResult {
     /// actual proxy size for measured runs).
     pub vertices: u64,
     pub edges: u64,
-    /// Simulated seconds: upload (startup + load), processing, makespan.
+    /// Simulated upload seconds (startup + load).
     pub upload_secs: f64,
+    /// Mean simulated processing seconds over all repetitions. EPS/EVPS
+    /// derive from this — processing time only, never upload (§2.3).
     pub processing_secs: f64,
+    /// Fastest / slowest repetition (simulated `T_proc`).
+    pub processing_min_secs: f64,
+    pub processing_max_secs: f64,
+    /// Simulated makespan: upload + mean processing + offload.
     pub makespan_secs: f64,
-    /// Wall-clock of the real execution (measured mode only).
+    /// Mean wall-clock of the real executions (measured mode only).
     pub measured_wall_secs: Option<f64>,
+    /// Measured wall-clock of the real upload phase (measured mode only):
+    /// the engine building its preprocessed representation, once.
+    pub measured_upload_secs: Option<f64>,
+    /// Per-repetition measurements, in repetition order.
+    pub runs: Vec<RunMeasurement>,
     pub counters: WorkCounters,
     pub archive: Option<PerformanceArchive>,
 }
 
 impl JobResult {
-    /// Edges per second (paper metric).
+    /// Edges per second (paper metric, from mean `T_proc`).
     pub fn eps(&self) -> f64 {
         crate::metrics::eps(self.edges, self.processing_secs)
     }
 
-    /// Edges and vertices per second (paper metric).
+    /// Edges and vertices per second (paper metric, from mean `T_proc`).
     pub fn evps(&self) -> f64 {
         crate::metrics::evps(self.vertices, self.edges, self.processing_secs)
+    }
+
+    /// Upload-phase throughput (edges per measured upload second);
+    /// measured mode only. Reported separately from EPS/EVPS so load and
+    /// process costs are never conflated.
+    pub fn measured_upload_eps(&self) -> Option<f64> {
+        self.measured_upload_secs.map(|s| crate::metrics::eps(self.edges, s))
+    }
+
+    /// Number of executed repetitions.
+    pub fn repetitions(&self) -> u32 {
+        self.runs.len() as u32
+    }
+
+    /// Coefficient of variation of the simulated per-repetition
+    /// processing times (the Table 11 metric).
+    pub fn processing_cv(&self) -> f64 {
+        let samples: Vec<f64> = self.runs.iter().map(|r| r.processing_secs).collect();
+        crate::metrics::coefficient_of_variation(&samples)
     }
 }
 
@@ -137,55 +215,389 @@ impl Default for Driver {
     }
 }
 
+/// Everything admission resolves before any phase runs.
+struct Admission {
+    cluster: ClusterSpec,
+    vertices: u64,
+    edges: u64,
+    swap_slowdown: f64,
+    cut_fraction: f64,
+}
+
 impl Driver {
-    /// Runs one job.
+    /// Runs one job through the full lifecycle. Measured mode performs
+    /// upload (timed) → execute×N → validate → delete; use
+    /// [`Driver::run_uploaded`] directly to share one upload across
+    /// several jobs (the [`Runner`](crate::runner::Runner) shares per
+    /// (platform, dataset)).
     pub fn run(&self, platform: &dyn Platform, spec: &JobSpec, mode: RunMode<'_>) -> JobResult {
+        match mode {
+            RunMode::Analytic => self.run_analytic(platform, spec),
+            RunMode::Measured { csr } => {
+                let mut result = self.blank_result(platform, spec);
+                if let Some(admission) = self.admit(platform, spec, Some(csr), &mut result) {
+                    let upload_start = Instant::now();
+                    match platform.upload(csr.clone(), &self.pool) {
+                        Ok(loaded) => {
+                            let upload_secs = upload_start.elapsed().as_secs_f64();
+                            result = self.execute_repetitions(
+                                platform,
+                                loaded.as_ref(),
+                                spec,
+                                admission,
+                                result,
+                                Some(upload_secs),
+                            );
+                            platform.delete(loaded);
+                        }
+                        Err(e) => {
+                            result.status =
+                                JobStatus::ValidationFailed(format!("upload failed: {e}"));
+                        }
+                    }
+                }
+                result
+            }
+        }
+    }
+
+    /// Runs the execute×N / validate phases of one measured job on a
+    /// graph some caller already uploaded to `platform` (upload-once,
+    /// execute-many across algorithms and repetitions). Pass the measured
+    /// upload wall time so it is reported on every job that shares it.
+    pub fn run_uploaded(
+        &self,
+        platform: &dyn Platform,
+        loaded: &dyn LoadedGraph,
+        spec: &JobSpec,
+        measured_upload_secs: Option<f64>,
+    ) -> JobResult {
+        let mut result = self.blank_result(platform, spec);
+        let csr = loaded.csr();
+        match self.admit_sized(
+            platform,
+            spec,
+            csr.num_vertices() as u64,
+            csr.num_edges() as u64,
+            &mut result,
+        ) {
+            Some(admission) => self.execute_repetitions(
+                platform,
+                loaded,
+                spec,
+                admission,
+                result,
+                measured_upload_secs,
+            ),
+            None => result,
+        }
+    }
+
+    /// Admission without execution: returns the rejection row
+    /// (Unsupported / OutOfMemory) for a measured job that would not be
+    /// admitted, or `None` when the job may run. The
+    /// [`Runner`](crate::runner::Runner) uses this to skip the upload
+    /// phase entirely for (platform, dataset) groups whose every job is
+    /// rejected.
+    pub(crate) fn preflight(
+        &self,
+        platform: &dyn Platform,
+        spec: &JobSpec,
+        csr: &Csr,
+    ) -> Option<JobResult> {
+        let mut result = self.blank_result(platform, spec);
+        match self.admit_sized(
+            platform,
+            spec,
+            csr.num_vertices() as u64,
+            csr.num_edges() as u64,
+            &mut result,
+        ) {
+            Some(_) => None,
+            None => Some(result),
+        }
+    }
+
+    /// A result row for a measured job whose upload phase failed: the
+    /// graph sizes are recorded, nothing executed.
+    pub(crate) fn upload_failed_result(
+        &self,
+        platform: &dyn Platform,
+        spec: &JobSpec,
+        csr: &Csr,
+        message: String,
+    ) -> JobResult {
+        let mut result = self.blank_result(platform, spec);
+        result.vertices = csr.num_vertices() as u64;
+        result.edges = csr.num_edges() as u64;
+        result.status = JobStatus::ValidationFailed(message);
+        result
+    }
+
+    /// One analytic job: counters estimated at the published size, one
+    /// simulated measurement per repetition.
+    fn run_analytic(&self, platform: &dyn Platform, spec: &JobSpec) -> JobResult {
+        let mut result = self.blank_result(platform, spec);
+        let Some(admission) = self.admit(platform, spec, None, &mut result) else {
+            return result;
+        };
+        let desc = JobDescription { dataset: spec.dataset, algorithm: spec.algorithm };
+        let counters = platform.estimate(
+            admission.vertices,
+            admission.edges,
+            &spec.dataset.traits_,
+            spec.dataset.directed,
+            spec.algorithm,
+            &desc.params_analytic(),
+        );
+        result.counters = counters;
+        let archiver = Archiver::new(platform.name(), job_name(spec));
+        self.finish_with_cost_model(platform, spec, admission, result, archiver, &[])
+    }
+
+    /// The execute×N + validate phases, shared by `run` and
+    /// `run_uploaded`.
+    fn execute_repetitions(
+        &self,
+        platform: &dyn Platform,
+        loaded: &dyn LoadedGraph,
+        spec: &JobSpec,
+        admission: Admission,
+        mut result: JobResult,
+        measured_upload_secs: Option<f64>,
+    ) -> JobResult {
+        let csr = loaded.csr();
+        let desc = JobDescription { dataset: spec.dataset, algorithm: spec.algorithm };
+        let params = desc.params_for(csr);
+        let mut archiver = Archiver::new(platform.name(), job_name(spec));
+        if let Some(upload) = measured_upload_secs {
+            result.measured_upload_secs = Some(upload);
+            archiver.record_measured(
+                "UploadGraph",
+                upload,
+                &[("edges", &csr.num_edges().to_string())],
+            );
+        }
+
+        // The reference output is computed once; a reference-side failure
+        // is recorded as a validation failure instead of panicking the
+        // benchmark mid-run.
+        let reference = if self.validate {
+            match graphalytics_core::algorithms::run_reference(csr, spec.algorithm, &params) {
+                Ok(reference) => Some(reference),
+                Err(e) => {
+                    result.status =
+                        JobStatus::ValidationFailed(format!("reference implementation: {e}"));
+                    return result;
+                }
+            }
+        } else {
+            None
+        };
+
+        let repetitions = spec.repetitions.max(1);
+        let mut walls: Vec<f64> = Vec::with_capacity(repetitions as usize);
+        for rep in 0..repetitions as u64 {
+            let mut ctx = RunContext::with_run_index(&self.pool, spec.run_index + rep);
+            archiver.begin("ExecuteReal");
+            let execution = platform.run(loaded, spec.algorithm, &params, &mut ctx);
+            let supersteps = execution
+                .as_ref()
+                .map(|exec| exec.counters.supersteps)
+                .unwrap_or(0)
+                .to_string();
+            for phase in ctx.take_phases() {
+                archiver.record_measured(
+                    phase.name,
+                    phase.secs,
+                    &[("repetition", &rep.to_string()), ("supersteps", &supersteps)],
+                );
+            }
+            archiver.end();
+            match execution {
+                Ok(exec) => {
+                    if rep == 0 {
+                        if let Some(reference) = &reference {
+                            match graphalytics_core::validation::validate(reference, &exec.output)
+                            {
+                                Ok(report) if report.is_valid() => {}
+                                Ok(report) => {
+                                    result.status = JobStatus::ValidationFailed(format!(
+                                        "{} mismatches",
+                                        report.mismatches
+                                    ));
+                                    return result;
+                                }
+                                Err(e) => {
+                                    result.status = JobStatus::ValidationFailed(e.to_string());
+                                    return result;
+                                }
+                            }
+                        }
+                        result.counters = exec.counters;
+                    }
+                    walls.push(exec.wall_seconds);
+                }
+                Err(e) => {
+                    result.status = JobStatus::ValidationFailed(e.to_string());
+                    return result;
+                }
+            }
+        }
+        result.measured_wall_secs =
+            Some(walls.iter().sum::<f64>() / walls.len().max(1) as f64);
+        self.finish_with_cost_model(platform, spec, admission, result, archiver, &walls)
+    }
+
+    /// Counters → simulated per-repetition times through the shared cost
+    /// model, aggregation, archive records, SLA verdict.
+    fn finish_with_cost_model(
+        &self,
+        platform: &dyn Platform,
+        spec: &JobSpec,
+        admission: Admission,
+        mut result: JobResult,
+        mut archiver: Archiver,
+        walls: &[f64],
+    ) -> JobResult {
+        let profile = platform.profile();
+        let Admission { cluster, vertices: v, edges: e, swap_slowdown, cut_fraction } = admission;
+        let breakdown = processing_time(&profile.cost, &result.counters, &cluster, cut_fraction);
+        let m = cluster.machines;
+        let cv = if m > 1 { profile.cv_distributed } else { profile.cv_single };
+        let upload = profile.startup_secs + profile.load_secs_per_edge * e as f64 / m as f64;
+        let offload = v as f64 * 5.0e-9;
+
+        let repetitions = spec.repetitions.max(1) as u64;
+        let mut runs = Vec::with_capacity(repetitions as usize);
+        for rep in 0..repetitions {
+            let run_index = spec.run_index + rep;
+            let noise = if self.noise {
+                noise_factor(cv, self.seed ^ job_seed(&result), run_index)
+            } else {
+                1.0
+            };
+            let tproc = breakdown.total() * swap_slowdown * noise;
+            runs.push(RunMeasurement {
+                run_index,
+                processing_secs: tproc,
+                makespan_secs: upload + tproc + offload,
+                measured_wall_secs: walls.get(rep as usize).copied(),
+            });
+        }
+        let mean = runs.iter().map(|r| r.processing_secs).sum::<f64>() / runs.len() as f64;
+        result.upload_secs = upload;
+        result.processing_secs = mean;
+        result.processing_min_secs =
+            runs.iter().map(|r| r.processing_secs).fold(f64::INFINITY, f64::min);
+        result.processing_max_secs =
+            runs.iter().map(|r| r.processing_secs).fold(0.0, f64::max);
+        result.makespan_secs = upload + mean + offload;
+
+        archiver.record_simulated("Startup", profile.startup_secs, &[]);
+        archiver.record_simulated(
+            "LoadGraph",
+            upload - profile.startup_secs,
+            &[("edges", &e.to_string())],
+        );
+        let counters = &result.counters;
+        for run in &runs {
+            archiver.record_simulated(
+                "ProcessGraph",
+                run.processing_secs,
+                &[
+                    ("run_index", &run.run_index.to_string()),
+                    ("supersteps", &counters.supersteps.to_string()),
+                    ("messages", &counters.messages.to_string()),
+                    ("compute_secs", &format!("{:.3e}", breakdown.compute_secs)),
+                    ("network_secs", &format!("{:.3e}", breakdown.network_secs)),
+                    ("barrier_secs", &format!("{:.3e}", breakdown.barrier_secs)),
+                ],
+            );
+        }
+        archiver.record_simulated("Offload", offload, &[]);
+        archiver.record_simulated("DeleteGraph", 0.0, &[]);
+        result.runs = runs;
+        result.archive = Some(archiver.finish());
+
+        if result.makespan_secs > SLA_MAKESPAN_SECS {
+            result.status = JobStatus::SlaViolation;
+        }
+        result
+    }
+
+    /// An empty result shell for `spec` (sizes default to the published
+    /// ones; admission overwrites for measured runs).
+    fn blank_result(&self, platform: &dyn Platform, spec: &JobSpec) -> JobResult {
+        let profile = platform.profile();
+        JobResult {
+            platform: platform.name().to_string(),
+            paper_analog: profile.paper_analog.to_string(),
+            dataset: spec.dataset.id.to_string(),
+            algorithm: spec.algorithm,
+            machines: spec.cluster.machines,
+            threads: spec.cluster.threads_per_machine,
+            status: JobStatus::Completed,
+            vertices: spec.dataset.vertices,
+            edges: spec.dataset.edges,
+            upload_secs: 0.0,
+            processing_secs: 0.0,
+            processing_min_secs: 0.0,
+            processing_max_secs: 0.0,
+            makespan_secs: 0.0,
+            measured_wall_secs: None,
+            measured_upload_secs: None,
+            runs: Vec::new(),
+            counters: WorkCounters::new(),
+            archive: None,
+        }
+    }
+
+    /// Admission for `spec`, sized from `csr` when measured.
+    fn admit(
+        &self,
+        platform: &dyn Platform,
+        spec: &JobSpec,
+        csr: Option<&Arc<Csr>>,
+        result: &mut JobResult,
+    ) -> Option<Admission> {
+        let (v, e) = match csr {
+            Some(csr) => (csr.num_vertices() as u64, csr.num_edges() as u64),
+            None => (spec.dataset.vertices, spec.dataset.edges),
+        };
+        self.admit_sized(platform, spec, v, e, result)
+    }
+
+    /// Admission: algorithm support, deployment mode, memory. `None`
+    /// means the job was rejected (status already set on `result`).
+    fn admit_sized(
+        &self,
+        platform: &dyn Platform,
+        spec: &JobSpec,
+        v: u64,
+        e: u64,
+        result: &mut JobResult,
+    ) -> Option<Admission> {
         let profile = platform.profile().clone();
         let mut cluster = spec.cluster;
         cluster.network = match profile.network {
             NetworkKind::Ethernet1G => NetworkSpec::ethernet_1g(),
             NetworkKind::InfinibandFdr => NetworkSpec::infiniband_fdr(),
         };
-        let job_name = format!("{}@{}", spec.algorithm, spec.dataset.id);
-        let desc = JobDescription { dataset: spec.dataset, algorithm: spec.algorithm };
+        result.machines = cluster.machines;
+        result.threads = cluster.threads_per_machine;
+        result.vertices = v;
+        result.edges = e;
 
-        let mut result = JobResult {
-            platform: platform.name().to_string(),
-            paper_analog: profile.paper_analog.to_string(),
-            dataset: spec.dataset.id.to_string(),
-            algorithm: spec.algorithm,
-            machines: cluster.machines,
-            threads: cluster.threads_per_machine,
-            status: JobStatus::Completed,
-            vertices: spec.dataset.vertices,
-            edges: spec.dataset.edges,
-            upload_secs: 0.0,
-            processing_secs: 0.0,
-            makespan_secs: 0.0,
-            measured_wall_secs: None,
-            counters: WorkCounters::new(),
-            archive: None,
-        };
-
-        // Admission: algorithm support and deployment mode.
         if !platform.supports(spec.algorithm)
             || (cluster.is_distributed() && !profile.supports_distributed)
         {
             result.status = JobStatus::Unsupported;
-            return result;
+            return None;
         }
 
-        // Size the working set (published size for analytic mode, actual
-        // proxy size for measured mode).
-        let (v, e, directed) = match &mode {
-            RunMode::Analytic => (spec.dataset.vertices, spec.dataset.edges, spec.dataset.directed),
-            RunMode::Measured { csr } => {
-                (csr.num_vertices() as u64, csr.num_edges() as u64, csr.is_directed())
-            }
-        };
-        result.vertices = v;
-        result.edges = e;
         let traits_ = spec.dataset.traits_;
+        let directed = spec.dataset.directed;
         let arcs = if directed { e } else { 2 * e };
         let mean_degree = arcs as f64 / v.max(1) as f64;
         let sum_deg2 =
@@ -216,106 +628,15 @@ impl Driver {
             MemoryOutcome::Swapping { slowdown, .. } => slowdown,
             MemoryOutcome::OutOfMemory { .. } => {
                 result.status = JobStatus::OutOfMemory;
-                return result;
+                return None;
             }
         };
-
-        // Obtain counters: estimate or real execution.
-        let mut archiver = Archiver::new(platform.name(), &job_name);
-        let counters = match mode {
-            RunMode::Analytic => platform.estimate(
-                v,
-                e,
-                &traits_,
-                directed,
-                spec.algorithm,
-                &desc.params_analytic(),
-            ),
-            RunMode::Measured { csr } => {
-                let params = desc.params_for(csr);
-                archiver.begin("ExecuteReal");
-                // Real execution runs on the shared pool; the simulated
-                // cluster's threads_per_machine only feeds the cost model
-                // (outputs are bit-identical across pool widths anyway).
-                match platform.execute(csr, spec.algorithm, &params, &self.pool) {
-                    Ok(exec) => {
-                        archiver.end();
-                        result.measured_wall_secs = Some(exec.wall_seconds);
-                        if self.validate {
-                            let reference = graphalytics_core::algorithms::run_reference(
-                                csr,
-                                spec.algorithm,
-                                &params,
-                            )
-                            .expect("reference implementation runs");
-                            match graphalytics_core::validation::validate(&reference, &exec.output)
-                            {
-                                Ok(report) if report.is_valid() => {}
-                                Ok(report) => {
-                                    result.status = JobStatus::ValidationFailed(format!(
-                                        "{} mismatches",
-                                        report.mismatches
-                                    ));
-                                    return result;
-                                }
-                                Err(e) => {
-                                    result.status = JobStatus::ValidationFailed(e.to_string());
-                                    return result;
-                                }
-                            }
-                        }
-                        exec.counters
-                    }
-                    Err(e) => {
-                        archiver.end();
-                        result.status = JobStatus::ValidationFailed(e.to_string());
-                        return result;
-                    }
-                }
-            }
-        };
-        result.counters = counters;
-
-        // Counters → simulated time through the shared cost model.
-        let breakdown = processing_time(&profile.cost, &counters, &cluster, cut_fraction);
-        let cv = if m > 1 { profile.cv_distributed } else { profile.cv_single };
-        let noise = if self.noise {
-            noise_factor(cv, self.seed ^ job_seed(&result), spec.run_index)
-        } else {
-            1.0
-        };
-        let tproc = breakdown.total() * swap_slowdown * noise;
-        let upload = profile.startup_secs + profile.load_secs_per_edge * e as f64 / m as f64;
-        let offload = v as f64 * 5.0e-9;
-        result.upload_secs = upload;
-        result.processing_secs = tproc;
-        result.makespan_secs = upload + tproc + offload;
-
-        archiver.record_simulated("Startup", profile.startup_secs, &[]);
-        archiver.record_simulated(
-            "LoadGraph",
-            upload - profile.startup_secs,
-            &[("edges", &e.to_string())],
-        );
-        archiver.record_simulated(
-            "ProcessGraph",
-            tproc,
-            &[
-                ("supersteps", &counters.supersteps.to_string()),
-                ("messages", &counters.messages.to_string()),
-                ("compute_secs", &format!("{:.3e}", breakdown.compute_secs)),
-                ("network_secs", &format!("{:.3e}", breakdown.network_secs)),
-                ("barrier_secs", &format!("{:.3e}", breakdown.barrier_secs)),
-            ],
-        );
-        archiver.record_simulated("Offload", offload, &[]);
-        result.archive = Some(archiver.finish());
-
-        if result.makespan_secs > SLA_MAKESPAN_SECS {
-            result.status = JobStatus::SlaViolation;
-        }
-        result
+        Some(Admission { cluster, vertices: v, edges: e, swap_slowdown, cut_fraction })
     }
+}
+
+fn job_name(spec: &JobSpec) -> String {
+    format!("{}@{}", spec.algorithm, spec.dataset.id)
 }
 
 /// Stable per-job seed component so noise streams differ across jobs but
@@ -339,7 +660,10 @@ fn job_seed(r: &JobResult) -> u64 {
 mod tests {
     use super::*;
     use graphalytics_core::datasets::dataset;
-    use graphalytics_engines::platform_by_name;
+    use graphalytics_core::error::Result;
+    use graphalytics_core::output::AlgorithmOutput;
+    use graphalytics_core::params::AlgorithmParams;
+    use graphalytics_engines::{platform_by_name, Execution};
 
     fn spec(ds: &'static str, alg: Algorithm, machines: u32) -> JobSpec {
         JobSpec {
@@ -351,7 +675,14 @@ mod tests {
                 ClusterSpec::das5(machines)
             },
             run_index: 0,
+            repetitions: 1,
         }
+    }
+
+    fn proxy_csr(ds: &'static str) -> Arc<Csr> {
+        let spec = dataset(ds).unwrap();
+        let graph = crate::proxy::materialize(spec, 1 << 14, 5);
+        Arc::new(graph.to_csr())
     }
 
     #[test]
@@ -364,14 +695,14 @@ mod tests {
         assert!(r.makespan_secs > r.processing_secs);
         assert!(r.eps() > 0.0);
         assert!(r.archive.is_some());
+        assert_eq!(r.repetitions(), 1);
+        assert_eq!(r.runs[0].processing_secs, r.processing_secs);
     }
 
     #[test]
     fn measured_run_validates_output() {
         let platform = platform_by_name("native").unwrap();
-        let ds = dataset("G22").unwrap();
-        let graph = crate::proxy::materialize(ds, 1 << 14, 5);
-        let csr = graph.to_csr();
+        let csr = proxy_csr("G22");
         let driver = Driver::default();
         let r = driver.run(
             platform.as_ref(),
@@ -380,8 +711,148 @@ mod tests {
         );
         assert!(r.status.is_success(), "{:?}", r.status);
         assert!(r.measured_wall_secs.is_some());
+        assert!(r.measured_upload_secs.is_some(), "upload phase is timed");
+        assert!(r.measured_upload_eps().unwrap() > 0.0);
         assert!(r.counters.edges_scanned > 0);
         assert_eq!(r.vertices, csr.num_vertices() as u64);
+        // The archive carries the measured phases.
+        let archive = r.archive.as_ref().unwrap();
+        assert!(archive.duration_of("UploadGraph").is_some());
+        assert!(archive.duration_of("ProcessGraph").is_some());
+    }
+
+    #[test]
+    fn repetitions_share_one_upload_and_vary_by_noise() {
+        let platform = platform_by_name("native").unwrap();
+        let csr = proxy_csr("G22");
+        let driver = Driver::default();
+        let job = spec("G22", Algorithm::Bfs, 1).with_repetitions(5);
+        let r = driver.run(platform.as_ref(), &job, RunMode::Measured { csr: &csr });
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert_eq!(r.repetitions(), 5);
+        // Distinct noise samples per repetition...
+        let mut samples: Vec<f64> = r.runs.iter().map(|m| m.processing_secs).collect();
+        samples.dedup();
+        assert_eq!(samples.len(), 5, "noise stream must differ per repetition");
+        assert!(r.processing_min_secs < r.processing_max_secs);
+        assert!(r.processing_min_secs <= r.processing_secs);
+        assert!(r.processing_secs <= r.processing_max_secs);
+        // ...and a deterministic mean for a fixed seed.
+        let again = driver.run(platform.as_ref(), &job, RunMode::Measured { csr: &csr });
+        assert_eq!(r.processing_secs, again.processing_secs);
+        assert_eq!(r.runs.len(), again.runs.len());
+        for (a, b) in r.runs.iter().zip(&again.runs) {
+            assert_eq!(a.processing_secs, b.processing_secs);
+        }
+        // Every repetition was actually executed (wall times recorded).
+        assert!(r.runs.iter().all(|m| m.measured_wall_secs.is_some()));
+    }
+
+    #[test]
+    fn analytic_repetitions_have_distinct_samples_and_deterministic_mean() {
+        let platform = platform_by_name("pregel").unwrap();
+        let driver = Driver::default();
+        let job = spec("G22", Algorithm::PageRank, 1).with_repetitions(10);
+        let a = driver.run(platform.as_ref(), &job, RunMode::Analytic);
+        let b = driver.run(platform.as_ref(), &job, RunMode::Analytic);
+        assert_eq!(a.processing_secs, b.processing_secs, "deterministic mean");
+        assert!(a.processing_cv() > 0.0, "repetitions sample distinct noise");
+        let unique: std::collections::BTreeSet<u64> =
+            a.runs.iter().map(|r| r.processing_secs.to_bits()).collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn reference_failure_is_validation_failed_not_panic() {
+        // A platform that claims SSSP works on unweighted graphs produces
+        // output the reference cannot check (the reference errors on the
+        // missing weights); the driver must record ValidationFailed.
+        struct LyingGraph(Arc<Csr>);
+        impl LoadedGraph for LyingGraph {
+            fn csr(&self) -> &Csr {
+                &self.0
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        struct LyingPlatform {
+            profile: graphalytics_engines::PerfProfile,
+        }
+        impl Platform for LyingPlatform {
+            fn name(&self) -> &'static str {
+                "lying"
+            }
+            fn profile(&self) -> &graphalytics_engines::PerfProfile {
+                &self.profile
+            }
+            fn upload(
+                &self,
+                csr: Arc<Csr>,
+                _pool: &WorkerPool,
+            ) -> Result<Box<dyn LoadedGraph>> {
+                Ok(Box::new(LyingGraph(csr)))
+            }
+            fn run(
+                &self,
+                graph: &dyn LoadedGraph,
+                algorithm: Algorithm,
+                _params: &AlgorithmParams,
+                _ctx: &mut RunContext<'_>,
+            ) -> Result<Execution> {
+                let csr = graph.csr();
+                let values = graphalytics_core::output::OutputValues::F64(vec![
+                    0.0;
+                    csr.num_vertices()
+                ]);
+                Ok(Execution {
+                    output: AlgorithmOutput::from_dense(algorithm, csr, values),
+                    counters: WorkCounters::new(),
+                    wall_seconds: 0.0,
+                })
+            }
+            fn estimate(
+                &self,
+                _v: u64,
+                _e: u64,
+                _t: &graphalytics_core::datasets::GraphTraits,
+                _d: bool,
+                _a: Algorithm,
+                _p: &AlgorithmParams,
+            ) -> WorkCounters {
+                WorkCounters::new()
+            }
+        }
+        let platform = LyingPlatform { profile: graphalytics_engines::PerfProfile::native() };
+        let csr = proxy_csr("G22"); // unweighted: the reference rejects SSSP
+        let driver = Driver::default();
+        let r = driver.run(
+            &platform,
+            &spec("G22", Algorithm::Sssp, 1),
+            RunMode::Measured { csr: &csr },
+        );
+        match &r.status {
+            JobStatus::ValidationFailed(message) => {
+                assert!(message.contains("reference implementation"), "{message}");
+            }
+            other => panic!("expected ValidationFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_uploaded_matches_full_lifecycle() {
+        let platform = platform_by_name("spmv").unwrap();
+        let csr = proxy_csr("G22");
+        let driver = Driver::default();
+        let job = spec("G22", Algorithm::PageRank, 1).with_repetitions(3);
+        let full = driver.run(platform.as_ref(), &job, RunMode::Measured { csr: &csr });
+        let loaded = platform.upload(csr.clone(), &driver.pool).unwrap();
+        let shared = driver.run_uploaded(platform.as_ref(), loaded.as_ref(), &job, Some(0.5));
+        platform.delete(loaded);
+        assert_eq!(full.status, shared.status);
+        assert_eq!(full.processing_secs, shared.processing_secs);
+        assert_eq!(full.counters.edges_scanned, shared.counters.edges_scanned);
+        assert_eq!(shared.measured_upload_secs, Some(0.5));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! degree-distribution family (see DESIGN.md, substitution table).
 
 use graphalytics_core::datasets::{DatasetSpec, ProxyRecipe};
+use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::Graph;
 use graphalytics_datagen::DatagenConfig;
 use graphalytics_graph500::{Graph500Config, RmatConfig};
@@ -16,6 +17,14 @@ use graphalytics_graph500::{Graph500Config, RmatConfig};
 /// Materializes a proxy instance of `spec` scaled down by `divisor`
 /// (1 = the published size — only sensible for the smallest datasets).
 pub fn materialize(spec: &DatasetSpec, divisor: u64, seed: u64) -> Graph {
+    materialize_with(spec, divisor, seed, &WorkerPool::inline())
+}
+
+/// Materializes a proxy instance with the generator's edge-list
+/// finalization running on `pool` (the [`Runner`](crate::runner::Runner)
+/// and the service graph store pass their shared execution runtime).
+/// Output is identical to [`materialize`] for every pool width.
+pub fn materialize_with(spec: &DatasetSpec, divisor: u64, seed: u64, pool: &WorkerPool) -> Graph {
     let divisor = divisor.max(1);
     let target_vertices = (spec.vertices / divisor).max(64);
     let target_edges = (spec.edges / divisor).max(128);
@@ -28,7 +37,7 @@ pub fn materialize(spec: &DatasetSpec, divisor: u64, seed: u64) -> Graph {
                 .with_edge_factor(edge_factor)
                 .with_seed(seed)
                 .with_weights(spec.weighted)
-                .generate()
+                .generate_with(pool)
         }
         ProxyRecipe::Rmat { a, b, c } => {
             let scale = (target_vertices as f64).log2().ceil().max(6.0) as u32;
@@ -47,7 +56,7 @@ pub fn materialize(spec: &DatasetSpec, divisor: u64, seed: u64) -> Graph {
                 weighted: spec.weighted,
                 keep_isolated: false,
             }
-            .generate()
+            .generate_with(pool)
         }
         ProxyRecipe::Datagen { target_cc } => {
             let mut cfg = DatagenConfig::with_persons(target_vertices).with_seed(seed);
@@ -55,7 +64,7 @@ pub fn materialize(spec: &DatasetSpec, divisor: u64, seed: u64) -> Graph {
             if let Some(cc) = target_cc {
                 cfg = cfg.with_target_cc(cc);
             }
-            cfg.generate()
+            cfg.generate_with(pool)
         }
     }
 }
@@ -115,5 +124,19 @@ mod tests {
         let b = materialize(spec, 8192, 9);
         assert_eq!(a.vertices(), b.vertices());
         assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn pool_materialization_matches_sequential() {
+        // Every recipe family: the pooled edge-list finalization must
+        // not change the graph.
+        let pool = WorkerPool::new(3);
+        for id in ["G22", "R1", "D100'"] {
+            let spec = dataset(id).unwrap();
+            let seq = materialize(spec, 8192, 11);
+            let par = materialize_with(spec, 8192, 11, &pool);
+            assert_eq!(seq.vertices(), par.vertices(), "{id}");
+            assert_eq!(seq.edges(), par.edges(), "{id}");
+        }
     }
 }

@@ -110,10 +110,36 @@ pub fn result_json(r: &JobResult) -> Json {
         ("edges", Json::Num(r.edges as f64)),
         ("upload_secs", Json::Num(r.upload_secs)),
         ("processing_secs", Json::Num(r.processing_secs)),
+        ("processing_min_secs", Json::Num(r.processing_min_secs)),
+        ("processing_max_secs", Json::Num(r.processing_max_secs)),
         ("makespan_secs", Json::Num(r.makespan_secs)),
         (
             "measured_wall_secs",
             r.measured_wall_secs.map(Json::Num).unwrap_or(Json::Null),
+        ),
+        (
+            "measured_upload_secs",
+            r.measured_upload_secs.map(Json::Num).unwrap_or(Json::Null),
+        ),
+        ("repetitions", Json::Num(r.repetitions() as f64)),
+        (
+            "runs",
+            Json::Arr(
+                r.runs
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("run_index", Json::Num(m.run_index as f64)),
+                            ("processing_secs", Json::Num(m.processing_secs)),
+                            ("makespan_secs", Json::Num(m.makespan_secs)),
+                            (
+                                "measured_wall_secs",
+                                m.measured_wall_secs.map(Json::Num).unwrap_or(Json::Null),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         ("eps", Json::Num(r.eps())),
         ("evps", Json::Num(r.evps())),
@@ -142,8 +168,17 @@ mod tests {
             edges: 1000,
             upload_secs: 1.0,
             processing_secs: secs,
+            processing_min_secs: secs,
+            processing_max_secs: secs,
             makespan_secs: secs + 1.0,
             measured_wall_secs: None,
+            measured_upload_secs: None,
+            runs: vec![crate::driver::RunMeasurement {
+                run_index: 0,
+                processing_secs: secs,
+                makespan_secs: secs + 1.0,
+                measured_wall_secs: None,
+            }],
             counters: WorkCounters::new(),
             archive: None,
         }

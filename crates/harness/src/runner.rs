@@ -4,10 +4,13 @@
 //! take a [`BenchmarkConfig`], resolve the platform and workload
 //! selections, run every job through the [`Driver`], and collect a
 //! [`ResultsDatabase`] plus per-job Granula archives. Measured mode
-//! materializes proxy graphs once per dataset and reuses them across
-//! platforms and algorithms.
+//! follows the benchmark lifecycle: each dataset's proxy is materialized
+//! once (on the run's pool), each platform *uploads* it exactly once —
+//! the measured upload time is shared by every job on that (platform,
+//! dataset) pair — and every algorithm then executes
+//! `benchmark.repetitions` times on the uploaded representation before
+//! the engine deletes it.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use graphalytics_cluster::ClusterSpec;
@@ -16,7 +19,7 @@ use graphalytics_core::{Csr, Error, Result};
 use graphalytics_engines::{all_platforms, platform_by_name, Platform};
 
 use crate::config::BenchmarkConfig;
-use crate::description::BenchmarkDescription;
+use crate::description::{BenchmarkDescription, JobDescription};
 use crate::driver::{Driver, JobSpec, RunMode};
 use crate::proxy;
 use crate::results::ResultsDatabase;
@@ -83,47 +86,114 @@ impl Runner {
     /// up front (before any job runs) on unknown platforms or datasets.
     ///
     /// One [`WorkerPool`] is created per run — width from
-    /// `benchmark.threads` — and shared by every proxy CSR build and
-    /// every measured execution; no job spawns threads of its own.
+    /// `benchmark.threads` — and shared by proxy generation, every CSR
+    /// build, every engine upload and every measured execution; no job
+    /// spawns threads of its own. Measured mode uploads once per
+    /// (platform, dataset) and executes `benchmark.repetitions` times
+    /// per job.
     pub fn run(&self) -> Result<ResultsDatabase> {
         let pool = Arc::new(WorkerPool::new(self.config.pool_threads()));
         let driver = Driver { seed: self.config.seed, pool: pool.clone(), ..Driver::default() };
         let platforms = self.platforms()?;
         let description = self.description()?;
         let db = ResultsDatabase::new();
-        // Proxy graphs are expensive: materialize each dataset once,
-        // uploading (edge list → CSR) on the run's pool.
-        let mut proxies: HashMap<&str, Csr> = HashMap::new();
-        for job in &description.jobs {
-            let csr = if self.mode == RunnerMode::Measured {
-                if !proxies.contains_key(job.dataset.id) {
-                    let graph = proxy::materialize(
-                        job.dataset,
-                        self.config.scale_divisor,
-                        self.config.seed,
-                    );
-                    proxies.insert(job.dataset.id, graph.to_csr_with(&pool)?);
-                }
-                proxies.get(job.dataset.id)
+        let repetitions = self.config.repetitions.max(1);
+
+        // Process dataset-by-dataset so the expensive artifacts — the
+        // materialized proxy and each platform's uploaded representation
+        // — are built once and dropped before the next dataset.
+        for group in group_by_dataset(&description) {
+            let dataset = group[0].dataset;
+            let csr: Option<Arc<Csr>> = if self.mode == RunnerMode::Measured {
+                let graph = proxy::materialize_with(
+                    dataset,
+                    self.config.scale_divisor,
+                    self.config.seed,
+                    &pool,
+                );
+                Some(Arc::new(graph.to_csr_with(&pool)?))
             } else {
                 None
             };
             for platform in &platforms {
-                let spec = JobSpec {
+                let spec = |job: &JobDescription| JobSpec {
                     dataset: job.dataset,
                     algorithm: job.algorithm,
                     cluster: self.cluster,
                     run_index: 0,
+                    repetitions,
                 };
-                let mode = match &csr {
-                    Some(csr) => RunMode::Measured { csr },
-                    None => RunMode::Analytic,
-                };
-                db.insert(driver.run(platform.as_ref(), &spec, mode));
+                match &csr {
+                    Some(csr) => {
+                        // Admission first: jobs the platform rejects
+                        // (unsupported algorithm, memory) are recorded
+                        // without paying an upload no job would use.
+                        let mut admitted = Vec::new();
+                        for job in &group {
+                            match driver.preflight(platform.as_ref(), &spec(job), csr) {
+                                Some(rejected) => db.insert(rejected),
+                                None => admitted.push(job),
+                            }
+                        }
+                        if admitted.is_empty() {
+                            continue;
+                        }
+                        // Upload phase: once per (platform, dataset).
+                        let upload_start = std::time::Instant::now();
+                        match platform.upload(csr.clone(), &pool) {
+                            Ok(loaded) => {
+                                let upload_secs = upload_start.elapsed().as_secs_f64();
+                                for job in admitted {
+                                    db.insert(driver.run_uploaded(
+                                        platform.as_ref(),
+                                        loaded.as_ref(),
+                                        &spec(job),
+                                        Some(upload_secs),
+                                    ));
+                                }
+                                platform.delete(loaded);
+                            }
+                            Err(e) => {
+                                // A failed upload fails every job that
+                                // would have shared it.
+                                for job in admitted {
+                                    db.insert(driver.upload_failed_result(
+                                        platform.as_ref(),
+                                        &spec(job),
+                                        csr,
+                                        format!("upload failed: {e}"),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for job in &group {
+                            db.insert(driver.run(
+                                platform.as_ref(),
+                                &spec(job),
+                                RunMode::Analytic,
+                            ));
+                        }
+                    }
+                }
             }
         }
         Ok(db)
     }
+}
+
+/// Splits the description's job list into per-dataset groups, preserving
+/// order (the description is already dataset-major).
+fn group_by_dataset(description: &BenchmarkDescription) -> Vec<Vec<JobDescription>> {
+    let mut groups: Vec<Vec<JobDescription>> = Vec::new();
+    for job in &description.jobs {
+        match groups.last_mut() {
+            Some(group) if group[0].dataset.id == job.dataset.id => group.push(job.clone()),
+            _ => groups.push(vec![job.clone()]),
+        }
+    }
+    groups
 }
 
 #[cfg(test)]
@@ -136,7 +206,8 @@ mod tests {
             "benchmark.platforms = native, pushpull\n\
              benchmark.datasets = G22\n\
              benchmark.algorithms = bfs, wcc, lcc\n\
-             benchmark.scale-divisor = 16384\n",
+             benchmark.scale-divisor = 16384\n\
+             benchmark.repetitions = 3\n",
         )
         .unwrap();
         let runner = Runner::new(config, RunnerMode::Measured);
@@ -149,6 +220,29 @@ mod tests {
             .all()
             .iter()
             .any(|r| r.platform == "pushpull" && r.status.figure_mark() == "NA"));
+        for r in db.all() {
+            if r.status.is_success() {
+                // benchmark.repetitions honored, every repetition executed.
+                assert_eq!(r.repetitions(), 3, "{} {}", r.platform, r.algorithm);
+                assert!(r.runs.iter().all(|m| m.measured_wall_secs.is_some()));
+                assert!(r.measured_upload_secs.is_some());
+            }
+        }
+        // Upload once per (platform, dataset): every job of a platform on
+        // the shared dataset reports the *same* measured upload time.
+        for platform in ["native", "pushpull"] {
+            let uploads: Vec<f64> = db
+                .all()
+                .iter()
+                .filter(|r| r.platform == platform && r.status.is_success())
+                .map(|r| r.measured_upload_secs.unwrap())
+                .collect();
+            assert!(!uploads.is_empty());
+            assert!(
+                uploads.iter().all(|&u| u == uploads[0]),
+                "{platform}: jobs must share one upload, got {uploads:?}"
+            );
+        }
     }
 
     #[test]

@@ -100,11 +100,27 @@ fn parse_submission(body: &str) -> Result<JobRequest, String> {
             .and_then(JobMode::from_str_opt)
             .ok_or_else(|| "field `mode` must be \"measured\" or \"analytic\"".to_string())?,
     };
+    let repetitions = match json.get("repetitions") {
+        None => 1,
+        Some(value) => {
+            let n = value
+                .as_u64()
+                .ok_or_else(|| "field `repetitions` must be a positive integer".to_string())?;
+            if n == 0 || n > crate::jobs::MAX_REPETITIONS as u64 {
+                return Err(format!(
+                    "field `repetitions` must be in 1..={}",
+                    crate::jobs::MAX_REPETITIONS
+                ));
+            }
+            n as u32
+        }
+    };
     Ok(JobRequest {
         platform: platform.to_string(),
         dataset: dataset.id.to_string(),
         algorithm,
         mode,
+        repetitions,
     })
 }
 
@@ -136,6 +152,7 @@ pub fn job_json(record: &JobRecord) -> Json {
         ("dataset".to_string(), Json::str(&record.request.dataset)),
         ("algorithm".to_string(), Json::str(record.request.algorithm.acronym())),
         ("mode".to_string(), Json::str(record.request.mode.as_str())),
+        ("repetitions".to_string(), Json::Num(record.request.repetitions as f64)),
         ("state".to_string(), Json::str(record.state.as_str())),
     ];
     if let JobState::Failed(message) = &record.state {
@@ -354,6 +371,14 @@ mod tests {
                 r#"{"platform":"native","dataset":"G22","algorithm":"bfs","mode":"warp"}"#,
                 "field `mode` must be",
             ),
+            (
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","repetitions":0}"#,
+                "field `repetitions` must be in 1..=",
+            ),
+            (
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","repetitions":"x"}"#,
+                "field `repetitions` must be a positive integer",
+            ),
         ];
         for (body, expected) in cases {
             let resp = handle(&state, &post("/jobs", body));
@@ -377,8 +402,19 @@ mod tests {
         let record = state.queue.get(1).unwrap();
         assert_eq!(record.request.dataset, "G22");
         assert_eq!(record.request.mode, JobMode::Measured);
+        assert_eq!(record.request.repetitions, 1, "defaulted");
         let listed = handle(&state, &get("/jobs"));
         assert!(listed.body.contains("\"pr\""));
+        // Explicit repetitions are carried through.
+        let resp = handle(
+            &state,
+            &post(
+                "/jobs",
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","repetitions":5}"#,
+            ),
+        );
+        assert_eq!(resp.status, 202);
+        assert_eq!(state.queue.get(2).unwrap().request.repetitions, 5);
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl Client {
         Ok(json)
     }
 
-    /// Submits a job and returns its id.
+    /// Submits a single-repetition job and returns its id.
     pub fn submit(
         &self,
         platform: &str,
@@ -101,11 +101,25 @@ impl Client {
         algorithm: &str,
         mode: JobMode,
     ) -> ClientResult<u64> {
+        self.submit_repeated(platform, dataset, algorithm, mode, 1)
+    }
+
+    /// Submits a job whose execute phase repeats `repetitions` times on
+    /// the uploaded graph (the benchmark's mean-of-N) and returns its id.
+    pub fn submit_repeated(
+        &self,
+        platform: &str,
+        dataset: &str,
+        algorithm: &str,
+        mode: JobMode,
+        repetitions: u32,
+    ) -> ClientResult<u64> {
         let body = Json::obj(vec![
             ("platform", Json::str(platform)),
             ("dataset", Json::str(dataset)),
             ("algorithm", Json::str(algorithm)),
             ("mode", Json::str(mode.as_str())),
+            ("repetitions", Json::Num(repetitions as f64)),
         ]);
         let response = self.request("POST", "/jobs", Some(&body))?;
         response

@@ -50,7 +50,13 @@ pub struct JobRequest {
     pub dataset: String,
     pub algorithm: Algorithm,
     pub mode: JobMode,
+    /// Execute-phase repetitions on the uploaded graph (the benchmark's
+    /// mean-of-N; validated to `1..=MAX_REPETITIONS` at the API).
+    pub repetitions: u32,
 }
+
+/// Upper bound the API accepts for per-job repetitions.
+pub const MAX_REPETITIONS: u32 = 100;
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -246,6 +252,7 @@ mod tests {
             dataset: "G22".into(),
             algorithm: alg,
             mode: JobMode::Measured,
+            repetitions: 1,
         }
     }
 

@@ -89,9 +89,11 @@ impl ServiceState {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Executes one validated job request through the harness driver.
-    /// `Err` is a request-level failure (the driver never ran); benchmark
-    /// verdicts (oom, unsupported, …) come back inside the `JobResult`.
+    /// Executes one validated job request through the harness driver's
+    /// phased lifecycle (measured mode: upload → execute×repetitions →
+    /// validate → delete, with the cached store graph). `Err` is a
+    /// request-level failure (the driver never ran); benchmark verdicts
+    /// (oom, unsupported, …) come back inside the `JobResult`.
     pub fn execute(&self, request: &JobRequest) -> Result<JobResult, String> {
         let dataset = graphalytics_core::datasets::dataset(&request.dataset)
             .ok_or_else(|| format!("unknown dataset {}", request.dataset))?;
@@ -103,6 +105,7 @@ impl ServiceState {
             algorithm: request.algorithm,
             cluster: ClusterSpec::single_machine(),
             run_index: 0,
+            repetitions: request.repetitions.max(1),
         };
         let result = match request.mode {
             JobMode::Analytic => driver.run(platform.as_ref(), &spec, RunMode::Analytic),

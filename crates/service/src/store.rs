@@ -145,7 +145,7 @@ impl GraphStore {
         // lock so concurrent same-dataset requests wait instead of
         // duplicating the work.
         let csr = Arc::new(
-            proxy::materialize(spec, self.config.scale_divisor, self.config.seed)
+            proxy::materialize_with(spec, self.config.scale_divisor, self.config.seed, &self.pool)
                 .to_csr_with(&self.pool)
                 .expect("generated proxy graph is valid"),
         );

@@ -7,6 +7,9 @@
 //! cargo run --release --example platform_comparison
 //! ```
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use graphalytics::cluster::cost::processing_time;
 use graphalytics::harness::proxy;
 use graphalytics::prelude::*;
@@ -15,7 +18,7 @@ fn main() {
     // A scaled-down proxy of the paper's G22 dataset (divisor 2^8).
     let spec = graphalytics::core::datasets::dataset("G22").expect("registry dataset");
     let graph = proxy::materialize(spec, 1 << 8, 42);
-    let csr = graph.to_csr();
+    let csr = Arc::new(graph.to_csr());
     println!(
         "proxy of {} at 1/256 scale: |V| = {}, |E| = {}\n",
         spec.name,
@@ -28,26 +31,37 @@ fn main() {
     let cluster = ClusterSpec::single_machine();
     let pool = WorkerPool::new(2);
 
-    for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
-        println!("-- {algorithm} --");
+    // Lifecycle: each platform uploads once; both algorithms then run on
+    // the same uploaded representation.
+    for platform in all_platforms() {
+        let upload_start = Instant::now();
+        let loaded = platform.upload(csr.clone(), &pool).expect("upload succeeds");
         println!(
-            "{:<12} {:>12} {:>14} {:>12} {:>10}",
-            "platform", "wall (ms)", "sim Tproc", "messages", "valid"
+            "-- {} (upload {:.2} ms) --",
+            platform.profile().paper_analog,
+            upload_start.elapsed().as_secs_f64() * 1e3
         );
-        let reference = run_reference(&csr, algorithm, &params).unwrap();
-        for platform in all_platforms() {
-            let run = platform.execute(&csr, algorithm, &params, &pool).expect("supported");
+        println!(
+            "{:<6} {:>12} {:>14} {:>12} {:>10}",
+            "alg", "wall (ms)", "sim Tproc", "messages", "valid"
+        );
+        for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
+            let reference = run_reference(&csr, algorithm, &params).unwrap();
+            let mut ctx = RunContext::new(&pool);
+            let run =
+                platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).expect("supported");
             let valid = validate(&reference, &run.output).unwrap().is_valid();
             let sim = processing_time(&platform.profile().cost, &run.counters, &cluster, 0.0);
             println!(
-                "{:<12} {:>12.2} {:>13.3}s {:>12} {:>10}",
-                platform.profile().paper_analog,
+                "{:<6} {:>12.2} {:>13.3}s {:>12} {:>10}",
+                algorithm.acronym(),
                 run.wall_seconds * 1e3,
                 sim.total(),
                 run.counters.messages,
                 valid,
             );
         }
+        platform.delete(loaded);
         println!();
     }
     println!(

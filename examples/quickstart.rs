@@ -1,10 +1,14 @@
-//! Quickstart: generate a graph, run the full Graphalytics workload on
-//! one platform, validate every output against the reference
-//! implementation, and inspect the Granula-style work counters.
+//! Quickstart: generate a graph, drive one platform through the
+//! benchmark lifecycle (upload once, execute every algorithm, delete),
+//! validate every output against the reference implementation, and
+//! inspect the Granula-style work counters.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use graphalytics::prelude::*;
 
@@ -19,21 +23,31 @@ fn main() {
         graph.edge_count(),
         graph.scale()
     );
-    let csr = graph.to_csr();
+    let csr = Arc::new(graph.to_csr());
 
     // 2. Benchmark parameters: the root is the highest-out-degree vertex,
     //    like the benchmark's prescribed per-dataset roots.
     let root = SourceSelection::MaxOutDegree.resolve(&csr).expect("non-empty graph");
     let params = AlgorithmParams::with_source(root);
 
-    // 3. Run all six algorithms on the GraphMat-like SpMV engine and
-    //    validate each against the reference implementation. All engine
+    // 3. The lifecycle: upload the graph to the GraphMat-like SpMV
+    //    engine once — the engine builds its preprocessed matrix view —
+    //    then execute all six algorithms on the uploaded representation
+    //    and validate each against the reference implementation. All
     //    runs share one persistent worker pool.
     let platform = platform_by_name("GraphMat").expect("registered platform");
     let pool = WorkerPool::new(2);
+    let upload_start = Instant::now();
+    let loaded = platform.upload(csr.clone(), &pool).expect("upload succeeds");
+    println!(
+        "upload phase: engine representation built once in {:.3} ms ({} resident bytes)\n",
+        upload_start.elapsed().as_secs_f64() * 1e3,
+        loaded.resident_bytes(),
+    );
     for algorithm in Algorithm::ALL {
+        let mut ctx = RunContext::new(&pool);
         let run = platform
-            .execute(&csr, algorithm, &params, &pool)
+            .run(loaded.as_ref(), algorithm, &params, &mut ctx)
             .expect("algorithm supported by this engine");
         let reference = run_reference(&csr, algorithm, &params).expect("reference runs");
         let report = validate(&reference, &run.output).expect("comparable outputs");
@@ -49,4 +63,6 @@ fn main() {
             if report.is_valid() { "OK" } else { "MISMATCH" },
         );
     }
+    // 4. Delete phase: release the engine-owned representation.
+    platform.delete(loaded);
 }

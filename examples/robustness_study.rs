@@ -26,12 +26,7 @@ fn main() {
     let driver = Driver::default();
     let result = driver.run(
         platform.as_ref(),
-        &JobSpec {
-            dataset,
-            algorithm: Algorithm::Bfs,
-            cluster: ClusterSpec::single_machine(),
-            run_index: 0,
-        },
+        &JobSpec::new(dataset, Algorithm::Bfs, ClusterSpec::single_machine()),
         RunMode::Analytic,
     );
     println!("Granula archive for {} BFS on D300(L):", result.paper_analog);

@@ -23,19 +23,24 @@
 //! ## Quickstart
 //!
 //! ```
+//! use std::sync::Arc;
 //! use graphalytics::prelude::*;
 //!
-//! // Generate a small Graph500 instance and run BFS on every platform.
+//! // Generate a small Graph500 instance and drive every platform through
+//! // the benchmark lifecycle: upload once, execute, delete.
 //! let graph = Graph500Config::new(8).generate();
-//! let csr = graph.to_csr();
+//! let csr = Arc::new(graph.to_csr());
 //! let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
 //! let params = AlgorithmParams::with_source(root);
 //! let reference = run_reference(&csr, Algorithm::Bfs, &params).unwrap();
 //! // One shared execution runtime for every engine run.
 //! let pool = WorkerPool::new(2);
 //! for platform in all_platforms() {
-//!     let run = platform.execute(&csr, Algorithm::Bfs, &params, &pool).unwrap();
+//!     let loaded = platform.upload(csr.clone(), &pool).unwrap();
+//!     let mut ctx = RunContext::new(&pool);
+//!     let run = platform.run(loaded.as_ref(), Algorithm::Bfs, &params, &mut ctx).unwrap();
 //!     validate(&reference, &run.output).unwrap().into_result().unwrap();
+//!     platform.delete(loaded);
 //! }
 //! ```
 
@@ -56,7 +61,9 @@ pub mod prelude {
     pub use graphalytics_core::validation::validate;
     pub use graphalytics_core::{Algorithm, Csr, Graph, GraphBuilder, WorkerPool};
     pub use graphalytics_datagen::DatagenConfig;
-    pub use graphalytics_engines::{all_platforms, platform_by_name, Platform};
+    pub use graphalytics_engines::{
+        all_platforms, platform_by_name, run_once, LoadedGraph, Platform, RunContext,
+    };
     pub use graphalytics_graph500::Graph500Config;
     pub use graphalytics_harness::experiments::ExperimentSuite;
     pub use graphalytics_harness::{Driver, JobSpec, RunMode};

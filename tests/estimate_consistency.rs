@@ -7,6 +7,8 @@
 //! instance — but the *order of magnitude and shape* must hold or the
 //! simulated figures would be fiction.
 
+use std::sync::Arc;
+
 use graphalytics::core::datasets::{DegreeDistribution, GraphTraits};
 use graphalytics::core::graph::GraphStats;
 use graphalytics::prelude::*;
@@ -28,7 +30,7 @@ fn estimates_track_measured_counters() {
     // Generate a Kronecker graph, measure its traits, then compare each
     // engine's estimate against its actual execution counters.
     let graph = Graph500Config::new(11).with_seed(17).with_weights(true).generate();
-    let csr = graph.to_csr();
+    let csr = Arc::new(graph.to_csr());
     let stats = GraphStats::compute(&csr);
     let traits_ = GraphTraits {
         degree_distribution: DegreeDistribution::PowerLaw,
@@ -48,11 +50,13 @@ fn estimates_track_measured_counters() {
 
     let pool = WorkerPool::new(2);
     for platform in all_platforms() {
+        let loaded = platform.upload(csr.clone(), &pool).unwrap();
         for algorithm in [Algorithm::Bfs, Algorithm::PageRank, Algorithm::Cdlp] {
             if !platform.supports(algorithm) {
                 continue;
             }
-            let run = platform.execute(&csr, algorithm, &params, &pool).unwrap();
+            let mut ctx = RunContext::new(&pool);
+            let run = platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).unwrap();
             let est = platform.estimate(
                 stats.vertices,
                 stats.edges,
@@ -74,6 +78,7 @@ fn estimates_track_measured_counters() {
                 within_factor(run.counters.messages, est.messages, 8.0, &format!("{tag} messages"));
             }
         }
+        platform.delete(loaded);
     }
 }
 
@@ -83,17 +88,21 @@ fn estimated_cost_ordering_matches_measured_walltime_ordering() {
     // hold for *measured wall time* of the real executions, not only for
     // the simulated numbers.
     let graph = Graph500Config::new(11).with_seed(23).generate();
-    let csr = graph.to_csr();
+    let csr = Arc::new(graph.to_csr());
     let params = AlgorithmParams::with_source(csr.id_of(0));
     let pool = WorkerPool::new(2);
     let wall = |name: &str| {
         let p = platform_by_name(name).unwrap();
-        // Two warm-up + best-of-3 to de-noise.
+        // One upload, then best-of-3 runs to de-noise (upload time is
+        // excluded — the processing-phase comparison per the lifecycle).
+        let loaded = p.upload(csr.clone(), &pool).unwrap();
         let mut best = f64::INFINITY;
         for _ in 0..3 {
-            let run = p.execute(&csr, Algorithm::PageRank, &params, &pool).unwrap();
+            let mut ctx = RunContext::new(&pool);
+            let run = p.run(loaded.as_ref(), Algorithm::PageRank, &params, &mut ctx).unwrap();
             best = best.min(run.wall_seconds);
         }
+        p.delete(loaded);
         best
     };
     let native = wall("native");

@@ -1,6 +1,9 @@
 //! End-to-end harness runs: configuration → description → proxy
-//! materialization → measured execution → validation → results database →
-//! JSON export → Granula archives.
+//! materialization → phased lifecycle (upload once / execute×N /
+//! validate / delete) → results database → JSON export → Granula
+//! archives.
+
+use std::sync::Arc;
 
 use graphalytics::cluster::ClusterSpec;
 use graphalytics::harness::config::Properties;
@@ -16,6 +19,7 @@ fn measured_benchmark_run_end_to_end() {
          benchmark.datasets = R1, G22\n\
          benchmark.algorithms = bfs, pr, wcc\n\
          benchmark.scale-divisor = 4096\n\
+         benchmark.repetitions = 2\n\
          benchmark.seed = 99\n",
     )
     .unwrap();
@@ -26,9 +30,12 @@ fn measured_benchmark_run_end_to_end() {
     for dataset_id in &config.datasets {
         let dataset = graphalytics::core::datasets::dataset(dataset_id).unwrap();
         let graph = proxy::materialize(dataset, config.scale_divisor, config.seed);
-        let csr = graph.to_csr();
+        let csr = Arc::new(graph.to_csr());
         for platform_name in &config.platforms {
             let platform = platform_by_name(platform_name).unwrap();
+            // Upload once per (platform, dataset); every algorithm and
+            // repetition reuses the engine-owned representation.
+            let loaded = platform.upload(csr.clone(), &driver.pool).unwrap();
             for &algorithm in &config.algorithms {
                 if algorithm.needs_weights() && !dataset.weighted {
                     continue;
@@ -38,8 +45,10 @@ fn measured_benchmark_run_end_to_end() {
                     algorithm,
                     cluster: ClusterSpec::single_machine(),
                     run_index: 0,
+                    repetitions: config.repetitions,
                 };
-                let result = driver.run(platform.as_ref(), &spec, RunMode::Measured { csr: &csr });
+                let result =
+                    driver.run_uploaded(platform.as_ref(), loaded.as_ref(), &spec, Some(0.01));
                 assert!(
                     result.status.is_success(),
                     "{platform_name} {algorithm} on {dataset_id}: {:?}",
@@ -47,11 +56,15 @@ fn measured_benchmark_run_end_to_end() {
                 );
                 assert!(result.measured_wall_secs.is_some());
                 assert!(result.processing_secs > 0.0);
+                assert_eq!(result.repetitions(), 2);
+                assert_eq!(result.measured_upload_secs, Some(0.01));
                 let archive = result.archive.as_ref().expect("granula archive attached");
                 assert!(archive.duration_of("ProcessGraph").is_some());
                 assert!(archive.info("ProcessGraph", "supersteps").is_some());
+                assert!(archive.duration_of("UploadGraph").is_some());
                 db.insert(result);
             }
+            platform.delete(loaded);
         }
     }
     assert_eq!(db.len(), 3 * 3 * 2); // 3 platforms × 3 algorithms × 2 datasets
@@ -59,6 +72,8 @@ fn measured_benchmark_run_end_to_end() {
     let json = db.to_json();
     assert!(json.contains("\"dataset\": \"R1\""));
     assert!(json.contains("\"algorithm\": \"wcc\""));
+    assert!(json.contains("\"measured_upload_secs\""));
+    assert!(json.contains("\"run_index\""));
     // Granula visualizer renders archives from this run.
     let all = db.all();
     let rendered = graphalytics::granula::visualize::render(all[0].archive.as_ref().unwrap());
@@ -102,12 +117,7 @@ fn sla_and_failure_semantics() {
     let r5 = graphalytics::core::datasets::dataset("R5").unwrap();
     let result = driver.run(
         gas.as_ref(),
-        &JobSpec {
-            dataset: r5,
-            algorithm: Algorithm::Bfs,
-            cluster: ClusterSpec::single_machine(),
-            run_index: 0,
-        },
+        &JobSpec::new(r5, Algorithm::Bfs, ClusterSpec::single_machine()),
         RunMode::Analytic,
     );
     assert!(!result.status.is_success());
@@ -117,12 +127,7 @@ fn sla_and_failure_semantics() {
     let r4 = graphalytics::core::datasets::dataset("R4").unwrap();
     let result = driver.run(
         pushpull.as_ref(),
-        &JobSpec {
-            dataset: r4,
-            algorithm: Algorithm::Lcc,
-            cluster: ClusterSpec::single_machine(),
-            run_index: 0,
-        },
+        &JobSpec::new(r4, Algorithm::Lcc, ClusterSpec::single_machine()),
         RunMode::Analytic,
     );
     assert_eq!(result.status.figure_mark(), "NA");

@@ -29,9 +29,13 @@ fn main() {
 
     let s = strong::run(&suite);
     println!("{}", s.render_fig8());
+    let sm = strong::run_measured(&suite, 1 << 12);
+    println!("{}", sm.render_fig8_measured());
 
     let w = weak::run(&suite);
     println!("{}", w.render_fig9());
+    let wm = weak::run_measured(&suite, 1 << 14);
+    println!("{}", wm.render_fig9_measured());
 
     let st = stress::run(&suite);
     println!("{}", stress::render_table10(&st));

@@ -4,7 +4,12 @@ use graphalytics_harness::experiments::strong;
 
 fn main() {
     graphalytics_bench::banner("Figure 8: strong scalability", "Section 4.4, Figure 8");
-    let s = strong::run(&graphalytics_bench::suite());
+    let suite = graphalytics_bench::suite();
+    let s = strong::run(&suite);
     println!("{}", s.render_fig8());
     println!("F = failure (PGX.D exceeds single-machine memory; GraphX needs >= 2 machines).");
+    println!();
+    let m = strong::run_measured(&suite, 1 << 12);
+    println!("{}", m.render_fig8_measured());
+    println!("NA = no sharded execution path; ism = inter-shard messages.");
 }

@@ -4,7 +4,12 @@ use graphalytics_harness::experiments::weak;
 
 fn main() {
     graphalytics_bench::banner("Figure 9: weak scalability", "Section 4.5, Figure 9");
-    let w = weak::run(&graphalytics_bench::suite());
+    let suite = graphalytics_bench::suite();
+    let w = weak::run(&suite);
     println!("{}", w.render_fig9());
     println!("Ideal weak scaling would be a constant row; slowdowns are the paper's metric.");
+    println!();
+    let m = weak::run_measured(&suite, 1 << 14);
+    println!("{}", m.render_fig9_measured());
+    println!("NA = no sharded execution path; ism = inter-shard messages.");
 }

@@ -172,6 +172,8 @@ mod tests {
             message_bytes: 80_000_000,
             supersteps: 10,
             random_accesses: 0,
+            inter_shard_messages: 0,
+            inter_shard_bytes: 0,
         }
     }
 

@@ -27,6 +27,12 @@ pub struct WorkCounters {
     /// Random (non-sequential) memory accesses, for engines whose cost is
     /// dominated by gather-side cache misses.
     pub random_accesses: u64,
+    /// Messages whose sender and receiver live on different shards — the
+    /// traffic that would cross the network in a real deployment. Subset
+    /// of `messages`; zero for single-shard execution.
+    pub inter_shard_messages: u64,
+    /// Payload bytes of the inter-shard messages.
+    pub inter_shard_bytes: u64,
 }
 
 impl WorkCounters {
@@ -44,6 +50,8 @@ impl WorkCounters {
         self.message_bytes += other.message_bytes;
         self.supersteps = self.supersteps.max(other.supersteps);
         self.random_accesses += other.random_accesses;
+        self.inter_shard_messages += other.inter_shard_messages;
+        self.inter_shard_bytes += other.inter_shard_bytes;
     }
 
     /// Records `n` messages of `bytes_each` payload bytes.
@@ -72,6 +80,8 @@ mod tests {
             message_bytes: 40,
             supersteps: 3,
             random_accesses: 7,
+            inter_shard_messages: 2,
+            inter_shard_bytes: 16,
         };
         let b = WorkCounters {
             vertices_processed: 1,
@@ -80,6 +90,8 @@ mod tests {
             message_bytes: 24,
             supersteps: 9,
             random_accesses: 1,
+            inter_shard_messages: 1,
+            inter_shard_bytes: 8,
         };
         a.merge(&b);
         assert_eq!(a.vertices_processed, 11);
@@ -88,6 +100,8 @@ mod tests {
         assert_eq!(a.message_bytes, 64);
         assert_eq!(a.supersteps, 9, "supersteps are global, not additive");
         assert_eq!(a.random_accesses, 8);
+        assert_eq!(a.inter_shard_messages, 3);
+        assert_eq!(a.inter_shard_bytes, 24);
     }
 
     #[test]

@@ -16,10 +16,12 @@
 mod builder;
 mod csr;
 mod io;
+mod sharded;
 mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use sharded::{ShardCsr, ShardedCsr};
 pub use io::{
     read_edge_file, read_edge_file_with, read_graph, read_graph_with, read_vertex_file,
     write_edge_file, write_vertex_file,

@@ -37,7 +37,7 @@ pub mod scale;
 pub mod validation;
 
 pub use error::{Error, Result};
-pub use graph::{Csr, Edge, Graph, GraphBuilder, VertexId};
+pub use graph::{Csr, Edge, Graph, GraphBuilder, ShardCsr, ShardedCsr, VertexId};
 pub use pool::WorkerPool;
 pub use output::{AlgorithmOutput, OutputValues};
 pub use scale::{scale_of, SizeClass};

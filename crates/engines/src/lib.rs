@@ -40,6 +40,7 @@ pub mod platform;
 pub mod pregel;
 pub mod profile;
 pub mod pushpull;
+pub mod sharded;
 pub mod spmv;
 
 pub use platform::{
@@ -47,5 +48,6 @@ pub use platform::{
     RunContext,
 };
 pub use profile::PerfProfile;
+pub use sharded::{upload_with_shards, ShardLayout, ShardPlan, ShardSet};
 
 pub use graphalytics_cluster::WorkCounters;

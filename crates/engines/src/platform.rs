@@ -68,6 +68,13 @@ pub trait LoadedGraph: Send + Sync {
     fn resident_bytes(&self) -> u64 {
         self.csr().resident_bytes()
     }
+
+    /// Partition summary when this representation came through
+    /// [`Platform::upload_sharded`] with more than one shard; `None` for
+    /// monolithic uploads.
+    fn shard_layout(&self) -> Option<crate::sharded::ShardLayout> {
+        None
+    }
 }
 
 /// One timed phase recorded by an engine during [`Platform::run`].
@@ -149,6 +156,33 @@ pub trait Platform: Send + Sync {
     /// of `csr` on `pool`. Called once per (platform, dataset); the
     /// result is reused by every subsequent [`run`](Platform::run).
     fn upload(&self, csr: Arc<Csr>, pool: &WorkerPool) -> Result<Box<dyn LoadedGraph>>;
+
+    /// Whether the engine has a sharded (multi-pool) execution path.
+    /// Engines that do guarantee N-shard output bit-identical to
+    /// single-shard for every supported algorithm.
+    fn supports_sharded(&self) -> bool {
+        false
+    }
+
+    /// The sharded upload variant: partitions `csr` per `plan` and
+    /// builds a representation whose runs execute across per-shard
+    /// pools with explicit inter-shard message queues. The default
+    /// accepts `plan.shards <= 1` (a plain [`upload`](Platform::upload))
+    /// and rejects more for engines without a sharded path.
+    fn upload_sharded(
+        &self,
+        csr: Arc<Csr>,
+        plan: &crate::sharded::ShardPlan,
+        pool: &WorkerPool,
+    ) -> Result<Box<dyn LoadedGraph>> {
+        if plan.shards <= 1 {
+            return self.upload(csr, pool);
+        }
+        Err(Error::InvalidParameters(format!(
+            "platform {} has no sharded execution path",
+            self.name()
+        )))
+    }
 
     /// One execution of `algorithm` on a previously uploaded graph.
     ///
@@ -315,6 +349,34 @@ mod tests {
             );
             platform.delete(loaded);
         }
+    }
+
+    #[test]
+    fn sharded_upload_default_and_overrides() {
+        let csr = sample_csr();
+        let pool = WorkerPool::inline();
+        let plan = crate::sharded::ShardPlan::new(2);
+        for platform in all_platforms() {
+            // shards <= 1 always works (falls back to the plain upload).
+            let single = platform
+                .upload_sharded(csr.clone(), &crate::sharded::ShardPlan::new(1), &pool)
+                .unwrap();
+            assert!(single.shard_layout().is_none(), "{}", platform.name());
+            platform.delete(single);
+            let result = platform.upload_sharded(csr.clone(), &plan, &pool);
+            if platform.supports_sharded() {
+                let loaded = result.unwrap();
+                let layout = loaded.shard_layout().expect("sharded upload reports layout");
+                assert_eq!(layout.shards, 2, "{}", platform.name());
+                platform.delete(loaded);
+            } else {
+                assert!(result.is_err(), "{} must reject multi-shard uploads", platform.name());
+            }
+        }
+        // Pregel and pushpull are the sharded engines.
+        assert!(platform_by_name("pregel").unwrap().supports_sharded());
+        assert!(platform_by_name("pushpull").unwrap().supports_sharded());
+        assert!(!platform_by_name("spmv").unwrap().supports_sharded());
     }
 
     #[test]

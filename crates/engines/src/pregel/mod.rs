@@ -22,6 +22,7 @@
 //! Pregel systems on low-coverage BFS (the paper's R2 observation).
 
 mod programs;
+mod sharded;
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,14 +35,21 @@ use graphalytics_core::{Algorithm, Csr};
 use graphalytics_cluster::WorkCounters;
 
 use crate::common::pool::{SharedSlice, WorkerPool};
-use crate::platform::{downcast_graph, Execution, LoadedGraph, Platform, RunContext};
+use crate::platform::{Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
+use crate::sharded::{ShardPlan, ShardSet};
 
 pub use programs::{BfsProgram, CdlpProgram, LccMessage, LccProgram, PageRankProgram, SsspProgram, WccProgram};
+pub use sharded::{run_pregel_sharded, PregelShardedGraph};
 
 /// Per-compute-call context: outgoing messages, counters, aggregation.
 pub struct ComputeCtx<M> {
     outbox: Vec<(u32, M)>,
+    /// Per-message payload sizes parallel to `outbox`; only tracked by
+    /// the sharded runtime (which needs per-message bytes to account
+    /// inter-shard traffic). `None` keeps the single-shard send path
+    /// allocation-free.
+    sizes: Option<Vec<u64>>,
     edges_scanned: u64,
     random_accesses: u64,
     message_bytes: u64,
@@ -53,6 +61,7 @@ impl<M> ComputeCtx<M> {
     fn new(default_msg_bytes: u64) -> Self {
         ComputeCtx {
             outbox: Vec::new(),
+            sizes: None,
             edges_scanned: 0,
             random_accesses: 0,
             message_bytes: 0,
@@ -61,10 +70,19 @@ impl<M> ComputeCtx<M> {
         }
     }
 
+    /// A context that records each message's payload size (the sharded
+    /// runtime's inter-shard byte accounting).
+    fn with_size_tracking(default_msg_bytes: u64) -> Self {
+        ComputeCtx { sizes: Some(Vec::new()), ..ComputeCtx::new(default_msg_bytes) }
+    }
+
     /// Sends `msg` to vertex `target` for delivery next superstep.
     #[inline]
     pub fn send(&mut self, target: u32, msg: M) {
         self.message_bytes += self.default_msg_bytes;
+        if let Some(sizes) = &mut self.sizes {
+            sizes.push(self.default_msg_bytes);
+        }
         self.outbox.push((target, msg));
     }
 
@@ -72,6 +90,9 @@ impl<M> ComputeCtx<M> {
     #[inline]
     pub fn send_sized(&mut self, target: u32, msg: M, bytes: u64) {
         self.message_bytes += bytes;
+        if let Some(sizes) = &mut self.sizes {
+            sizes.push(bytes);
+        }
         self.outbox.push((target, msg));
     }
 
@@ -132,6 +153,13 @@ pub trait VertexProgram: Sync {
 /// `counters`. Supersteps execute on the shared pool: parked workers own
 /// disjoint vertex ranges (mutated through [`SharedSlice`]) and their
 /// contexts merge at the barrier in worker order.
+///
+/// The global sum aggregator is *canonical*: each vertex's contribution
+/// lands in a per-vertex slot and the barrier sums the slots in
+/// ascending vertex order — so the aggregate (and hence every value
+/// derived from it) is bit-identical for every pool width **and** every
+/// shard layout ([`run_pregel_sharded`] sums the same slots the same
+/// way).
 pub fn run_pregel<P: VertexProgram>(
     csr: &Csr,
     program: &P,
@@ -142,6 +170,7 @@ pub fn run_pregel<P: VertexProgram>(
     let mut values: Vec<P::Value> = (0..n as u32).map(|u| program.init(u, csr)).collect();
     let mut inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
     let mut active = vec![true; n];
+    let mut agg_contrib = vec![0.0f64; n];
     let mut aggregate = 0.0f64;
     let msg_bytes = program.message_bytes();
 
@@ -153,6 +182,7 @@ pub fn run_pregel<P: VertexProgram>(
 
         let values_ptr = SharedSlice::new(values.as_mut_ptr());
         let active_ptr = SharedSlice::new(active.as_mut_ptr());
+        let agg_ptr = SharedSlice::new(agg_contrib.as_mut_ptr());
         let inbox_ref: &Vec<Vec<P::Message>> = &inboxes;
         let results = pool.run(n, |_, range| {
             let mut ctx = ComputeCtx::new(msg_bytes);
@@ -160,9 +190,11 @@ pub fn run_pregel<P: VertexProgram>(
                 let has_messages = !inbox_ref[u].is_empty();
                 // SAFETY: ranges are disjoint; only this worker touches u.
                 let (value, act) = unsafe { (values_ptr.at(u), active_ptr.at(u)) };
+                unsafe { *agg_ptr.at(u) = 0.0 };
                 if !(*act || has_messages) {
                     continue;
                 }
+                ctx.aggregate = 0.0;
                 let still_active = program.compute(
                     superstep,
                     u as u32,
@@ -172,6 +204,7 @@ pub fn run_pregel<P: VertexProgram>(
                     aggregate,
                     &mut ctx,
                 );
+                unsafe { *agg_ptr.at(u) = ctx.aggregate };
                 *act = still_active;
             }
             ctx
@@ -181,20 +214,19 @@ pub fn run_pregel<P: VertexProgram>(
         for inbox in inboxes.iter_mut() {
             inbox.clear();
         }
-        let mut next_aggregate = 0.0f64;
         let mut any_messages = false;
         for ctx in results {
             counters.edges_scanned += ctx.edges_scanned;
             counters.random_accesses += ctx.random_accesses;
             counters.messages += ctx.outbox.len() as u64;
             counters.message_bytes += ctx.message_bytes;
-            next_aggregate += ctx.aggregate;
             for (target, msg) in ctx.outbox {
                 inboxes[target as usize].push(msg);
                 any_messages = true;
             }
         }
-        aggregate = next_aggregate;
+        // Canonical aggregate: ascending vertex order, every slot.
+        aggregate = agg_contrib.iter().sum();
 
         superstep += 1;
         let any_active = active.iter().any(|&a| a);
@@ -238,6 +270,30 @@ impl LoadedGraph for PregelGraph {
     }
 }
 
+/// Which runtime a run dispatches to: the monolithic BSP loop on the
+/// shared pool, or the sharded loop over a [`ShardSet`]. Both produce
+/// bit-identical values for every program.
+enum Exec<'a> {
+    Single { csr: &'a Csr, pool: &'a WorkerPool },
+    Sharded(&'a ShardSet),
+}
+
+impl<'a> Exec<'a> {
+    fn csr(&self) -> &'a Csr {
+        match self {
+            Exec::Single { csr, .. } => csr,
+            Exec::Sharded(set) => set.csr(),
+        }
+    }
+
+    fn run<P: VertexProgram>(&self, program: &P, counters: &mut WorkCounters) -> Vec<P::Value> {
+        match self {
+            Exec::Single { csr, pool } => run_pregel(csr, program, pool, counters),
+            Exec::Sharded(set) => run_pregel_sharded(set, program, counters),
+        }
+    }
+}
+
 /// The Giraph-like platform.
 pub struct PregelEngine {
     profile: PerfProfile,
@@ -277,6 +333,23 @@ impl Platform for PregelEngine {
         Ok(Box::new(PregelGraph { csr, out_degrees: degrees.into() }))
     }
 
+    fn supports_sharded(&self) -> bool {
+        true
+    }
+
+    fn upload_sharded(
+        &self,
+        csr: Arc<Csr>,
+        plan: &ShardPlan,
+        pool: &WorkerPool,
+    ) -> Result<Box<dyn LoadedGraph>> {
+        if plan.shards <= 1 {
+            return self.upload(csr, pool);
+        }
+        let set = ShardSet::build(csr, plan, pool)?;
+        Ok(Box::new(PregelShardedGraph::new(set)))
+    }
+
     fn run(
         &self,
         graph: &dyn LoadedGraph,
@@ -284,38 +357,38 @@ impl Platform for PregelEngine {
         params: &AlgorithmParams,
         ctx: &mut RunContext<'_>,
     ) -> Result<Execution> {
-        let loaded = downcast_graph::<PregelGraph>(self.name(), graph)?;
-        let csr = loaded.csr();
-        let pool = ctx.pool;
+        let exec = if let Some(g) = graph.as_any().downcast_ref::<PregelGraph>() {
+            Exec::Single { csr: g.csr(), pool: ctx.pool }
+        } else if let Some(g) = graph.as_any().downcast_ref::<PregelShardedGraph>() {
+            Exec::Sharded(g.set())
+        } else {
+            return Err(graphalytics_core::Error::InvalidParameters(format!(
+                "graph was not uploaded through platform {}",
+                self.name()
+            )));
+        };
+        let csr = exec.csr();
         let start = Instant::now();
         let mut counters = WorkCounters::new();
         let values = match algorithm {
             Algorithm::Bfs => {
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(run_pregel(csr, &BfsProgram { root }, pool, &mut counters))
+                OutputValues::I64(exec.run(&BfsProgram { root }, &mut counters))
             }
-            Algorithm::PageRank => OutputValues::F64(run_pregel(
-                csr,
+            Algorithm::PageRank => OutputValues::F64(exec.run(
                 &PageRankProgram {
                     iterations: params.pagerank_iterations,
                     damping: params.damping_factor,
                     n: csr.num_vertices() as f64,
                 },
-                pool,
                 &mut counters,
             )),
-            Algorithm::Wcc => {
-                OutputValues::Id(run_pregel(csr, &WccProgram, pool, &mut counters))
-            }
-            Algorithm::Cdlp => OutputValues::Id(run_pregel(
-                csr,
+            Algorithm::Wcc => OutputValues::Id(exec.run(&WccProgram, &mut counters)),
+            Algorithm::Cdlp => OutputValues::Id(exec.run(
                 &CdlpProgram { iterations: params.cdlp_iterations },
-                pool,
                 &mut counters,
             )),
-            Algorithm::Lcc => {
-                OutputValues::F64(run_pregel(csr, &LccProgram, pool, &mut counters))
-            }
+            Algorithm::Lcc => OutputValues::F64(exec.run(&LccProgram, &mut counters)),
             Algorithm::Sssp => {
                 if !csr.is_weighted() {
                     return Err(graphalytics_core::Error::InvalidParameters(
@@ -323,7 +396,7 @@ impl Platform for PregelEngine {
                     ));
                 }
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(run_pregel(csr, &SsspProgram { root }, pool, &mut counters))
+                OutputValues::F64(exec.run(&SsspProgram { root }, &mut counters))
             }
         };
         let wall_seconds = start.elapsed().as_secs_f64();

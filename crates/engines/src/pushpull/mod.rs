@@ -15,6 +15,8 @@
 //! like the real system — **no LCC implementation** (Figure 6 marks it
 //! `NA`).
 
+mod sharded;
+
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,8 +29,11 @@ use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
 use crate::common::pool::WorkerPool;
-use crate::platform::{downcast_graph, unsupported, Execution, LoadedGraph, Platform, RunContext};
+use crate::platform::{unsupported, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
+use crate::sharded::ShardPlan;
+
+pub use sharded::PushPullShardedGraph;
 
 /// Frontier density above which iterations switch from push to pull.
 pub const PULL_THRESHOLD: f64 = 0.05;
@@ -63,6 +68,65 @@ impl LoadedGraph for PushPullGraph {
 
     fn resident_bytes(&self) -> u64 {
         self.csr.resident_bytes() + 4 * self.out_degrees.len() as u64
+    }
+}
+
+/// Which representation a run dispatches to: the monolithic
+/// dual-direction CSR on the shared pool, or the shard set with its
+/// per-shard pools and queues. Both produce bit-identical output for
+/// every supported algorithm.
+enum Exec<'a> {
+    Single(&'a PushPullGraph),
+    Sharded(&'a PushPullShardedGraph),
+}
+
+impl<'a> Exec<'a> {
+    fn csr(&self) -> &'a Csr {
+        match self {
+            Exec::Single(g) => g.csr(),
+            Exec::Sharded(g) => g.set().csr(),
+        }
+    }
+
+    fn bfs(&self, root: u32, c: &mut WorkCounters) -> Vec<i64> {
+        match self {
+            Exec::Single(g) => direction_optimizing_bfs(g.csr(), root, c),
+            Exec::Sharded(g) => sharded::sharded_bfs(g, root, c),
+        }
+    }
+
+    fn pagerank(
+        &self,
+        iterations: u32,
+        damping: f64,
+        pool: &WorkerPool,
+        c: &mut WorkCounters,
+    ) -> Vec<f64> {
+        match self {
+            Exec::Single(g) => pull_pagerank(g, iterations, damping, pool, c),
+            Exec::Sharded(g) => sharded::sharded_pagerank(g, iterations, damping, c),
+        }
+    }
+
+    fn wcc(&self, c: &mut WorkCounters) -> Vec<VertexId> {
+        match self {
+            Exec::Single(g) => pushpull_wcc(g.csr(), c),
+            Exec::Sharded(g) => sharded::sharded_wcc(g, c),
+        }
+    }
+
+    fn cdlp(&self, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<VertexId> {
+        match self {
+            Exec::Single(g) => pull_cdlp(g.csr(), iterations, pool, c),
+            Exec::Sharded(g) => sharded::sharded_cdlp(g, iterations, c),
+        }
+    }
+
+    fn sssp(&self, root: u32, c: &mut WorkCounters) -> Vec<f64> {
+        match self {
+            Exec::Single(g) => push_sssp(g.csr(), root, c),
+            Exec::Sharded(g) => sharded::sharded_sssp(g, root, c),
+        }
     }
 }
 
@@ -109,6 +173,23 @@ impl Platform for PushPullEngine {
         Ok(Box::new(PushPullGraph { csr, out_degrees: degrees.into() }))
     }
 
+    fn supports_sharded(&self) -> bool {
+        true
+    }
+
+    fn upload_sharded(
+        &self,
+        csr: Arc<Csr>,
+        plan: &ShardPlan,
+        pool: &WorkerPool,
+    ) -> Result<Box<dyn LoadedGraph>> {
+        if plan.shards <= 1 {
+            return self.upload(csr, pool);
+        }
+        let set = crate::sharded::ShardSet::build(csr, plan, pool)?;
+        Ok(Box::new(PushPullShardedGraph::new(set)))
+    }
+
     fn run(
         &self,
         graph: &dyn LoadedGraph,
@@ -116,26 +197,34 @@ impl Platform for PushPullEngine {
         params: &AlgorithmParams,
         ctx: &mut RunContext<'_>,
     ) -> Result<Execution> {
-        let loaded = downcast_graph::<PushPullGraph>(self.name(), graph)?;
-        let csr = loaded.csr();
+        let exec = if let Some(g) = graph.as_any().downcast_ref::<PushPullGraph>() {
+            Exec::Single(g)
+        } else if let Some(g) = graph.as_any().downcast_ref::<PushPullShardedGraph>() {
+            Exec::Sharded(g)
+        } else {
+            return Err(graphalytics_core::Error::InvalidParameters(format!(
+                "graph was not uploaded through platform {}",
+                self.name()
+            )));
+        };
+        let csr = exec.csr();
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
         let values = match algorithm {
             Algorithm::Bfs => {
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(direction_optimizing_bfs(csr, root, &mut c))
+                OutputValues::I64(exec.bfs(root, &mut c))
             }
-            Algorithm::PageRank => OutputValues::F64(pull_pagerank(
-                loaded,
+            Algorithm::PageRank => OutputValues::F64(exec.pagerank(
                 params.pagerank_iterations,
                 params.damping_factor,
                 pool,
                 &mut c,
             )),
-            Algorithm::Wcc => OutputValues::Id(pushpull_wcc(csr, &mut c)),
+            Algorithm::Wcc => OutputValues::Id(exec.wcc(&mut c)),
             Algorithm::Cdlp => {
-                OutputValues::Id(pull_cdlp(csr, params.cdlp_iterations, pool, &mut c))
+                OutputValues::Id(exec.cdlp(params.cdlp_iterations, pool, &mut c))
             }
             Algorithm::Lcc => return Err(unsupported(self.name(), algorithm)),
             Algorithm::Sssp => {
@@ -145,7 +234,7 @@ impl Platform for PushPullEngine {
                     ));
                 }
                 let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(push_sssp(csr, root, &mut c))
+                OutputValues::F64(exec.sssp(root, &mut c))
             }
         };
         let wall_seconds = start.elapsed().as_secs_f64();

@@ -1,0 +1,553 @@
+//! Sharded push–pull kernels: the five supported algorithms over a
+//! [`ShardSet`], bit-identical in output to the single-shard kernels in
+//! the parent module.
+//!
+//! Why bit-identity holds per kernel:
+//!
+//! * **BFS** — level-synchronous: a vertex's depth is its BFS level, a
+//!   property of the level *sets*, which no schedule can change. Push
+//!   rounds stage discoveries in per-shard queues applied at the barrier
+//!   in deterministic shard/worker order; pull rounds scan each
+//!   undecided vertex's in-row (a verbatim copy of the global row, so
+//!   the early-exit point is identical) and write only owned slots.
+//! * **PageRank** — the dangling-mass scan is the same canonical
+//!   ascending loop as the single-shard kernel, and each vertex's rank
+//!   sum walks its shard in-row, a verbatim copy of the global in-row:
+//!   identical term order ⇒ identical f64 rounding.
+//! * **WCC / SSSP** — min-label and min-plus relaxation are monotone
+//!   fixpoints: the final value at each vertex is the minimum over
+//!   (path-ordered) candidate values, independent of relaxation
+//!   schedule, so the synchronous sharded rounds land on bitwise the
+//!   same fixpoint as the asynchronous single-shard sweeps (superstep
+//!   *counts* legitimately differ; outputs cannot).
+//! * **CDLP** — fully synchronous: every label is a function of the
+//!   previous iteration's labels and the vertex's own (verbatim-copied)
+//!   adjacency rows.
+//!
+//! Inter-shard accounting follows the engine's semantics: only *push*
+//! traffic is messages (pull is remote reads and stays message-free, as
+//! in the single-shard kernels), so `inter_shard_messages` remains a
+//! subset of `messages`.
+
+use graphalytics_cluster::WorkCounters;
+use graphalytics_core::{Csr, VertexId};
+
+use crate::common::frontier::Frontier;
+use crate::common::pool::SharedSlice;
+use crate::platform::LoadedGraph;
+use crate::sharded::{ShardLayout, ShardSet};
+
+use super::PULL_THRESHOLD;
+
+/// The sharded uploaded representation: per-shard dual-direction
+/// adjacency plus the global cached out-degree table (pull iterations
+/// divide by degrees of *remote* vertices, so the table stays global —
+/// PGX.D's replicated vertex metadata).
+pub struct PushPullShardedGraph {
+    set: ShardSet,
+    out_degrees: Box<[u32]>,
+}
+
+impl PushPullShardedGraph {
+    pub(crate) fn new(set: ShardSet) -> Self {
+        let csr = set.csr();
+        let out_degrees =
+            (0..csr.num_vertices() as u32).map(|u| csr.out_degree(u) as u32).collect();
+        PushPullShardedGraph { set, out_degrees }
+    }
+
+    /// The underlying shard set.
+    #[inline]
+    pub fn set(&self) -> &ShardSet {
+        &self.set
+    }
+
+    /// The full cached degree vector.
+    #[inline]
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+}
+
+impl LoadedGraph for PushPullShardedGraph {
+    fn csr(&self) -> &Csr {
+        self.set.csr()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.set.resident_bytes() + 4 * self.out_degrees.len() as u64
+    }
+
+    fn shard_layout(&self) -> Option<ShardLayout> {
+        Some(self.set.layout())
+    }
+}
+
+/// Splits a vertex list into per-shard lists by owner, preserving order.
+fn route(members: &[u32], owner: &[u32], shards: usize) -> Vec<Vec<u32>> {
+    let mut owned: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    for &u in members {
+        owned[owner[u as usize] as usize].push(u);
+    }
+    owned
+}
+
+/// One worker's staged push traffic: `(target, payload)` messages plus
+/// edge/cross-shard tallies.
+struct PushOut<T> {
+    msgs: Vec<(u32, T)>,
+    edges: u64,
+    inter: u64,
+}
+
+/// Sharded direction-optimizing BFS (see module docs for the identity
+/// argument).
+pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCounters) -> Vec<i64> {
+    let set = g.set();
+    let sharded = set.sharded();
+    let owner = sharded.owner();
+    let pools = set.pools();
+    let shards = sharded.num_shards() as usize;
+    let n = set.csr().num_vertices();
+
+    let mut depth = vec![i64::MAX; n];
+    depth[root as usize] = 0;
+    let mut frontier = Frontier::singleton(n, root);
+    let mut level = 0i64;
+    while !frontier.is_empty() {
+        c.supersteps += 1;
+        level += 1;
+        let mut next = Frontier::new(n);
+        if frontier.density() < PULL_THRESHOLD {
+            // Push: owned frontier vertices scatter through the shard
+            // queues; the barrier applies discoveries in shard order.
+            c.vertices_processed += frontier.len() as u64;
+            let owned = route(frontier.members(), owner, shards);
+            let depth_ref = &depth;
+            let outputs: Vec<Vec<PushOut<()>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|s| {
+                        let shard = sharded.shard(s);
+                        let mine = owned[s].as_slice();
+                        let pool = &pools[s];
+                        scope.spawn(move || {
+                            pool.run(mine.len(), |_, range| {
+                                let mut out =
+                                    PushOut { msgs: Vec::new(), edges: 0, inter: 0 };
+                                for &u in &mine[range] {
+                                    let li = sharded.local_index_of(u) as usize;
+                                    let (targets, _) = shard.out_row(li);
+                                    out.edges += targets.len() as u64;
+                                    for &v in targets {
+                                        if owner[v as usize] != s as u32 {
+                                            out.inter += 1;
+                                        }
+                                        if depth_ref[v as usize] == i64::MAX {
+                                            out.msgs.push((v, ()));
+                                        }
+                                    }
+                                }
+                                out
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+            });
+            for out in outputs.into_iter().flatten() {
+                c.edges_scanned += out.edges;
+                c.add_messages(out.edges, 8);
+                c.inter_shard_messages += out.inter;
+                c.inter_shard_bytes += 8 * out.inter;
+                for (v, ()) in out.msgs {
+                    if depth[v as usize] == i64::MAX {
+                        depth[v as usize] = level;
+                        next.insert(v);
+                    }
+                }
+            }
+        } else {
+            // Pull: each shard scans its own undecided vertices' in-rows
+            // (early exit) and writes only owned depth slots.
+            c.vertices_processed += n as u64;
+            let depth_ptr = SharedSlice::new(depth.as_mut_ptr());
+            let frontier_ref = &frontier;
+            let outputs: Vec<Vec<(Vec<u32>, u64)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|s| {
+                        let shard = sharded.shard(s);
+                        let pool = &pools[s];
+                        scope.spawn(move || {
+                            pool.run(shard.len(), |_, lrange| {
+                                let mut found = Vec::new();
+                                let mut edges = 0u64;
+                                for li in lrange {
+                                    let v = shard.global(li);
+                                    // SAFETY: shards own disjoint vertex
+                                    // sets; only this worker touches v.
+                                    let dv = unsafe { depth_ptr.at(v as usize) };
+                                    if *dv != i64::MAX {
+                                        continue;
+                                    }
+                                    let (inn, _) = shard.in_row(li);
+                                    for &u in inn {
+                                        edges += 1;
+                                        if frontier_ref.contains(u) {
+                                            *dv = level;
+                                            found.push(v);
+                                            break;
+                                        }
+                                    }
+                                }
+                                (found, edges)
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+            });
+            for (found, edges) in outputs.into_iter().flatten() {
+                c.edges_scanned += edges;
+                c.random_accesses += edges;
+                for v in found {
+                    next.insert(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    depth
+}
+
+/// Sharded pull PageRank: canonical ascending dangling scan + per-owned
+/// vertex in-row sums over verbatim row copies.
+pub(super) fn sharded_pagerank(
+    g: &PushPullShardedGraph,
+    iterations: u32,
+    damping: f64,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    let set = g.set();
+    let sharded = set.sharded();
+    let pools = set.pools();
+    let shards = sharded.num_shards() as usize;
+    let degrees = g.out_degrees();
+    let n = set.csr().num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    let mut rank = vec![inv_n; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        c.supersteps += 1;
+        c.vertices_processed += n as u64;
+        let rank_ref = &rank;
+        let dangling: f64 = (0..n).filter(|&u| degrees[u] == 0).map(|u| rank_ref[u]).sum();
+        let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+        let next_ptr = SharedSlice::new(next.as_mut_ptr());
+        let edge_counts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let shard = sharded.shard(s);
+                    let pool = &pools[s];
+                    scope.spawn(move || {
+                        pool.run(shard.len(), |_, lrange| {
+                            let mut edges = 0u64;
+                            for li in lrange {
+                                let v = shard.global(li) as usize;
+                                let (inn, _) = shard.in_row(li);
+                                edges += inn.len() as u64;
+                                let mut sum = 0.0f64;
+                                for &u in inn {
+                                    sum += rank_ref[u as usize] / degrees[u as usize] as f64;
+                                }
+                                // SAFETY: v is owned by this shard; local
+                                // ranges are disjoint within it.
+                                unsafe { *next_ptr.at(v) = base + damping * sum };
+                            }
+                            edges
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+        });
+        for edges in edge_counts.into_iter().flatten() {
+            c.edges_scanned += edges;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Sharded WCC: synchronous min-label rounds through the shard queues.
+pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec<VertexId> {
+    let set = g.set();
+    let csr = set.csr();
+    let sharded = set.sharded();
+    let owner = sharded.owner();
+    let pools = set.pools();
+    let shards = sharded.num_shards() as usize;
+    let n = csr.num_vertices();
+    let directed = csr.is_directed();
+
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut active: Vec<u32> = (0..n as u32).collect();
+    while !active.is_empty() {
+        c.supersteps += 1;
+        c.vertices_processed += active.len() as u64;
+        let owned = route(&active, owner, shards);
+        let label_ref = &label;
+        let outputs: Vec<Vec<PushOut<u32>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let shard = sharded.shard(s);
+                    let mine = owned[s].as_slice();
+                    let pool = &pools[s];
+                    scope.spawn(move || {
+                        pool.run(mine.len(), |_, range| {
+                            let mut out = PushOut { msgs: Vec::new(), edges: 0, inter: 0 };
+                            for &u in &mine[range] {
+                                let lu = label_ref[u as usize];
+                                let li = sharded.local_index_of(u) as usize;
+                                let push = |targets: &[u32], out: &mut PushOut<u32>| {
+                                    out.edges += targets.len() as u64;
+                                    for &v in targets {
+                                        if owner[v as usize] != s as u32 {
+                                            out.inter += 1;
+                                        }
+                                        if lu < label_ref[v as usize] {
+                                            out.msgs.push((v, lu));
+                                        }
+                                    }
+                                };
+                                push(shard.out_row(li).0, &mut out);
+                                if directed {
+                                    push(shard.in_row(li).0, &mut out);
+                                }
+                            }
+                            out
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+        });
+        let mut next = Frontier::new(n);
+        for out in outputs.into_iter().flatten() {
+            c.edges_scanned += out.edges;
+            c.add_messages(out.edges, 8);
+            c.inter_shard_messages += out.inter;
+            c.inter_shard_bytes += 8 * out.inter;
+            for (v, l) in out.msgs {
+                if l < label[v as usize] {
+                    label[v as usize] = l;
+                    next.insert(v);
+                }
+            }
+        }
+        active = next.members().to_vec();
+    }
+    label.into_iter().map(|l| csr.id_of(l)).collect()
+}
+
+/// Sharded CDLP: synchronous pull over owned vertices' verbatim rows.
+pub(super) fn sharded_cdlp(
+    g: &PushPullShardedGraph,
+    iterations: u32,
+    c: &mut WorkCounters,
+) -> Vec<VertexId> {
+    let set = g.set();
+    let csr = set.csr();
+    let sharded = set.sharded();
+    let pools = set.pools();
+    let shards = sharded.num_shards() as usize;
+    let n = csr.num_vertices();
+    let directed = csr.is_directed();
+
+    let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
+    let mut next: Vec<VertexId> = vec![0; n];
+    for _ in 0..iterations {
+        c.supersteps += 1;
+        c.vertices_processed += n as u64;
+        let labels_ref = &labels;
+        let next_ptr = SharedSlice::new(next.as_mut_ptr());
+        let edge_counts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let shard = sharded.shard(s);
+                    let pool = &pools[s];
+                    scope.spawn(move || {
+                        pool.run(shard.len(), |_, lrange| {
+                            let mut freq =
+                                std::collections::HashMap::<VertexId, u32>::new();
+                            let mut edges = 0u64;
+                            for li in lrange {
+                                let v = shard.global(li) as usize;
+                                freq.clear();
+                                let outn = shard.out_row(li).0;
+                                edges += outn.len() as u64;
+                                for &u in outn {
+                                    *freq.entry(labels_ref[u as usize]).or_insert(0u32) += 1;
+                                }
+                                if directed {
+                                    let inn = shard.in_row(li).0;
+                                    edges += inn.len() as u64;
+                                    for &u in inn {
+                                        *freq.entry(labels_ref[u as usize]).or_insert(0) += 1;
+                                    }
+                                }
+                                let l = graphalytics_core::algorithms::cdlp::select_label(&freq)
+                                    .unwrap_or(labels_ref[v]);
+                                // SAFETY: v is owned by this shard; local
+                                // ranges are disjoint within it.
+                                unsafe { *next_ptr.at(v) = l };
+                            }
+                            edges
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+        });
+        for edges in edge_counts.into_iter().flatten() {
+            c.edges_scanned += edges;
+            c.random_accesses += edges;
+        }
+        std::mem::swap(&mut labels, &mut next);
+    }
+    labels
+}
+
+/// Sharded SSSP: synchronous min-plus relaxation through the shard
+/// queues.
+pub(super) fn sharded_sssp(g: &PushPullShardedGraph, root: u32, c: &mut WorkCounters) -> Vec<f64> {
+    let set = g.set();
+    let sharded = set.sharded();
+    let owner = sharded.owner();
+    let pools = set.pools();
+    let shards = sharded.num_shards() as usize;
+    let n = set.csr().num_vertices();
+
+    let mut dist = vec![f64::INFINITY; n];
+    dist[root as usize] = 0.0;
+    let mut active = vec![root];
+    while !active.is_empty() {
+        c.supersteps += 1;
+        c.vertices_processed += active.len() as u64;
+        let owned = route(&active, owner, shards);
+        let dist_ref = &dist;
+        let outputs: Vec<Vec<PushOut<f64>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let shard = sharded.shard(s);
+                    let mine = owned[s].as_slice();
+                    let pool = &pools[s];
+                    scope.spawn(move || {
+                        pool.run(mine.len(), |_, range| {
+                            let mut out = PushOut { msgs: Vec::new(), edges: 0, inter: 0 };
+                            for &u in &mine[range] {
+                                let du = dist_ref[u as usize];
+                                let li = sharded.local_index_of(u) as usize;
+                                let (targets, weights) = shard.out_row(li);
+                                out.edges += targets.len() as u64;
+                                for (&v, &w) in targets.iter().zip(weights) {
+                                    if owner[v as usize] != s as u32 {
+                                        out.inter += 1;
+                                    }
+                                    let nd = du + w;
+                                    if nd < dist_ref[v as usize] {
+                                        out.msgs.push((v, nd));
+                                    }
+                                }
+                            }
+                            out
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+        });
+        let mut next = Frontier::new(n);
+        for out in outputs.into_iter().flatten() {
+            c.edges_scanned += out.edges;
+            c.add_messages(out.edges, 12);
+            c.inter_shard_messages += out.inter;
+            c.inter_shard_bytes += 12 * out.inter;
+            for (v, nd) in out.msgs {
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    next.insert(v);
+                }
+            }
+        }
+        active = next.members().to_vec();
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::*;
+    use crate::sharded::ShardPlan;
+    use graphalytics_core::GraphBuilder;
+
+    fn csr() -> Arc<Csr> {
+        let mut b = GraphBuilder::new(true);
+        b.set_weighted(true);
+        b.add_vertex_range(150);
+        for v in 0..150u64 {
+            b.add_weighted_edge(v, (v + 1) % 150, ((v % 7) + 1) as f64);
+            b.add_weighted_edge(v, (v + 53) % 150, ((v % 5) + 1) as f64);
+        }
+        Arc::new(b.build().unwrap().to_csr())
+    }
+
+    #[test]
+    fn all_supported_algorithms_bit_identical_across_shard_counts() {
+        let csr = csr();
+        let engine = PushPullEngine::new();
+        let pool = WorkerPool::new(4);
+        let params = AlgorithmParams::with_source(0);
+        let single = engine.upload(csr.clone(), &pool).unwrap();
+        for shards in [2u32, 3] {
+            let plan = ShardPlan::new(shards);
+            let multi = engine.upload_sharded(csr.clone(), &plan, &pool).unwrap();
+            assert_eq!(multi.shard_layout().unwrap().shards, shards);
+            for alg in Algorithm::ALL {
+                if alg == Algorithm::Lcc {
+                    continue;
+                }
+                let mut c1 = RunContext::new(&pool);
+                let mut c2 = RunContext::new(&pool);
+                let base = engine.run(single.as_ref(), alg, &params, &mut c1).unwrap();
+                let run = engine.run(multi.as_ref(), alg, &params, &mut c2).unwrap();
+                assert_eq!(base.output, run.output, "{alg:?} at {shards} shards");
+                assert!(
+                    run.counters.inter_shard_messages <= run.counters.messages,
+                    "{alg:?}: inter-shard messages are a subset of messages"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_push_rounds_report_inter_shard_traffic() {
+        let csr = csr();
+        let engine = PushPullEngine::new();
+        let pool = WorkerPool::new(2);
+        let params = AlgorithmParams::with_source(0);
+        let multi = engine
+            .upload_sharded(csr, &ShardPlan::new(2), &pool)
+            .unwrap();
+        let mut ctx = RunContext::new(&pool);
+        let run = engine.run(multi.as_ref(), Algorithm::Wcc, &params, &mut ctx).unwrap();
+        assert!(run.counters.inter_shard_messages > 0);
+        assert!(run.counters.inter_shard_bytes > 0);
+    }
+}

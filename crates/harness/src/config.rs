@@ -115,6 +115,10 @@ pub struct BenchmarkConfig {
     pub scale_divisor: u64,
     /// Repetitions for variability experiments.
     pub repetitions: u32,
+    /// Execution shards for measured runs (1 = monolithic; clamped to at
+    /// least 1). Platforms without a sharded run path report sharded jobs
+    /// as unsupported.
+    pub shards: u32,
     /// Base RNG seed for generation and simulated noise.
     pub seed: u64,
     /// Worker-pool width for *real* (measured) execution and proxy CSR
@@ -134,6 +138,7 @@ impl Default for BenchmarkConfig {
             algorithms: Vec::new(),
             scale_divisor: 1,
             repetitions: 10,
+            shards: 1,
             seed: 0xB5ED,
             threads: 0,
         }
@@ -144,7 +149,8 @@ impl BenchmarkConfig {
     /// Builds a config from parsed properties. Recognized keys:
     /// `benchmark.name`, `benchmark.platforms`, `benchmark.datasets`,
     /// `benchmark.algorithms`, `benchmark.scale-divisor`,
-    /// `benchmark.repetitions`, `benchmark.seed`, `benchmark.threads`.
+    /// `benchmark.repetitions`, `benchmark.shards`, `benchmark.seed`,
+    /// `benchmark.threads`.
     pub fn from_properties(props: &Properties) -> Result<BenchmarkConfig> {
         let defaults = BenchmarkConfig::default();
         let algorithms = props
@@ -162,6 +168,7 @@ impl BenchmarkConfig {
             algorithms,
             scale_divisor: props.get_or("benchmark.scale-divisor", defaults.scale_divisor)?,
             repetitions: props.get_or("benchmark.repetitions", defaults.repetitions)?,
+            shards: props.get_or::<u32>("benchmark.shards", defaults.shards)?.max(1),
             seed: props.get_or("benchmark.seed", defaults.seed)?,
             threads: props.get_or("benchmark.threads", defaults.threads)?,
         })
@@ -216,7 +223,7 @@ mod tests {
         let cfg = BenchmarkConfig::parse(
             "benchmark.name = weekly\nbenchmark.platforms = spmv, native\n\
              benchmark.algorithms = bfs, pr\nbenchmark.scale-divisor = 100\n\
-             benchmark.seed = 7\nbenchmark.threads = 3\n",
+             benchmark.seed = 7\nbenchmark.threads = 3\nbenchmark.shards = 4\n",
         )
         .unwrap();
         assert_eq!(cfg.name, "weekly");
@@ -227,6 +234,14 @@ mod tests {
         assert_eq!(cfg.repetitions, 10, "default preserved");
         assert_eq!(cfg.threads, 3);
         assert_eq!(cfg.pool_threads(), 3);
+        assert_eq!(cfg.shards, 4);
+    }
+
+    #[test]
+    fn shards_default_and_clamp() {
+        assert_eq!(BenchmarkConfig::default().shards, 1);
+        let cfg = BenchmarkConfig::parse("benchmark.shards = 0\n").unwrap();
+        assert_eq!(cfg.shards, 1, "zero shards clamps to monolithic");
     }
 
     #[test]

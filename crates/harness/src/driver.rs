@@ -60,17 +60,28 @@ pub struct JobSpec {
     /// How many times the execute phase repeats on the uploaded graph
     /// (`benchmark.repetitions`; clamped to at least 1).
     pub repetitions: u32,
+    /// Execution shards for measured runs (`benchmark.shards`; clamped to
+    /// at least 1). Values above 1 route the upload through
+    /// [`Platform::upload_sharded`] and are rejected as `Unsupported` on
+    /// platforms without a sharded run path.
+    pub shards: u32,
 }
 
 impl JobSpec {
-    /// A single-repetition spec starting at noise index 0.
+    /// A single-repetition, single-shard spec starting at noise index 0.
     pub fn new(dataset: &'static DatasetSpec, algorithm: Algorithm, cluster: ClusterSpec) -> Self {
-        JobSpec { dataset, algorithm, cluster, run_index: 0, repetitions: 1 }
+        JobSpec { dataset, algorithm, cluster, run_index: 0, repetitions: 1, shards: 1 }
     }
 
     /// Builder-style repetition count.
     pub fn with_repetitions(mut self, repetitions: u32) -> Self {
         self.repetitions = repetitions;
+        self
+    }
+
+    /// Builder-style shard count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -135,6 +146,11 @@ pub struct JobResult {
     pub algorithm: Algorithm,
     pub machines: u32,
     pub threads: u32,
+    /// Execution shards the job ran with (1 = monolithic).
+    pub shards: u32,
+    /// Fraction of arcs crossing shard boundaries (sharded measured runs
+    /// only).
+    pub cut_fraction: Option<f64>,
     pub status: JobStatus,
     /// Graph size the timing refers to (published for analytic runs,
     /// actual proxy size for measured runs).
@@ -237,7 +253,13 @@ impl Driver {
                 let mut result = self.blank_result(platform, spec);
                 if let Some(admission) = self.admit(platform, spec, Some(csr), &mut result) {
                     let upload_start = Instant::now();
-                    match platform.upload(csr.clone(), &self.pool) {
+                    match graphalytics_engines::upload_with_shards(
+                        platform,
+                        csr.clone(),
+                        spec.shards,
+                        self.seed,
+                        &self.pool,
+                    ) {
                         Ok(loaded) => {
                             let upload_secs = upload_start.elapsed().as_secs_f64();
                             result = self.execute_repetitions(
@@ -367,6 +389,10 @@ impl Driver {
         measured_upload_secs: Option<f64>,
     ) -> JobResult {
         let csr = loaded.csr();
+        if let Some(layout) = loaded.shard_layout() {
+            result.shards = layout.shards;
+            result.cut_fraction = Some(layout.cut_fraction);
+        }
         let desc = JobDescription { dataset: spec.dataset, algorithm: spec.algorithm };
         let params = desc.params_for(csr);
         let mut archiver = Archiver::new(platform.name(), job_name(spec));
@@ -537,6 +563,8 @@ impl Driver {
             algorithm: spec.algorithm,
             machines: spec.cluster.machines,
             threads: spec.cluster.threads_per_machine,
+            shards: spec.shards.max(1),
+            cut_fraction: None,
             status: JobStatus::Completed,
             vertices: spec.dataset.vertices,
             edges: spec.dataset.edges,
@@ -591,6 +619,7 @@ impl Driver {
 
         if !platform.supports(spec.algorithm)
             || (cluster.is_distributed() && !profile.supports_distributed)
+            || (spec.shards > 1 && !platform.supports_sharded())
         {
             result.status = JobStatus::Unsupported;
             return None;
@@ -676,6 +705,7 @@ mod tests {
             },
             run_index: 0,
             repetitions: 1,
+            shards: 1,
         }
     }
 
@@ -880,6 +910,41 @@ mod tests {
         let r = driver.run(platform.as_ref(), &spec("R5", Algorithm::Bfs, 1), RunMode::Analytic);
         assert_eq!(r.status, JobStatus::OutOfMemory);
         assert_eq!(r.status.figure_mark(), "F");
+    }
+
+    #[test]
+    fn sharded_measured_run_reports_layout_and_gates_support() {
+        let platform = platform_by_name("pregel").unwrap();
+        let csr = proxy_csr("G22");
+        let driver = Driver::default();
+        let base = driver.run(
+            platform.as_ref(),
+            &spec("G22", Algorithm::Bfs, 1),
+            RunMode::Measured { csr: &csr },
+        );
+        let job = spec("G22", Algorithm::Bfs, 1).with_shards(4);
+        let r = driver.run(platform.as_ref(), &job, RunMode::Measured { csr: &csr });
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert_eq!(r.shards, 4);
+        assert!(r.cut_fraction.unwrap() > 0.0);
+        assert!(r.counters.inter_shard_messages > 0);
+        assert_eq!(
+            r.counters.messages, base.counters.messages,
+            "sharded pregel preserves single-shard message counts"
+        );
+        // Platforms without a sharded run path reject sharded jobs.
+        let spmv = platform_by_name("spmv").unwrap();
+        let rejected = driver.run(spmv.as_ref(), &job, RunMode::Measured { csr: &csr });
+        assert_eq!(rejected.status, JobStatus::Unsupported);
+        // A single-shard job on those platforms still runs.
+        let ok = driver.run(
+            spmv.as_ref(),
+            &spec("G22", Algorithm::Bfs, 1),
+            RunMode::Measured { csr: &csr },
+        );
+        assert!(ok.status.is_success(), "{:?}", ok.status);
+        assert_eq!(ok.shards, 1);
+        assert_eq!(ok.cut_fraction, None);
     }
 
     #[test]

@@ -96,6 +96,8 @@ pub fn result_json(r: &JobResult) -> Json {
         ("algorithm", Json::str(r.algorithm.acronym())),
         ("machines", Json::Num(r.machines as f64)),
         ("threads", Json::Num(r.threads as f64)),
+        ("shards", Json::Num(r.shards as f64)),
+        ("cut_fraction", r.cut_fraction.map(Json::Num).unwrap_or(Json::Null)),
         (
             "status",
             Json::str(match &r.status {
@@ -146,6 +148,8 @@ pub fn result_json(r: &JobResult) -> Json {
         ("supersteps", Json::Num(r.counters.supersteps as f64)),
         ("messages", Json::Num(r.counters.messages as f64)),
         ("edges_scanned", Json::Num(r.counters.edges_scanned as f64)),
+        ("inter_shard_messages", Json::Num(r.counters.inter_shard_messages as f64)),
+        ("inter_shard_bytes", Json::Num(r.counters.inter_shard_bytes as f64)),
     ])
 }
 
@@ -163,6 +167,8 @@ mod tests {
             algorithm: Algorithm::Bfs,
             machines: 1,
             threads: 16,
+            shards: 1,
+            cut_fraction: None,
             status: if ok { JobStatus::Completed } else { JobStatus::OutOfMemory },
             vertices: 100,
             edges: 1000,
@@ -205,6 +211,8 @@ mod tests {
         assert!(json.contains("\"platform\": \"native\""));
         assert!(json.contains("\"eps\""));
         assert!(json.contains("\"status\": \"completed\""));
+        assert!(json.contains("\"shards\": 1"));
+        assert!(json.contains("\"inter_shard_messages\""));
     }
 
     #[test]

@@ -122,6 +122,7 @@ impl Runner {
                     cluster: self.cluster,
                     run_index: 0,
                     repetitions,
+                    shards: self.config.shards,
                 };
                 match &csr {
                     Some(csr) => {
@@ -138,9 +139,16 @@ impl Runner {
                         if admitted.is_empty() {
                             continue;
                         }
-                        // Upload phase: once per (platform, dataset).
+                        // Upload phase: once per (platform, dataset),
+                        // through the sharded path when configured.
                         let upload_start = std::time::Instant::now();
-                        match platform.upload(csr.clone(), &pool) {
+                        match graphalytics_engines::upload_with_shards(
+                            platform.as_ref(),
+                            csr.clone(),
+                            self.config.shards,
+                            self.config.seed,
+                            &pool,
+                        ) {
                             Ok(loaded) => {
                                 let upload_secs = upload_start.elapsed().as_secs_f64();
                                 for job in admitted {
@@ -242,6 +250,33 @@ mod tests {
                 uploads.iter().all(|&u| u == uploads[0]),
                 "{platform}: jobs must share one upload, got {uploads:?}"
             );
+        }
+    }
+
+    #[test]
+    fn config_driven_sharded_run() {
+        use crate::driver::JobStatus;
+        let config = BenchmarkConfig::parse(
+            "benchmark.platforms = pregel, pushpull, spmv\n\
+             benchmark.datasets = G22\n\
+             benchmark.algorithms = bfs\n\
+             benchmark.scale-divisor = 16384\n\
+             benchmark.shards = 2\n",
+        )
+        .unwrap();
+        let runner = Runner::new(config, RunnerMode::Measured);
+        let db = runner.run().unwrap();
+        assert_eq!(db.len(), 3);
+        for r in db.all() {
+            if r.platform == "spmv" {
+                // No sharded run path → rejected at admission.
+                assert_eq!(r.status, JobStatus::Unsupported);
+                continue;
+            }
+            assert!(r.status.is_success(), "{} {:?}", r.platform, r.status);
+            assert_eq!(r.shards, 2);
+            assert!(r.cut_fraction.unwrap() > 0.0);
+            assert!(r.counters.inter_shard_messages > 0, "{}", r.platform);
         }
     }
 

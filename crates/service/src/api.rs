@@ -115,12 +115,28 @@ fn parse_submission(body: &str) -> Result<JobRequest, String> {
             n as u32
         }
     };
+    let shards = match json.get("shards") {
+        None => 1,
+        Some(value) => {
+            let n = value
+                .as_u64()
+                .ok_or_else(|| "field `shards` must be a positive integer".to_string())?;
+            if n == 0 || n > crate::jobs::MAX_SHARDS as u64 {
+                return Err(format!(
+                    "field `shards` must be in 1..={}",
+                    crate::jobs::MAX_SHARDS
+                ));
+            }
+            n as u32
+        }
+    };
     Ok(JobRequest {
         platform: platform.to_string(),
         dataset: dataset.id.to_string(),
         algorithm,
         mode,
         repetitions,
+        shards,
     })
 }
 
@@ -153,6 +169,7 @@ pub fn job_json(record: &JobRecord) -> Json {
         ("algorithm".to_string(), Json::str(record.request.algorithm.acronym())),
         ("mode".to_string(), Json::str(record.request.mode.as_str())),
         ("repetitions".to_string(), Json::Num(record.request.repetitions as f64)),
+        ("shards".to_string(), Json::Num(record.request.shards as f64)),
         ("state".to_string(), Json::str(record.state.as_str())),
     ];
     if let JobState::Failed(message) = &record.state {
@@ -277,6 +294,10 @@ fn results_aggregates(state: &ServiceState) -> Json {
         successful: u64,
         eps_sum: f64,
         evps_sum: f64,
+        /// Sharded-execution traffic over successful runs.
+        sharded_jobs: u64,
+        inter_shard_messages: u64,
+        inter_shard_bytes: u64,
         /// platform → (jobs, Σeps, Σevps); BTreeMap for sorted output.
         per_platform: std::collections::BTreeMap<String, (u64, f64, f64)>,
     }
@@ -287,6 +308,11 @@ fn results_aggregates(state: &ServiceState) -> Json {
             let (eps, evps) = (r.eps(), r.evps());
             agg.eps_sum += eps;
             agg.evps_sum += evps;
+            if r.shards > 1 {
+                agg.sharded_jobs += 1;
+            }
+            agg.inter_shard_messages += r.counters.inter_shard_messages;
+            agg.inter_shard_bytes += r.counters.inter_shard_bytes;
             let row = agg.per_platform.entry(r.platform.clone()).or_default();
             row.0 += 1;
             row.1 += eps;
@@ -321,6 +347,14 @@ fn results_aggregates(state: &ServiceState) -> Json {
         ("success_rate", Json::Num(success_rate)),
         ("mean_eps", mean(agg.eps_sum)),
         ("mean_evps", mean(agg.evps_sum)),
+        (
+            "sharded",
+            Json::obj(vec![
+                ("jobs", Json::Num(agg.sharded_jobs as f64)),
+                ("inter_shard_messages", Json::Num(agg.inter_shard_messages as f64)),
+                ("inter_shard_bytes", Json::Num(agg.inter_shard_bytes as f64)),
+            ]),
+        ),
         ("per_platform", Json::Arr(per_platform)),
     ])
 }
@@ -379,6 +413,18 @@ mod tests {
                 r#"{"platform":"native","dataset":"G22","algorithm":"bfs","repetitions":"x"}"#,
                 "field `repetitions` must be a positive integer",
             ),
+            (
+                r#"{"platform":"pregel","dataset":"G22","algorithm":"bfs","shards":0}"#,
+                "field `shards` must be in 1..=",
+            ),
+            (
+                r#"{"platform":"pregel","dataset":"G22","algorithm":"bfs","shards":65}"#,
+                "field `shards` must be in 1..=",
+            ),
+            (
+                r#"{"platform":"pregel","dataset":"G22","algorithm":"bfs","shards":"two"}"#,
+                "field `shards` must be a positive integer",
+            ),
         ];
         for (body, expected) in cases {
             let resp = handle(&state, &post("/jobs", body));
@@ -415,6 +461,20 @@ mod tests {
         );
         assert_eq!(resp.status, 202);
         assert_eq!(state.queue.get(2).unwrap().request.repetitions, 5);
+        assert_eq!(state.queue.get(2).unwrap().request.shards, 1, "defaulted");
+        // Explicit shards are carried through and echoed in the job view.
+        let resp = handle(
+            &state,
+            &post(
+                "/jobs",
+                r#"{"platform":"pregel","dataset":"G22","algorithm":"bfs","shards":4}"#,
+            ),
+        );
+        assert_eq!(resp.status, 202);
+        assert_eq!(state.queue.get(3).unwrap().request.shards, 4);
+        let view = handle(&state, &get("/jobs/3"));
+        let body = Json::parse(&view.body).unwrap();
+        assert_eq!(body.get("shards").and_then(Json::as_u64), Some(4));
     }
 
     #[test]
@@ -441,6 +501,33 @@ mod tests {
         let results = body.get("results").unwrap();
         assert_eq!(results.get("mean_eps"), Some(&Json::Null));
         assert_eq!(results.get("success_rate"), Some(&Json::Num(1.0)));
+        let sharded = results.get("sharded").unwrap();
+        assert_eq!(sharded.get("jobs"), Some(&Json::Num(0.0)));
+        assert_eq!(sharded.get("inter_shard_messages"), Some(&Json::Num(0.0)));
+    }
+
+    #[test]
+    fn metrics_aggregate_inter_shard_traffic() {
+        // A sharded job executed in-process shows up in the /metrics
+        // inter-shard aggregates.
+        let state = state();
+        let request = crate::jobs::JobRequest {
+            platform: "pregel".into(),
+            dataset: "G22".into(),
+            algorithm: Algorithm::Bfs,
+            mode: crate::jobs::JobMode::Measured,
+            repetitions: 1,
+            shards: 2,
+        };
+        let result = state.execute(&request).unwrap();
+        assert!(result.status.is_success(), "{:?}", result.status);
+        state.results.insert(result);
+        let resp = handle(&state, &get("/metrics"));
+        let body = Json::parse(&resp.body).unwrap();
+        let sharded = body.get("results").and_then(|r| r.get("sharded")).unwrap();
+        assert_eq!(sharded.get("jobs"), Some(&Json::Num(1.0)));
+        assert!(sharded.get("inter_shard_messages").and_then(Json::as_u64).unwrap() > 0);
+        assert!(sharded.get("inter_shard_bytes").and_then(Json::as_u64).unwrap() > 0);
     }
 
     #[test]

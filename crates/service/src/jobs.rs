@@ -53,10 +53,17 @@ pub struct JobRequest {
     /// Execute-phase repetitions on the uploaded graph (the benchmark's
     /// mean-of-N; validated to `1..=MAX_REPETITIONS` at the API).
     pub repetitions: u32,
+    /// Execution shards for measured runs (validated to
+    /// `1..=MAX_SHARDS` at the API; platforms without a sharded run path
+    /// report such jobs as unsupported).
+    pub shards: u32,
 }
 
 /// Upper bound the API accepts for per-job repetitions.
 pub const MAX_REPETITIONS: u32 = 100;
+
+/// Upper bound the API accepts for per-job execution shards.
+pub const MAX_SHARDS: u32 = 64;
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,6 +260,7 @@ mod tests {
             algorithm: alg,
             mode: JobMode::Measured,
             repetitions: 1,
+            shards: 1,
         }
     }
 

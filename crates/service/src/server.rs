@@ -106,6 +106,7 @@ impl ServiceState {
             cluster: ClusterSpec::single_machine(),
             run_index: 0,
             repetitions: request.repetitions.max(1),
+            shards: request.shards.max(1),
         };
         let result = match request.mode {
             JobMode::Analytic => driver.run(platform.as_ref(), &spec, RunMode::Analytic),

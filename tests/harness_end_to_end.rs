@@ -46,6 +46,7 @@ fn measured_benchmark_run_end_to_end() {
                     cluster: ClusterSpec::single_machine(),
                     run_index: 0,
                     repetitions: config.repetitions,
+                    shards: config.shards,
                 };
                 let result =
                     driver.run_uploaded(platform.as_ref(), loaded.as_ref(), &spec, Some(0.01));

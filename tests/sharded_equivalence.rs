@@ -1,0 +1,188 @@
+//! The sharded-execution contract (CI gate): for every engine with a
+//! sharded run path, N-shard output is **bit-identical** to single-shard
+//! output — for every supported algorithm, every shard count, every
+//! placement seed — and repeated sharded runs are deterministic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use graphalytics::cluster::partition::PartitionStrategy;
+use graphalytics::engines::ShardPlan;
+use graphalytics::prelude::*;
+
+/// The engines that advertise a sharded execution path.
+fn sharded_platforms() -> Vec<Box<dyn Platform>> {
+    let platforms: Vec<_> =
+        all_platforms().into_iter().filter(|p| p.supports_sharded()).collect();
+    assert_eq!(
+        platforms.iter().map(|p| p.name().to_string()).collect::<Vec<_>>(),
+        vec!["pregel", "pushpull"],
+        "pregel and pushpull carry the sharded contract"
+    );
+    platforms
+}
+
+#[test]
+fn n_shard_output_bit_identical_on_proxy_graphs() {
+    // The acceptance gate: a registry proxy dataset (G22, unweighted)
+    // and a weighted Graph500 instance, all supported algorithms, shard
+    // counts 1/2/4 against the monolithic upload.
+    let spec = graphalytics::core::datasets::dataset("G22").unwrap();
+    let proxy = graphalytics::harness::proxy::materialize(spec, 1 << 14, 21);
+    let weighted = Graph500Config::new(9).with_seed(21).with_weights(true).generate();
+    let pool = WorkerPool::new(4);
+    for (name, graph) in [("G22-proxy", &proxy), ("graph500-9w", &weighted)] {
+        let csr = Arc::new(graph.to_csr_with(&pool).unwrap());
+        let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
+        let params = AlgorithmParams::with_source(root);
+        for platform in sharded_platforms() {
+            let mono = platform.upload(csr.clone(), &pool).unwrap();
+            for algorithm in Algorithm::ALL {
+                if !platform.supports(algorithm)
+                    || (algorithm.needs_weights() && !csr.is_weighted())
+                {
+                    continue;
+                }
+                let mut ctx = RunContext::new(&pool);
+                let baseline =
+                    platform.run(mono.as_ref(), algorithm, &params, &mut ctx).unwrap();
+                for shards in [1u32, 2, 4] {
+                    let plan = ShardPlan::new(shards);
+                    let loaded =
+                        platform.upload_sharded(csr.clone(), &plan, &pool).unwrap();
+                    let mut ctx = RunContext::new(&pool);
+                    let run =
+                        platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).unwrap();
+                    platform.delete(loaded);
+                    assert_eq!(
+                        baseline.output, run.output,
+                        "{} {algorithm} on {name}: {shards} shards changed the output",
+                        platform.name()
+                    );
+                    if shards > 1 {
+                        assert!(
+                            run.counters.inter_shard_messages <= run.counters.messages,
+                            "{} {algorithm} on {name}: cut traffic exceeds total messages",
+                            platform.name()
+                        );
+                    }
+                }
+            }
+            platform.delete(mono);
+        }
+    }
+}
+
+#[test]
+fn repeated_sharded_runs_are_deterministic() {
+    // Fixed shard count, repeated execution: same outputs *and* same
+    // work counters, both on one shared sharded upload and across fresh
+    // sharded uploads (the partition itself is seeded, not ambient).
+    let graph = Graph500Config::new(9).with_seed(31).with_weights(true).generate();
+    let pool = WorkerPool::new(4);
+    let csr = Arc::new(graph.to_csr_with(&pool).unwrap());
+    let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
+    let params = AlgorithmParams::with_source(root);
+    let plan = ShardPlan::new(3);
+    for platform in sharded_platforms() {
+        let shared = platform.upload_sharded(csr.clone(), &plan, &pool).unwrap();
+        for algorithm in Algorithm::ALL {
+            if !platform.supports(algorithm) {
+                continue;
+            }
+            let mut ctx = RunContext::new(&pool);
+            let first = platform.run(shared.as_ref(), algorithm, &params, &mut ctx).unwrap();
+            for rep in 1..3u64 {
+                let mut ctx = RunContext::with_run_index(&pool, rep);
+                let again =
+                    platform.run(shared.as_ref(), algorithm, &params, &mut ctx).unwrap();
+                assert_eq!(first.output, again.output, "{} rep {rep}", platform.name());
+                assert_eq!(
+                    first.counters.inter_shard_messages, again.counters.inter_shard_messages,
+                    "{} {algorithm} rep {rep}: cut traffic must be deterministic",
+                    platform.name()
+                );
+            }
+            let fresh_loaded = platform.upload_sharded(csr.clone(), &plan, &pool).unwrap();
+            let mut ctx = RunContext::new(&pool);
+            let fresh =
+                platform.run(fresh_loaded.as_ref(), algorithm, &params, &mut ctx).unwrap();
+            platform.delete(fresh_loaded);
+            assert_eq!(first.output, fresh.output, "{} {algorithm}", platform.name());
+            assert_eq!(
+                first.counters.inter_shard_messages, fresh.counters.inter_shard_messages,
+                "{} {algorithm}: re-partitioning with one seed must be stable",
+                platform.name()
+            );
+        }
+        platform.delete(shared);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_matches_single_shard_on_random_graphs(
+        scale in 6u32..9,
+        graph_seed in 0u64..1000,
+        directed in proptest::bool::ANY,
+        shards in 2u32..6,
+        placement_seed in 0u64..1000,
+        range_cut in proptest::bool::ANY,
+    ) {
+        let graph = graphalytics::graph500::RmatConfig {
+            scale,
+            edge_factor: 6,
+            a: 0.55,
+            b: 0.2,
+            c: 0.2,
+            seed: graph_seed,
+            directed,
+            weighted: true,
+            keep_isolated: false,
+        }
+        .generate();
+        let pool = WorkerPool::new(4);
+        let csr = Arc::new(graph.to_csr_with(&pool).unwrap());
+        let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
+        let params = AlgorithmParams::with_source(root);
+        let plan = ShardPlan {
+            shards,
+            threads_per_shard: 0,
+            strategy: if range_cut {
+                PartitionStrategy::RangeEdgeCut
+            } else {
+                PartitionStrategy::HashEdgeCut
+            },
+            seed: placement_seed,
+        };
+        for platform in sharded_platforms() {
+            let mono = platform.upload(csr.clone(), &pool).unwrap();
+            let sharded = platform.upload_sharded(csr.clone(), &plan, &pool).unwrap();
+            for algorithm in Algorithm::ALL {
+                if !platform.supports(algorithm) {
+                    continue;
+                }
+                let mut ctx = RunContext::new(&pool);
+                let baseline =
+                    platform.run(mono.as_ref(), algorithm, &params, &mut ctx).unwrap();
+                let mut ctx = RunContext::new(&pool);
+                let run =
+                    platform.run(sharded.as_ref(), algorithm, &params, &mut ctx).unwrap();
+                prop_assert_eq!(
+                    &baseline.output,
+                    &run.output,
+                    "{} {} at {} shards (seed {})",
+                    platform.name(),
+                    algorithm,
+                    shards,
+                    placement_seed
+                );
+            }
+            platform.delete(sharded);
+            platform.delete(mono);
+        }
+    }
+}

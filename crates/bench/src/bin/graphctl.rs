@@ -7,6 +7,7 @@
 //! graphctl <addr> status <id>                      one job's record
 //! graphctl <addr> wait <id> [timeout-secs]         block until the job finishes
 //! graphctl <addr> cancel <id>                      cancel a queued job
+//! graphctl <addr> archive <id>                     render a job's Granula archive
 //! graphctl <addr> jobs | results | graphs | metrics | health
 //! ```
 
@@ -23,10 +24,14 @@ commands:
   status <id>                                        one job's record
   wait <id> [timeout-secs]                           block until the job finishes
   cancel <id>                                        cancel a queued job
+  archive <id>                                       fetch a finished job's Granula archive
+                                                     and render it as an ASCII phase tree
   jobs                                               list all jobs
   results                                            results database export
   graphs                                             resident graph store
-  metrics                                            job/store counters, EPS aggregates
+  metrics [prometheus]                               job/store counters, EPS aggregates,
+                                                     monitor telemetry (optionally in the
+                                                     Prometheus text format)
   health                                             liveness probe";
 
 fn main() {
@@ -80,10 +85,20 @@ fn run(args: &[String]) -> Result<(), String> {
             client.wait(parse_id(id)?, Duration::from_secs(timeout))
         }
         ("cancel", [id]) => client.cancel(parse_id(id)?),
+        ("archive", [id]) => {
+            let archive = client.archive(parse_id(id)?).map_err(|e| e.to_string())?;
+            print_line(&graphalytics_granula::visualize::render(&archive));
+            return Ok(());
+        }
         ("jobs", []) => client.jobs(),
         ("results", []) => client.results(),
         ("graphs", []) => client.graphs(),
         ("metrics", []) => client.metrics(),
+        ("metrics", [format]) if format == "prometheus" => {
+            let text = client.metrics_prometheus().map_err(|e| e.to_string())?;
+            print_line(&text);
+            return Ok(());
+        }
         ("health", []) => client.health(),
         _ => return Err(USAGE.to_string()),
     };

@@ -40,9 +40,10 @@
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Splits `0..n` into contiguous ranges for `threads` workers, never
 /// more workers than elements (but at least one range, possibly empty).
@@ -109,6 +110,89 @@ pub struct PoolStats {
     pub dispatches: u64,
 }
 
+/// Utilization telemetry for the Granula monitor: how busy each worker
+/// has been since the pool started and how long parked workers took to
+/// wake after a dispatch. Collected with relaxed atomics on the
+/// coarse per-`run` path (two clock reads per worker per call), and
+/// only after [`WorkerPool::enable_telemetry`] — clock reads on every
+/// `run` measurably tax upload-style workloads that issue many short
+/// pool calls, so the default is a single relaxed flag load and no
+/// timing. Strictly data-plane passive either way.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolUtilization {
+    /// Busy seconds per worker slot; slot 0 is the calling thread (it
+    /// executes range 0 of every dispatch and all inline runs).
+    pub per_worker_busy_secs: Vec<f64>,
+    /// Sum of `per_worker_busy_secs`.
+    pub busy_secs: f64,
+    /// Total time parked workers spent between a job being posted and
+    /// picking it up.
+    pub dispatch_wait_secs: f64,
+    /// Worker wake-ups contributing to `dispatch_wait_secs`.
+    pub dispatch_wakeups: u64,
+    /// Seconds since the pool was constructed.
+    pub uptime_secs: f64,
+}
+
+impl PoolUtilization {
+    /// Mean busy fraction across all worker slots over the pool's
+    /// lifetime, in `[0, 1]`.
+    pub fn busy_fraction(&self) -> f64 {
+        let capacity = self.uptime_secs * self.per_worker_busy_secs.len() as f64;
+        if capacity > 0.0 {
+            (self.busy_secs / capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean wake latency per dispatch wake-up, if any happened.
+    pub fn mean_dispatch_wait_secs(&self) -> Option<f64> {
+        if self.dispatch_wakeups == 0 {
+            None
+        } else {
+            Some(self.dispatch_wait_secs / self.dispatch_wakeups as f64)
+        }
+    }
+}
+
+/// Shared telemetry accumulators (see [`PoolUtilization`]).
+#[derive(Debug)]
+struct PoolTelemetry {
+    enabled: AtomicBool,
+    busy_nanos: Vec<AtomicU64>,
+    dispatch_wait_nanos: AtomicU64,
+    dispatch_wakeups: AtomicU64,
+}
+
+impl PoolTelemetry {
+    fn new(threads: u32) -> Arc<PoolTelemetry> {
+        Arc::new(PoolTelemetry {
+            enabled: AtomicBool::new(false),
+            busy_nanos: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            dispatch_wait_nanos: AtomicU64::new(0),
+            dispatch_wakeups: AtomicU64::new(0),
+        })
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Start of a busy interval, if timing is on.
+    #[inline]
+    fn begin(&self) -> Option<Instant> {
+        self.enabled().then(Instant::now)
+    }
+
+    fn add_busy(&self, worker: usize, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.busy_nanos[worker].fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
 thread_local! {
     /// Set while this thread is executing a pool task; makes nested
     /// `run` calls execute inline instead of deadlocking.
@@ -122,6 +206,10 @@ struct Job {
     /// dispatcher observes `remaining == 0` and clears the job.
     task: &'static (dyn Fn(usize) + Sync),
     workers: usize,
+    /// When the job was posted (telemetry on only); workers measure
+    /// their wake latency against this for
+    /// [`PoolUtilization::dispatch_wait_secs`].
+    posted_at: Option<Instant>,
 }
 
 struct State {
@@ -167,6 +255,8 @@ pub struct WorkerPool {
     backend: Backend,
     runs: AtomicU64,
     dispatches: AtomicU64,
+    telemetry: Arc<PoolTelemetry>,
+    started: Instant,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -204,12 +294,14 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
         });
+        let telemetry = PoolTelemetry::new(threads);
         let handles = (1..threads as usize)
             .map(|w| {
                 let shared = shared.clone();
+                let telemetry = telemetry.clone();
                 std::thread::Builder::new()
                     .name(format!("galy-pool-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
+                    .spawn(move || worker_loop(&shared, w, &telemetry))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -222,6 +314,8 @@ impl WorkerPool {
             }),
             runs: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
+            telemetry,
+            started: Instant::now(),
         }
     }
 
@@ -233,6 +327,8 @@ impl WorkerPool {
             backend: Backend::Inline,
             runs: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
+            telemetry: PoolTelemetry::new(1),
+            started: Instant::now(),
         }
     }
 
@@ -240,11 +336,14 @@ impl WorkerPool {
     /// `run` call. Identical results and partitioning to [`WorkerPool::new`];
     /// kept so `repro_bench` can quantify what persistence buys.
     pub fn spawning(threads: u32) -> WorkerPool {
+        let threads = threads.max(1);
         WorkerPool {
-            threads: threads.max(1),
+            threads,
             backend: Backend::Spawning,
             runs: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
+            telemetry: PoolTelemetry::new(threads),
+            started: Instant::now(),
         }
     }
 
@@ -276,6 +375,41 @@ impl WorkerPool {
         }
     }
 
+    /// Turns on per-`run` clock sampling for [`WorkerPool::utilization`].
+    /// Off by default: the service daemon and monitored harness runs
+    /// enable it; pure benchmarking pools skip the clock reads entirely.
+    pub fn enable_telemetry(&self) {
+        self.telemetry.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`WorkerPool::enable_telemetry`] has been called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Utilization telemetry since construction (per-worker busy time,
+    /// dispatch wake latency). Zeros unless
+    /// [`WorkerPool::enable_telemetry`] was called; see
+    /// [`PoolUtilization`].
+    pub fn utilization(&self) -> PoolUtilization {
+        let per_worker_busy_secs: Vec<f64> = self
+            .telemetry
+            .busy_nanos
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed) as f64 / 1e9)
+            .collect();
+        let busy_secs = per_worker_busy_secs.iter().sum();
+        PoolUtilization {
+            per_worker_busy_secs,
+            busy_secs,
+            dispatch_wait_secs: self.telemetry.dispatch_wait_nanos.load(Ordering::Relaxed)
+                as f64
+                / 1e9,
+            dispatch_wakeups: self.telemetry.dispatch_wakeups.load(Ordering::Relaxed),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
     /// Splits `0..n` into up to `threads` contiguous ranges and runs
     /// `task` on each concurrently; returns results in range order.
     ///
@@ -294,13 +428,16 @@ impl WorkerPool {
         let ranges = split_ranges(self.threads, n);
         let nested = IN_POOL_TASK.with(|f| f.get());
         if ranges.len() == 1 || matches!(self.backend, Backend::Inline) || nested {
-            return ranges.into_iter().enumerate().map(|(w, r)| task(w, r)).collect();
+            let t = self.telemetry.begin();
+            let out = ranges.into_iter().enumerate().map(|(w, r)| task(w, r)).collect();
+            self.telemetry.add_busy(0, t);
+            return out;
         }
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         match &self.backend {
             Backend::Inline => unreachable!("handled above"),
             Backend::Spawning => run_spawning(ranges, &task),
-            Backend::Persistent(p) => p.dispatch(ranges, &task),
+            Backend::Persistent(p) => p.dispatch(ranges, &task, &self.telemetry),
         }
     }
 }
@@ -331,7 +468,12 @@ where
 }
 
 impl Persistent {
-    fn dispatch<R, F>(&self, ranges: Vec<Range<usize>>, task: &F) -> Vec<R>
+    fn dispatch<R, F>(
+        &self,
+        ranges: Vec<Range<usize>>,
+        task: &F,
+        telemetry: &PoolTelemetry,
+    ) -> Vec<R>
     where
         R: Send,
         F: Fn(usize, Range<usize>) -> R + Sync,
@@ -357,7 +499,7 @@ impl Persistent {
                     &call,
                 )
             };
-            state.job = Some(Job { task: erased, workers });
+            state.job = Some(Job { task: erased, workers, posted_at: telemetry.begin() });
             state.epoch += 1;
             state.remaining = workers - 1; // caller runs range 0 itself
             state.panicked = None;
@@ -365,7 +507,9 @@ impl Persistent {
         self.shared.work_ready.notify_all();
 
         IN_POOL_TASK.with(|f| f.set(true));
+        let caller_t = telemetry.begin();
         let caller_result = catch_unwind(AssertUnwindSafe(|| call(0)));
+        telemetry.add_busy(0, caller_t);
         IN_POOL_TASK.with(|f| f.set(false));
 
         let worker_panic = {
@@ -388,7 +532,7 @@ impl Persistent {
     }
 }
 
-fn worker_loop(shared: &Shared, w: usize) {
+fn worker_loop(shared: &Shared, w: usize, telemetry: &PoolTelemetry) {
     IN_POOL_TASK.with(|f| f.set(true));
     let mut seen_epoch = 0u64;
     loop {
@@ -403,14 +547,25 @@ fn worker_loop(shared: &Shared, w: usize) {
                     match &state.job {
                         // Participate only when this round has a range
                         // for us; narrower jobs use the low indices.
-                        Some(job) if w < job.workers => break job.task,
+                        Some(job) if w < job.workers => {
+                            if let Some(posted) = job.posted_at {
+                                let wait = posted.elapsed().as_nanos() as u64;
+                                telemetry
+                                    .dispatch_wait_nanos
+                                    .fetch_add(wait, Ordering::Relaxed);
+                                telemetry.dispatch_wakeups.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break job.task;
+                        }
                         _ => {}
                     }
                 }
                 state = shared.work_ready.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
+        let busy_t = telemetry.begin();
         let result = catch_unwind(AssertUnwindSafe(|| task(w)));
+        telemetry.add_busy(w, busy_t);
         let mut state = shared.lock();
         if let Err(panic) = result {
             state.panicked.get_or_insert(panic);
@@ -634,6 +789,47 @@ mod tests {
             expected.sort_unstable();
             assert_eq!(data, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn utilization_tracks_busy_workers_and_wakeups() {
+        let pool = WorkerPool::new(3);
+        assert!(!pool.telemetry_enabled(), "clock sampling is opt-in");
+        pool.enable_telemetry();
+        for _ in 0..10 {
+            pool.run(3000, |_, r| {
+                let mut acc = 0u64;
+                for i in r {
+                    acc = acc.wrapping_add((i as u64).wrapping_mul(2654435761));
+                }
+                std::hint::black_box(acc);
+            });
+        }
+        let u = pool.utilization();
+        assert_eq!(u.per_worker_busy_secs.len(), 3);
+        // The caller slot and both parked workers all executed ranges.
+        assert!(u.per_worker_busy_secs.iter().all(|&b| b > 0.0), "{u:?}");
+        assert!((u.busy_secs - u.per_worker_busy_secs.iter().sum::<f64>()).abs() < 1e-12);
+        // 10 dispatches × 2 parked workers woke up.
+        assert_eq!(u.dispatch_wakeups, 20);
+        assert!(u.mean_dispatch_wait_secs().unwrap() >= 0.0);
+        assert!(u.uptime_secs > 0.0);
+        let f = u.busy_fraction();
+        assert!((0.0..=1.0).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn inline_pool_attributes_busy_time_to_the_caller() {
+        let pool = WorkerPool::inline();
+        pool.run(100, |_, r| r.map(|i| i * 2).sum::<usize>());
+        assert_eq!(pool.utilization().busy_secs, 0.0, "no sampling until enabled");
+        pool.enable_telemetry();
+        pool.run(100, |_, r| r.map(|i| i * 2).sum::<usize>());
+        let u = pool.utilization();
+        assert_eq!(u.per_worker_busy_secs.len(), 1);
+        assert!(u.busy_secs > 0.0);
+        assert_eq!(u.dispatch_wakeups, 0);
+        assert_eq!(u.mean_dispatch_wait_secs(), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use graphalytics_cluster::WorkCounters;
 
 use crate::common::pool::WorkerPool;
 use crate::platform::LoadedGraph;
+use crate::trace::IterTimer;
 
 use super::{group_by_key, reduce_by_key, Dataset, DataflowGraph};
 
@@ -71,7 +72,9 @@ where
             active_count += 1;
         }
     }
+    let mut it = IterTimer::new("Round", c);
     while active_count > 0 {
+        let round_active = active_count;
         c.supersteps += 1;
         // Ship active vertex views to edge partitions (replication).
         c.add_messages(active_count, message_bytes + 4);
@@ -115,6 +118,7 @@ where
         values = next_values;
         active = next_active;
         active_count = next_count;
+        it.lap(c, |s| s.with_info("active", round_active));
     }
     values
 }
@@ -190,6 +194,7 @@ pub fn pagerank(
     let edges = g.edges_out();
     let total_arcs = edges.count() as u64;
     let mut rank = vec![inv_n; n];
+    let mut it = IterTimer::new("Round", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         // Dangling aggregate: a narrow scan over the vertex dataset.
@@ -225,6 +230,7 @@ pub fn pagerank(
             next[v as usize] = base + damping * s;
         }
         rank = next;
+        it.lap(c, |s| s.with_info("active", n));
     }
     rank
 }
@@ -244,6 +250,7 @@ pub fn cdlp(
     let edges = g.edges_both();
     let total_arcs = edges.count() as u64;
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
+    let mut it = IterTimer::new("Round", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.add_messages(n as u64, 12); // vertex views
@@ -279,6 +286,7 @@ pub fn cdlp(
             }
         }
         labels = next;
+        it.lap(c, |s| s.with_info("active", n));
     }
     labels
 }

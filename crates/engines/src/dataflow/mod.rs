@@ -289,33 +289,40 @@ impl Platform for DataflowEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
-        let values = match algorithm {
-            Algorithm::Bfs => {
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(algorithms::bfs(g, root, pool, &mut c))
-            }
-            Algorithm::PageRank => OutputValues::F64(algorithms::pagerank(
-                g,
-                params.pagerank_iterations,
-                params.damping_factor,
-                pool,
-                &mut c,
-            )),
-            Algorithm::Wcc => OutputValues::Id(algorithms::wcc(g, pool, &mut c)),
-            Algorithm::Cdlp => {
-                OutputValues::Id(algorithms::cdlp(g, params.cdlp_iterations, pool, &mut c))
-            }
-            Algorithm::Lcc => OutputValues::F64(algorithms::lcc(csr, g.parts(), pool, &mut c)),
-            Algorithm::Sssp => {
-                if !csr.is_weighted() {
-                    return Err(graphalytics_core::Error::InvalidParameters(
-                        "SSSP requires a weighted graph".into(),
-                    ));
+        ctx.begin_trace();
+        let values = (|| -> Result<OutputValues> {
+            Ok(match algorithm {
+                Algorithm::Bfs => {
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::I64(algorithms::bfs(g, root, pool, &mut c))
                 }
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(algorithms::sssp(g, root, pool, &mut c))
-            }
-        };
+                Algorithm::PageRank => OutputValues::F64(algorithms::pagerank(
+                    g,
+                    params.pagerank_iterations,
+                    params.damping_factor,
+                    pool,
+                    &mut c,
+                )),
+                Algorithm::Wcc => OutputValues::Id(algorithms::wcc(g, pool, &mut c)),
+                Algorithm::Cdlp => {
+                    OutputValues::Id(algorithms::cdlp(g, params.cdlp_iterations, pool, &mut c))
+                }
+                Algorithm::Lcc => {
+                    OutputValues::F64(algorithms::lcc(csr, g.parts(), pool, &mut c))
+                }
+                Algorithm::Sssp => {
+                    if !csr.is_weighted() {
+                        return Err(graphalytics_core::Error::InvalidParameters(
+                            "SSSP requires a weighted graph".into(),
+                        ));
+                    }
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::F64(algorithms::sssp(g, root, pool, &mut c))
+                }
+            })
+        })();
+        ctx.absorb_trace();
+        let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
         ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {

@@ -38,6 +38,7 @@ use crate::common::frontier::Frontier;
 use crate::common::pool::WorkerPool;
 use crate::platform::{downcast_graph, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
+use crate::trace::IterTimer;
 
 /// Which incident edges a stage visits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,7 @@ pub fn run_gas<P: GasProgram>(
     }
     let fixed = program.fixed_iterations();
     let mut iteration = 0u32;
+    let mut it = IterTimer::new("Superstep", counters);
     loop {
         if let Some(k) = fixed {
             if iteration >= k {
@@ -139,6 +141,7 @@ pub fn run_gas<P: GasProgram>(
         } else if active.is_empty() {
             break;
         }
+        let active_count = active.len();
         counters.supersteps += 1;
         counters.vertices_processed += active.len() as u64;
         let aux = program.compute_aux(&values, csr);
@@ -245,6 +248,7 @@ pub fn run_gas<P: GasProgram>(
         }
         active = next_active;
         iteration += 1;
+        it.lap(counters, |s| s.with_info("active", active_count));
     }
     values
 }
@@ -314,39 +318,44 @@ impl Platform for GasEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
-        let values = match algorithm {
-            Algorithm::Bfs => {
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(run_gas(csr, &BfsGas { root }, pool, &mut c))
-            }
-            Algorithm::PageRank => OutputValues::F64(run_gas(
-                csr,
-                &PageRankGas {
-                    iterations: params.pagerank_iterations,
-                    damping: params.damping_factor,
-                    n: csr.num_vertices() as f64,
-                },
-                pool,
-                &mut c,
-            )),
-            Algorithm::Wcc => OutputValues::Id(run_gas(csr, &WccGas, pool, &mut c)),
-            Algorithm::Cdlp => OutputValues::Id(run_gas(
-                csr,
-                &CdlpGas { iterations: params.cdlp_iterations },
-                pool,
-                &mut c,
-            )),
-            Algorithm::Lcc => OutputValues::F64(streamed_lcc(csr, pool, &mut c)),
-            Algorithm::Sssp => {
-                if !csr.is_weighted() {
-                    return Err(graphalytics_core::Error::InvalidParameters(
-                        "SSSP requires a weighted graph".into(),
-                    ));
+        ctx.begin_trace();
+        let values = (|| -> Result<OutputValues> {
+            Ok(match algorithm {
+                Algorithm::Bfs => {
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::I64(run_gas(csr, &BfsGas { root }, pool, &mut c))
                 }
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(run_gas(csr, &SsspGas { root }, pool, &mut c))
-            }
-        };
+                Algorithm::PageRank => OutputValues::F64(run_gas(
+                    csr,
+                    &PageRankGas {
+                        iterations: params.pagerank_iterations,
+                        damping: params.damping_factor,
+                        n: csr.num_vertices() as f64,
+                    },
+                    pool,
+                    &mut c,
+                )),
+                Algorithm::Wcc => OutputValues::Id(run_gas(csr, &WccGas, pool, &mut c)),
+                Algorithm::Cdlp => OutputValues::Id(run_gas(
+                    csr,
+                    &CdlpGas { iterations: params.cdlp_iterations },
+                    pool,
+                    &mut c,
+                )),
+                Algorithm::Lcc => OutputValues::F64(streamed_lcc(csr, pool, &mut c)),
+                Algorithm::Sssp => {
+                    if !csr.is_weighted() {
+                        return Err(graphalytics_core::Error::InvalidParameters(
+                            "SSSP requires a weighted graph".into(),
+                        ));
+                    }
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::F64(run_gas(csr, &SsspGas { root }, pool, &mut c))
+                }
+            })
+        })();
+        ctx.absorb_trace();
+        let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
         ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
@@ -402,6 +411,7 @@ impl Platform for GasEngine {
 /// intersections without materializing lists.
 fn streamed_lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
+    let mut it = IterTimer::new("Superstep", c);
     c.supersteps += 1;
     c.vertices_processed += n as u64;
     let (values, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut (u64, u64)| {
@@ -434,6 +444,7 @@ fn streamed_lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> 
         c.edges_scanned += edges;
         c.add_messages(contributions, 8);
     }
+    it.lap(c, |s| s.with_info("active", n));
     values
 }
 

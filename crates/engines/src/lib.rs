@@ -42,11 +42,13 @@ pub mod profile;
 pub mod pushpull;
 pub mod sharded;
 pub mod spmv;
+pub mod trace;
 
 pub use platform::{
     all_platforms, platform_by_name, run_once, Execution, LoadedGraph, PhaseRecord, Platform,
     RunContext,
 };
+pub use trace::SpanRecord;
 pub use profile::PerfProfile;
 pub use sharded::{upload_with_shards, ShardLayout, ShardPlan, ShardSet};
 

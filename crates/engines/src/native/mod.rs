@@ -32,6 +32,7 @@ use graphalytics_cluster::WorkCounters;
 use crate::common::pool::{SharedSlice, WorkerPool};
 use crate::platform::{downcast_graph, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
+use crate::trace::IterTimer;
 
 /// The uploaded representation: the bare CSR. OpenG's kernels operate on
 /// the compressed adjacency directly — the upload phase is exactly the
@@ -93,36 +94,41 @@ impl Platform for NativeEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut counters = WorkCounters::new();
-        let values = match algorithm {
-            Algorithm::Bfs => {
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(queue_bfs(csr, root, &mut counters))
-            }
-            Algorithm::PageRank => OutputValues::F64(pull_pagerank(
-                csr,
-                params.pagerank_iterations,
-                params.damping_factor,
-                pool,
-                &mut counters,
-            )),
-            Algorithm::Wcc => OutputValues::Id(union_find_wcc(csr, &mut counters)),
-            Algorithm::Cdlp => OutputValues::Id(sync_cdlp(
-                csr,
-                params.cdlp_iterations,
-                pool,
-                &mut counters,
-            )),
-            Algorithm::Lcc => OutputValues::F64(intersect_lcc(csr, pool, &mut counters)),
-            Algorithm::Sssp => {
-                if !csr.is_weighted() {
-                    return Err(graphalytics_core::Error::InvalidParameters(
-                        "SSSP requires a weighted graph".into(),
-                    ));
+        ctx.begin_trace();
+        let values = (|| -> Result<OutputValues> {
+            Ok(match algorithm {
+                Algorithm::Bfs => {
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::I64(queue_bfs(csr, root, &mut counters))
                 }
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(dijkstra(csr, root, &mut counters))
-            }
-        };
+                Algorithm::PageRank => OutputValues::F64(pull_pagerank(
+                    csr,
+                    params.pagerank_iterations,
+                    params.damping_factor,
+                    pool,
+                    &mut counters,
+                )),
+                Algorithm::Wcc => OutputValues::Id(union_find_wcc(csr, &mut counters)),
+                Algorithm::Cdlp => OutputValues::Id(sync_cdlp(
+                    csr,
+                    params.cdlp_iterations,
+                    pool,
+                    &mut counters,
+                )),
+                Algorithm::Lcc => OutputValues::F64(intersect_lcc(csr, pool, &mut counters)),
+                Algorithm::Sssp => {
+                    if !csr.is_weighted() {
+                        return Err(graphalytics_core::Error::InvalidParameters(
+                            "SSSP requires a weighted graph".into(),
+                        ));
+                    }
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::F64(dijkstra(csr, root, &mut counters))
+                }
+            })
+        })();
+        ctx.absorb_trace();
+        let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
         ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
@@ -193,7 +199,9 @@ fn queue_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
     let mut frontier = vec![root];
     let mut next = Vec::new();
     let mut level = 0i64;
+    let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        let active = frontier.len();
         c.supersteps += 1;
         c.vertices_processed += frontier.len() as u64;
         level += 1;
@@ -209,6 +217,7 @@ fn queue_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
         }
         std::mem::swap(&mut frontier, &mut next);
         next.clear();
+        it.lap(c, |s| s.with_info("active", active));
     }
     depth
 }
@@ -224,6 +233,7 @@ fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c:
     let inv_n = 1.0 / n as f64;
     let mut rank = vec![inv_n; n];
     let mut next = vec![0.0f64; n];
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
@@ -261,6 +271,7 @@ fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c:
         };
         c.edges_scanned += edges;
         std::mem::swap(&mut rank, &mut next);
+        it.lap(c, |s| s.with_info("active", n));
     }
     rank
 }
@@ -301,6 +312,7 @@ fn sync_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters
     type Tally = (u64, std::collections::HashMap<VertexId, u32>);
     let n = csr.num_vertices();
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
@@ -328,6 +340,7 @@ fn sync_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters
             c.random_accesses += edges;
         }
         labels = next;
+        it.lap(c, |s| s.with_info("active", n));
     }
     labels
 }

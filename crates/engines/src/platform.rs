@@ -96,6 +96,11 @@ pub struct RunContext<'a> {
     /// Repetition index of this execution within the job (0-based).
     pub run_index: u64,
     phases: Vec<PhaseRecord>,
+    /// Granula-monitor gate: when true, engines collect per-superstep
+    /// [`SpanRecord`]s during [`Platform::run`]. On by default; the
+    /// harness turns it off when its `MonitorConfig` is disabled.
+    tracing: bool,
+    spans: Vec<crate::trace::SpanRecord>,
 }
 
 impl<'a> RunContext<'a> {
@@ -106,7 +111,51 @@ impl<'a> RunContext<'a> {
 
     /// A context for repetition `run_index`.
     pub fn with_run_index(pool: &'a WorkerPool, run_index: u64) -> Self {
-        RunContext { pool, run_index, phases: Vec::new() }
+        RunContext { pool, run_index, phases: Vec::new(), tracing: true, spans: Vec::new() }
+    }
+
+    /// Enables or disables per-superstep span tracing for runs through
+    /// this context.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+    }
+
+    /// Whether span tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Installs this thread's span collector for one engine execution
+    /// (a no-op collector when tracing is disabled). Pair with
+    /// [`RunContext::absorb_trace`] after the algorithm dispatch; see
+    /// [`crate::trace`].
+    ///
+    /// Deliberately *not* a closure-taking `trace_scope` method: routing
+    /// the dispatch (which holds `&mut WorkCounters`) through a generic
+    /// method on `&mut self` measurably deoptimized the tight sequential
+    /// kernels — pushpull WCC lost ~25% throughput even with tracing
+    /// disabled. Two plain calls around the dispatch keep the optimizer
+    /// out of trouble.
+    pub fn begin_trace(&mut self) {
+        crate::trace::install(self.tracing);
+    }
+
+    /// Uninstalls the span collector and keeps everything the kernels
+    /// recorded since [`RunContext::begin_trace`]. Runs on error paths
+    /// too, so a failed repetition never leaks a live collector.
+    pub fn absorb_trace(&mut self) {
+        self.spans.extend(crate::trace::drain());
+    }
+
+    /// Spans recorded so far, in recording order.
+    pub fn spans(&self) -> &[crate::trace::SpanRecord] {
+        &self.spans
+    }
+
+    /// Drains the recorded spans (the harness folds them into the
+    /// Granula archive after each repetition).
+    pub fn take_spans(&mut self) -> Vec<crate::trace::SpanRecord> {
+        std::mem::take(&mut self.spans)
     }
 
     /// Runs `f`, recording its wall time under `name`.
@@ -392,6 +441,33 @@ mod tests {
         assert_eq!(phases[0].name, "ProcessGraph");
         assert_eq!(phases[1], PhaseRecord { name: "Offload", secs: 0.5 });
         assert!(ctx.phases().is_empty(), "take_phases drains");
+    }
+
+    #[test]
+    fn run_collects_spans_when_tracing_enabled() {
+        let csr = sample_csr();
+        let pool = WorkerPool::inline();
+        let platform = platform_by_name("pregel").unwrap();
+        let loaded = platform.upload(csr, &pool).unwrap();
+        let params = AlgorithmParams::with_source(0);
+
+        let mut ctx = RunContext::new(&pool);
+        assert!(ctx.tracing(), "tracing defaults on");
+        platform.run(loaded.as_ref(), Algorithm::Bfs, &params, &mut ctx).unwrap();
+        let spans = ctx.take_spans();
+        assert!(!spans.is_empty(), "traced run records superstep spans");
+        for span in &spans {
+            assert_eq!(span.name, "Superstep");
+            assert!(span.infos.iter().any(|(k, _)| k == "index"));
+            assert!(span.infos.iter().any(|(k, _)| k == "active"));
+            assert!(span.infos.iter().any(|(k, _)| k == "messages"));
+        }
+
+        let mut quiet = RunContext::new(&pool);
+        quiet.set_tracing(false);
+        platform.run(loaded.as_ref(), Algorithm::Bfs, &params, &mut quiet).unwrap();
+        assert!(quiet.spans().is_empty(), "disabled tracing collects nothing");
+        platform.delete(loaded);
     }
 
     #[test]

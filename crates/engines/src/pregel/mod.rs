@@ -38,6 +38,7 @@ use crate::common::pool::{SharedSlice, WorkerPool};
 use crate::platform::{Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
 use crate::sharded::{ShardPlan, ShardSet};
+use crate::trace::IterTimer;
 
 pub use programs::{BfsProgram, CdlpProgram, LccMessage, LccProgram, PageRankProgram, SsspProgram, WccProgram};
 pub use sharded::{run_pregel_sharded, PregelShardedGraph};
@@ -175,7 +176,10 @@ pub fn run_pregel<P: VertexProgram>(
     let msg_bytes = program.message_bytes();
 
     let mut superstep = 0u64;
+    let mut it = IterTimer::new("Superstep", counters);
     loop {
+        let active_count =
+            if it.is_enabled() { active.iter().filter(|&&a| a).count() } else { 0 };
         counters.supersteps += 1;
         // The partition store iterates every vertex to test activity.
         counters.vertices_processed += n as u64;
@@ -229,6 +233,7 @@ pub fn run_pregel<P: VertexProgram>(
         aggregate = agg_contrib.iter().sum();
 
         superstep += 1;
+        it.lap(counters, |s| s.with_info("active", active_count));
         let any_active = active.iter().any(|&a| a);
         if (!any_active && !any_messages) || superstep >= program.max_supersteps() {
             break;
@@ -370,35 +375,40 @@ impl Platform for PregelEngine {
         let csr = exec.csr();
         let start = Instant::now();
         let mut counters = WorkCounters::new();
-        let values = match algorithm {
-            Algorithm::Bfs => {
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(exec.run(&BfsProgram { root }, &mut counters))
-            }
-            Algorithm::PageRank => OutputValues::F64(exec.run(
-                &PageRankProgram {
-                    iterations: params.pagerank_iterations,
-                    damping: params.damping_factor,
-                    n: csr.num_vertices() as f64,
-                },
-                &mut counters,
-            )),
-            Algorithm::Wcc => OutputValues::Id(exec.run(&WccProgram, &mut counters)),
-            Algorithm::Cdlp => OutputValues::Id(exec.run(
-                &CdlpProgram { iterations: params.cdlp_iterations },
-                &mut counters,
-            )),
-            Algorithm::Lcc => OutputValues::F64(exec.run(&LccProgram, &mut counters)),
-            Algorithm::Sssp => {
-                if !csr.is_weighted() {
-                    return Err(graphalytics_core::Error::InvalidParameters(
-                        "SSSP requires a weighted graph".into(),
-                    ));
+        ctx.begin_trace();
+        let values = (|| -> Result<OutputValues> {
+            Ok(match algorithm {
+                Algorithm::Bfs => {
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::I64(exec.run(&BfsProgram { root }, &mut counters))
                 }
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(exec.run(&SsspProgram { root }, &mut counters))
-            }
-        };
+                Algorithm::PageRank => OutputValues::F64(exec.run(
+                    &PageRankProgram {
+                        iterations: params.pagerank_iterations,
+                        damping: params.damping_factor,
+                        n: csr.num_vertices() as f64,
+                    },
+                    &mut counters,
+                )),
+                Algorithm::Wcc => OutputValues::Id(exec.run(&WccProgram, &mut counters)),
+                Algorithm::Cdlp => OutputValues::Id(exec.run(
+                    &CdlpProgram { iterations: params.cdlp_iterations },
+                    &mut counters,
+                )),
+                Algorithm::Lcc => OutputValues::F64(exec.run(&LccProgram, &mut counters)),
+                Algorithm::Sssp => {
+                    if !csr.is_weighted() {
+                        return Err(graphalytics_core::Error::InvalidParameters(
+                            "SSSP requires a weighted graph".into(),
+                        ));
+                    }
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::F64(exec.run(&SsspProgram { root }, &mut counters))
+                }
+            })
+        })();
+        ctx.absorb_trace();
+        let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
         ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {

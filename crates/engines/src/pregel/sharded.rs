@@ -18,12 +18,15 @@
 //! [`WorkCounters::inter_shard_messages`]/`inter_shard_bytes` while all
 //! base counters keep their single-shard values.
 
+use std::time::Instant;
+
 use graphalytics_cluster::WorkCounters;
 use graphalytics_core::Csr;
 
 use crate::common::pool::SharedSlice;
 use crate::platform::LoadedGraph;
 use crate::sharded::{ShardLayout, ShardSet};
+use crate::trace::{self, IterTimer, SpanRecord};
 
 use super::{run_pregel, ComputeCtx, VertexProgram};
 
@@ -100,7 +103,14 @@ pub fn run_pregel_sharded<P: VertexProgram>(
     let msg_bytes = program.message_bytes();
 
     let mut superstep = 0u64;
+    // Captured once on the caller thread: the superstep loop runs here,
+    // so shard drivers time themselves and report back instead of
+    // touching the (thread-local) collector.
+    let tracing = trace::active();
+    let mut it = IterTimer::new("Superstep", counters);
     loop {
+        let active_count =
+            if tracing { active.iter().filter(|&&a| a).count() } else { 0 };
         counters.supersteps += 1;
         // Every shard's partition store scans all its owned vertices:
         // collectively |V| per superstep, as in the single-shard loop.
@@ -115,13 +125,14 @@ pub fn run_pregel_sharded<P: VertexProgram>(
         // shard's owned vertices on the shard's own pool. Shards touch
         // disjoint vertex sets, so the SharedSlice writes are race-free
         // across shards exactly as across pool workers.
-        let shard_outputs: Vec<Vec<WorkerOut<P::Message>>> = std::thread::scope(|scope| {
+        let shard_outputs: Vec<(f64, Vec<WorkerOut<P::Message>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let shard = sharded.shard(s);
                     let pool = &pools[s];
                     scope.spawn(move || {
-                        pool.run(shard.len(), |_, lrange| {
+                        let compute_t = tracing.then(Instant::now);
+                        let outs = pool.run(shard.len(), |_, lrange| {
                             let mut ctx = ComputeCtx::with_size_tracking(msg_bytes);
                             let mut tagged = Vec::new();
                             for li in lrange {
@@ -162,7 +173,10 @@ pub fn run_pregel_sharded<P: VertexProgram>(
                                 random_accesses: ctx.random_accesses,
                                 message_bytes: ctx.message_bytes,
                             }
-                        })
+                        });
+                        let secs =
+                            compute_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+                        (secs, outs)
                     })
                 })
                 .collect();
@@ -175,12 +189,17 @@ pub fn run_pregel_sharded<P: VertexProgram>(
             inbox.clear();
         }
         let mut in_flight: Vec<(u32, u32, P::Message, u64)> = Vec::new();
-        for (s, workers) in shard_outputs.into_iter().enumerate() {
+        let mut shard_spans: Vec<SpanRecord> = Vec::new();
+        for (s, (compute_secs, workers)) in shard_outputs.into_iter().enumerate() {
+            let mut shard_messages = 0u64;
+            let mut shard_edges = 0u64;
             for out in workers {
                 counters.edges_scanned += out.edges_scanned;
                 counters.random_accesses += out.random_accesses;
                 counters.messages += out.tagged.len() as u64;
                 counters.message_bytes += out.message_bytes;
+                shard_edges += out.edges_scanned;
+                shard_messages += out.tagged.len() as u64;
                 for (sender, target, msg, bytes) in out.tagged {
                     if owner[target as usize] != s as u32 {
                         counters.inter_shard_messages += 1;
@@ -189,8 +208,18 @@ pub fn run_pregel_sharded<P: VertexProgram>(
                     in_flight.push((sender, target, msg, bytes));
                 }
             }
+            if tracing {
+                shard_spans.push(
+                    SpanRecord::new("Shard", compute_secs)
+                        .with_info("shard", s)
+                        .with_info("messages", shard_messages)
+                        .with_info("edges_scanned", shard_edges),
+                );
+            }
         }
         let any_messages = !in_flight.is_empty();
+        let queue_depth = in_flight.len();
+        let drain_t = tracing.then(Instant::now);
         // Deliver sorted by (target, sender), stable: each inbox ends up
         // in ascending-sender order with per-sender send order preserved
         // — exactly the single-shard delivery order.
@@ -198,10 +227,19 @@ pub fn run_pregel_sharded<P: VertexProgram>(
         for (_, target, msg, _) in in_flight {
             inboxes[target as usize].push(msg);
         }
+        let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
         // Canonical aggregate, identical to run_pregel's barrier.
         aggregate = agg_contrib.iter().sum();
 
         superstep += 1;
+        it.lap(counters, |mut span| {
+            for child in shard_spans {
+                span = span.with_child(child);
+            }
+            span.with_info("active", active_count)
+                .with_info("queue_depth", queue_depth)
+                .with_info("drain_secs", format!("{drain_secs:.9}"))
+        });
         let any_active = active.iter().any(|&a| a);
         if (!any_active && !any_messages) || superstep >= program.max_supersteps() {
             break;
@@ -247,6 +285,32 @@ mod tests {
             assert!(c.inter_shard_messages <= c.messages);
             assert!(c.inter_shard_bytes > 0);
         }
+    }
+
+    #[test]
+    fn sharded_supersteps_carry_per_shard_spans() {
+        let csr = csr();
+        let pool = WorkerPool::new(2);
+        let set = ShardSet::build(csr, &ShardPlan::new(2), &pool).unwrap();
+        let program = super::super::BfsProgram { root: 0 };
+        trace::install(true);
+        let mut c = WorkCounters::new();
+        let _ = run_pregel_sharded(&set, &program, &mut c);
+        let spans = crate::trace::drain();
+        assert_eq!(spans.len() as u64, c.supersteps);
+        for span in &spans {
+            assert_eq!(span.name, "Superstep");
+            assert_eq!(span.children.len(), 2, "one child per shard");
+            assert!(span.children.iter().all(|ch| ch.name == "Shard"));
+            let keys: Vec<&str> = span.infos.iter().map(|(k, _)| k.as_str()).collect();
+            for key in ["index", "messages", "edges_scanned", "active", "queue_depth", "drain_secs"] {
+                assert!(keys.contains(&key), "missing info {key}");
+            }
+        }
+        // Some superstep moved messages between shards.
+        assert!(spans.iter().any(|s| {
+            s.infos.iter().any(|(k, v)| k == "queue_depth" && v != "0")
+        }));
     }
 
     #[test]

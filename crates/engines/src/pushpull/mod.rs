@@ -32,6 +32,7 @@ use crate::common::pool::WorkerPool;
 use crate::platform::{unsupported, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
 use crate::sharded::ShardPlan;
+use crate::trace::IterTimer;
 
 pub use sharded::PushPullShardedGraph;
 
@@ -211,32 +212,37 @@ impl Platform for PushPullEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
-        let values = match algorithm {
-            Algorithm::Bfs => {
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(exec.bfs(root, &mut c))
-            }
-            Algorithm::PageRank => OutputValues::F64(exec.pagerank(
-                params.pagerank_iterations,
-                params.damping_factor,
-                pool,
-                &mut c,
-            )),
-            Algorithm::Wcc => OutputValues::Id(exec.wcc(&mut c)),
-            Algorithm::Cdlp => {
-                OutputValues::Id(exec.cdlp(params.cdlp_iterations, pool, &mut c))
-            }
-            Algorithm::Lcc => return Err(unsupported(self.name(), algorithm)),
-            Algorithm::Sssp => {
-                if !csr.is_weighted() {
-                    return Err(graphalytics_core::Error::InvalidParameters(
-                        "SSSP requires a weighted graph".into(),
-                    ));
+        ctx.begin_trace();
+        let values = (|| -> Result<OutputValues> {
+            Ok(match algorithm {
+                Algorithm::Bfs => {
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::I64(exec.bfs(root, &mut c))
                 }
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(exec.sssp(root, &mut c))
-            }
-        };
+                Algorithm::PageRank => OutputValues::F64(exec.pagerank(
+                    params.pagerank_iterations,
+                    params.damping_factor,
+                    pool,
+                    &mut c,
+                )),
+                Algorithm::Wcc => OutputValues::Id(exec.wcc(&mut c)),
+                Algorithm::Cdlp => {
+                    OutputValues::Id(exec.cdlp(params.cdlp_iterations, pool, &mut c))
+                }
+                Algorithm::Lcc => return Err(unsupported(self.name(), algorithm)),
+                Algorithm::Sssp => {
+                    if !csr.is_weighted() {
+                        return Err(graphalytics_core::Error::InvalidParameters(
+                            "SSSP requires a weighted graph".into(),
+                        ));
+                    }
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::F64(exec.sssp(root, &mut c))
+                }
+            })
+        })();
+        ctx.absorb_trace();
+        let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
         ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
@@ -297,13 +303,29 @@ impl Platform for PushPullEngine {
 
 /// Direction-optimizing BFS: push while the frontier is sparse, pull
 /// (scan undecided vertices' in-edges) once it is dense.
+///
+/// Like [`pushpull_wcc`], dispatches on the tracing state outside the
+/// kernel: this is the hottest loop in the suite, and trace hooks in
+/// the body cost ~35% even when disabled.
 fn direction_optimizing_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
+    if crate::trace::active() {
+        bfs_kernel::<true>(csr, root, c)
+    } else {
+        bfs_kernel::<false>(csr, root, c)
+    }
+}
+
+#[inline(never)]
+fn bfs_kernel<const TRACED: bool>(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
     let n = csr.num_vertices();
     let mut depth = vec![i64::MAX; n];
     depth[root as usize] = 0;
     let mut frontier = Frontier::singleton(n, root);
     let mut level = 0i64;
+    let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
     while !frontier.is_empty() {
+        let active = frontier.len();
+        let pulled = frontier.density() >= PULL_THRESHOLD;
         c.supersteps += 1;
         level += 1;
         let mut next = Frontier::new(n);
@@ -341,6 +363,14 @@ fn direction_optimizing_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i
             }
         }
         frontier = next;
+        if TRACED {
+            if let Some(it) = it.as_mut() {
+                it.lap(c, |s| {
+                    s.with_info("active", active)
+                        .with_info("mode", if pulled { "pull" } else { "push" })
+                });
+            }
+        }
     }
     depth
 }
@@ -362,6 +392,7 @@ fn pull_pagerank(
     }
     let inv_n = 1.0 / n as f64;
     let mut rank = vec![inv_n; n];
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
@@ -382,42 +413,72 @@ fn pull_pagerank(
             c.edges_scanned += edges;
         }
         rank = next;
+        it.lap(c, |s| s.with_info("active", n));
     }
     rank
 }
 
 /// WCC: push rounds on the shrinking active set, with messages.
+///
+/// Dispatches on the tracing state *outside* the kernel: the per-edge
+/// loop is sensitive enough that merely having the trace hooks in the
+/// function body deoptimizes it ~2x even when they never run, so the
+/// untraced instantiation must contain no trace code at all.
 fn pushpull_wcc(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
+    if crate::trace::active() {
+        wcc_kernel::<true>(csr, c)
+    } else {
+        wcc_kernel::<false>(csr, c)
+    }
+}
+
+fn wcc_kernel<const TRACED: bool>(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
     let n = csr.num_vertices();
     let mut label: Vec<u32> = (0..n as u32).collect();
     let mut active = Frontier::new(n);
     for v in 0..n as u32 {
         active.insert(v);
     }
+    let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
     while !active.is_empty() {
         c.supersteps += 1;
         c.vertices_processed += active.len() as u64;
         let mut next = Frontier::new(n);
+        // Accumulate the per-edge tallies in a register and flush once
+        // per superstep: three counter read-modify-writes per traversed
+        // edge would dominate this loop (every push is exactly one
+        // 8-byte message, so one count covers all three counters).
+        let mut edges = 0u64;
         for &u in active.members() {
             let lu = label[u as usize];
-            let push = |v: u32, label: &mut Vec<u32>, next: &mut Frontier, c: &mut WorkCounters| {
-                c.edges_scanned += 1;
-                c.add_messages(1, 8);
+            let push = |v: u32, label: &mut Vec<u32>, next: &mut Frontier| {
                 if lu < label[v as usize] {
                     label[v as usize] = lu;
                     next.insert(v);
                 }
             };
-            for &v in csr.out_neighbors(u) {
-                push(v, &mut label, &mut next, c);
+            let out = csr.out_neighbors(u);
+            edges += out.len() as u64;
+            for &v in out {
+                push(v, &mut label, &mut next);
             }
             if csr.is_directed() {
-                for &v in csr.in_neighbors(u) {
-                    push(v, &mut label, &mut next, c);
+                let inn = csr.in_neighbors(u);
+                edges += inn.len() as u64;
+                for &v in inn {
+                    push(v, &mut label, &mut next);
                 }
             }
         }
+        c.edges_scanned += edges;
+        c.add_messages(edges, 8);
+        let active_count = active.len();
         active = next;
+        if TRACED {
+            if let Some(it) = it.as_mut() {
+                it.lap(c, |s| s.with_info("active", active_count));
+            }
+        }
     }
     label.into_iter().map(|l| csr.id_of(l)).collect()
 }
@@ -427,6 +488,7 @@ fn pull_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters
     type Tally = (u64, std::collections::HashMap<VertexId, u32>);
     let n = csr.num_vertices();
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
@@ -454,6 +516,7 @@ fn pull_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters
             c.random_accesses += edges;
         }
         labels = next;
+        it.lap(c, |s| s.with_info("active", n));
     }
     labels
 }
@@ -464,7 +527,9 @@ fn push_sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; n];
     dist[root as usize] = 0.0;
     let mut active = Frontier::singleton(n, root);
+    let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
+        let active_count = active.len();
         c.supersteps += 1;
         c.vertices_processed += active.len() as u64;
         let mut next = Frontier::new(n);
@@ -483,6 +548,7 @@ fn push_sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<f64> {
             }
         }
         active = next;
+        it.lap(c, |s| s.with_info("active", active_count));
     }
     dist
 }

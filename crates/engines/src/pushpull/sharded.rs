@@ -29,6 +29,8 @@
 //! in the single-shard kernels), so `inter_shard_messages` remains a
 //! subset of `messages`.
 
+use std::time::Instant;
+
 use graphalytics_cluster::WorkCounters;
 use graphalytics_core::{Csr, VertexId};
 
@@ -36,8 +38,43 @@ use crate::common::frontier::Frontier;
 use crate::common::pool::SharedSlice;
 use crate::platform::LoadedGraph;
 use crate::sharded::{ShardLayout, ShardSet};
+use crate::trace::{self, IterTimer, SpanRecord};
 
 use super::PULL_THRESHOLD;
+
+/// Per-shard pull-phase output: shard wall seconds plus each worker's
+/// (newly found vertices, edges scanned) tallies.
+type PullOutputs = Vec<(f64, Vec<(Vec<u32>, u64)>)>;
+
+/// Times one shard driver's compute when tracing is on; `0.0` otherwise.
+fn timed<T>(tracing: bool, f: impl FnOnce() -> T) -> (f64, T) {
+    let t = tracing.then(Instant::now);
+    let out = f();
+    (t.map_or(0.0, |t| t.elapsed().as_secs_f64()), out)
+}
+
+/// Closes one sharded superstep span: per-shard compute children plus the
+/// inter-shard queue depth and barrier drain time.
+#[allow(clippy::too_many_arguments)]
+fn lap_sharded(
+    it: &mut IterTimer,
+    c: &WorkCounters,
+    active: usize,
+    shard_secs: Vec<f64>,
+    queue_depth: usize,
+    drain_secs: f64,
+    mode: &'static str,
+) {
+    it.lap(c, |mut span| {
+        for (s, secs) in shard_secs.into_iter().enumerate() {
+            span = span.with_child(SpanRecord::new("Shard", secs).with_info("shard", s));
+        }
+        span.with_info("active", active)
+            .with_info("mode", mode)
+            .with_info("queue_depth", queue_depth)
+            .with_info("drain_secs", format!("{drain_secs:.9}"))
+    });
+}
 
 /// The sharded uploaded representation: per-shard dual-direction
 /// adjacency plus the global cached out-degree table (pull iterations
@@ -118,7 +155,10 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
     depth[root as usize] = 0;
     let mut frontier = Frontier::singleton(n, root);
     let mut level = 0i64;
+    let tracing = trace::active();
+    let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        let active = frontier.len();
         c.supersteps += 1;
         level += 1;
         let mut next = Frontier::new(n);
@@ -128,14 +168,14 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
             c.vertices_processed += frontier.len() as u64;
             let owned = route(frontier.members(), owner, shards);
             let depth_ref = &depth;
-            let outputs: Vec<Vec<PushOut<()>>> = std::thread::scope(|scope| {
+            let outputs: Vec<(f64, Vec<PushOut<()>>)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..shards)
                     .map(|s| {
                         let shard = sharded.shard(s);
                         let mine = owned[s].as_slice();
                         let pool = &pools[s];
                         scope.spawn(move || {
-                            pool.run(mine.len(), |_, range| {
+                            timed(tracing, || pool.run(mine.len(), |_, range| {
                                 let mut out =
                                     PushOut { msgs: Vec::new(), edges: 0, inter: 0 };
                                 for &u in &mine[range] {
@@ -152,37 +192,46 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
                                     }
                                 }
                                 out
-                            })
+                            }))
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
             });
-            for out in outputs.into_iter().flatten() {
-                c.edges_scanned += out.edges;
-                c.add_messages(out.edges, 8);
-                c.inter_shard_messages += out.inter;
-                c.inter_shard_bytes += 8 * out.inter;
-                for (v, ()) in out.msgs {
-                    if depth[v as usize] == i64::MAX {
-                        depth[v as usize] = level;
-                        next.insert(v);
+            let mut shard_secs = Vec::with_capacity(shards);
+            let mut queue_depth = 0usize;
+            let drain_t = tracing.then(Instant::now);
+            for (secs, outs) in outputs {
+                shard_secs.push(secs);
+                for out in outs {
+                    queue_depth += out.msgs.len();
+                    c.edges_scanned += out.edges;
+                    c.add_messages(out.edges, 8);
+                    c.inter_shard_messages += out.inter;
+                    c.inter_shard_bytes += 8 * out.inter;
+                    for (v, ()) in out.msgs {
+                        if depth[v as usize] == i64::MAX {
+                            depth[v as usize] = level;
+                            next.insert(v);
+                        }
                     }
                 }
             }
+            let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            lap_sharded(&mut it, c, active, shard_secs, queue_depth, drain_secs, "push");
         } else {
             // Pull: each shard scans its own undecided vertices' in-rows
             // (early exit) and writes only owned depth slots.
             c.vertices_processed += n as u64;
             let depth_ptr = SharedSlice::new(depth.as_mut_ptr());
             let frontier_ref = &frontier;
-            let outputs: Vec<Vec<(Vec<u32>, u64)>> = std::thread::scope(|scope| {
+            let outputs: PullOutputs = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..shards)
                     .map(|s| {
                         let shard = sharded.shard(s);
                         let pool = &pools[s];
                         scope.spawn(move || {
-                            pool.run(shard.len(), |_, lrange| {
+                            timed(tracing, || pool.run(shard.len(), |_, lrange| {
                                 let mut found = Vec::new();
                                 let mut edges = 0u64;
                                 for li in lrange {
@@ -204,19 +253,27 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
                                     }
                                 }
                                 (found, edges)
-                            })
+                            }))
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
             });
-            for (found, edges) in outputs.into_iter().flatten() {
-                c.edges_scanned += edges;
-                c.random_accesses += edges;
-                for v in found {
-                    next.insert(v);
+            let mut shard_secs = Vec::with_capacity(shards);
+            let drain_t = tracing.then(Instant::now);
+            for (secs, outs) in outputs {
+                shard_secs.push(secs);
+                for (found, edges) in outs {
+                    c.edges_scanned += edges;
+                    c.random_accesses += edges;
+                    for v in found {
+                        next.insert(v);
+                    }
                 }
             }
+            let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            // Pull rounds read remotely instead of queueing messages.
+            lap_sharded(&mut it, c, active, shard_secs, 0, drain_secs, "pull");
         }
         frontier = next;
     }
@@ -243,6 +300,8 @@ pub(super) fn sharded_pagerank(
     let inv_n = 1.0 / n as f64;
     let mut rank = vec![inv_n; n];
     let mut next = vec![0.0f64; n];
+    let tracing = trace::active();
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
@@ -250,13 +309,13 @@ pub(super) fn sharded_pagerank(
         let dangling: f64 = (0..n).filter(|&u| degrees[u] == 0).map(|u| rank_ref[u]).sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
         let next_ptr = SharedSlice::new(next.as_mut_ptr());
-        let edge_counts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let edge_counts: Vec<(f64, Vec<u64>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let shard = sharded.shard(s);
                     let pool = &pools[s];
                     scope.spawn(move || {
-                        pool.run(shard.len(), |_, lrange| {
+                        timed(tracing, || pool.run(shard.len(), |_, lrange| {
                             let mut edges = 0u64;
                             for li in lrange {
                                 let v = shard.global(li) as usize;
@@ -271,16 +330,23 @@ pub(super) fn sharded_pagerank(
                                 unsafe { *next_ptr.at(v) = base + damping * sum };
                             }
                             edges
-                        })
+                        }))
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
         });
-        for edges in edge_counts.into_iter().flatten() {
-            c.edges_scanned += edges;
+        let mut shard_secs = Vec::with_capacity(shards);
+        let drain_t = tracing.then(Instant::now);
+        for (secs, counts) in edge_counts {
+            shard_secs.push(secs);
+            for edges in counts {
+                c.edges_scanned += edges;
+            }
         }
         std::mem::swap(&mut rank, &mut next);
+        let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        lap_sharded(&mut it, c, n, shard_secs, 0, drain_secs, "pull");
     }
     rank
 }
@@ -298,19 +364,22 @@ pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec
 
     let mut label: Vec<u32> = (0..n as u32).collect();
     let mut active: Vec<u32> = (0..n as u32).collect();
+    let tracing = trace::active();
+    let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
+        let active_count = active.len();
         c.supersteps += 1;
         c.vertices_processed += active.len() as u64;
         let owned = route(&active, owner, shards);
         let label_ref = &label;
-        let outputs: Vec<Vec<PushOut<u32>>> = std::thread::scope(|scope| {
+        let outputs: Vec<(f64, Vec<PushOut<u32>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let shard = sharded.shard(s);
                     let mine = owned[s].as_slice();
                     let pool = &pools[s];
                     scope.spawn(move || {
-                        pool.run(mine.len(), |_, range| {
+                        timed(tracing, || pool.run(mine.len(), |_, range| {
                             let mut out = PushOut { msgs: Vec::new(), edges: 0, inter: 0 };
                             for &u in &mine[range] {
                                 let lu = label_ref[u as usize];
@@ -332,26 +401,35 @@ pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec
                                 }
                             }
                             out
-                        })
+                        }))
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
         });
         let mut next = Frontier::new(n);
-        for out in outputs.into_iter().flatten() {
-            c.edges_scanned += out.edges;
-            c.add_messages(out.edges, 8);
-            c.inter_shard_messages += out.inter;
-            c.inter_shard_bytes += 8 * out.inter;
-            for (v, l) in out.msgs {
-                if l < label[v as usize] {
-                    label[v as usize] = l;
-                    next.insert(v);
+        let mut shard_secs = Vec::with_capacity(shards);
+        let mut queue_depth = 0usize;
+        let drain_t = tracing.then(Instant::now);
+        for (secs, outs) in outputs {
+            shard_secs.push(secs);
+            for out in outs {
+                queue_depth += out.msgs.len();
+                c.edges_scanned += out.edges;
+                c.add_messages(out.edges, 8);
+                c.inter_shard_messages += out.inter;
+                c.inter_shard_bytes += 8 * out.inter;
+                for (v, l) in out.msgs {
+                    if l < label[v as usize] {
+                        label[v as usize] = l;
+                        next.insert(v);
+                    }
                 }
             }
         }
         active = next.members().to_vec();
+        let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        lap_sharded(&mut it, c, active_count, shard_secs, queue_depth, drain_secs, "push");
     }
     label.into_iter().map(|l| csr.id_of(l)).collect()
 }
@@ -372,18 +450,20 @@ pub(super) fn sharded_cdlp(
 
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     let mut next: Vec<VertexId> = vec![0; n];
+    let tracing = trace::active();
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;
         let next_ptr = SharedSlice::new(next.as_mut_ptr());
-        let edge_counts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let edge_counts: Vec<(f64, Vec<u64>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let shard = sharded.shard(s);
                     let pool = &pools[s];
                     scope.spawn(move || {
-                        pool.run(shard.len(), |_, lrange| {
+                        timed(tracing, || pool.run(shard.len(), |_, lrange| {
                             let mut freq =
                                 std::collections::HashMap::<VertexId, u32>::new();
                             let mut edges = 0u64;
@@ -409,17 +489,24 @@ pub(super) fn sharded_cdlp(
                                 unsafe { *next_ptr.at(v) = l };
                             }
                             edges
-                        })
+                        }))
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
         });
-        for edges in edge_counts.into_iter().flatten() {
-            c.edges_scanned += edges;
-            c.random_accesses += edges;
+        let mut shard_secs = Vec::with_capacity(shards);
+        let drain_t = tracing.then(Instant::now);
+        for (secs, counts) in edge_counts {
+            shard_secs.push(secs);
+            for edges in counts {
+                c.edges_scanned += edges;
+                c.random_accesses += edges;
+            }
         }
         std::mem::swap(&mut labels, &mut next);
+        let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        lap_sharded(&mut it, c, n, shard_secs, 0, drain_secs, "pull");
     }
     labels
 }
@@ -437,19 +524,22 @@ pub(super) fn sharded_sssp(g: &PushPullShardedGraph, root: u32, c: &mut WorkCoun
     let mut dist = vec![f64::INFINITY; n];
     dist[root as usize] = 0.0;
     let mut active = vec![root];
+    let tracing = trace::active();
+    let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
+        let active_count = active.len();
         c.supersteps += 1;
         c.vertices_processed += active.len() as u64;
         let owned = route(&active, owner, shards);
         let dist_ref = &dist;
-        let outputs: Vec<Vec<PushOut<f64>>> = std::thread::scope(|scope| {
+        let outputs: Vec<(f64, Vec<PushOut<f64>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let shard = sharded.shard(s);
                     let mine = owned[s].as_slice();
                     let pool = &pools[s];
                     scope.spawn(move || {
-                        pool.run(mine.len(), |_, range| {
+                        timed(tracing, || pool.run(mine.len(), |_, range| {
                             let mut out = PushOut { msgs: Vec::new(), edges: 0, inter: 0 };
                             for &u in &mine[range] {
                                 let du = dist_ref[u as usize];
@@ -467,26 +557,35 @@ pub(super) fn sharded_sssp(g: &PushPullShardedGraph, root: u32, c: &mut WorkCoun
                                 }
                             }
                             out
-                        })
+                        }))
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
         });
         let mut next = Frontier::new(n);
-        for out in outputs.into_iter().flatten() {
-            c.edges_scanned += out.edges;
-            c.add_messages(out.edges, 12);
-            c.inter_shard_messages += out.inter;
-            c.inter_shard_bytes += 12 * out.inter;
-            for (v, nd) in out.msgs {
-                if nd < dist[v as usize] {
-                    dist[v as usize] = nd;
-                    next.insert(v);
+        let mut shard_secs = Vec::with_capacity(shards);
+        let mut queue_depth = 0usize;
+        let drain_t = tracing.then(Instant::now);
+        for (secs, outs) in outputs {
+            shard_secs.push(secs);
+            for out in outs {
+                queue_depth += out.msgs.len();
+                c.edges_scanned += out.edges;
+                c.add_messages(out.edges, 12);
+                c.inter_shard_messages += out.inter;
+                c.inter_shard_bytes += 12 * out.inter;
+                for (v, nd) in out.msgs {
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        next.insert(v);
+                    }
                 }
             }
         }
         active = next.members().to_vec();
+        let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        lap_sharded(&mut it, c, active_count, shard_secs, queue_depth, drain_secs, "push");
     }
     dist
 }

@@ -30,6 +30,7 @@ use crate::common::frontier::Frontier;
 use crate::common::pool::WorkerPool;
 use crate::platform::{downcast_graph, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
+use crate::trace::IterTimer;
 
 /// A semiring-style kernel for one sparse iteration.
 ///
@@ -235,31 +236,38 @@ impl Platform for SpmvEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
-        let values = match algorithm {
-            Algorithm::Bfs => {
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::I64(bfs(csr, root, &mut c))
-            }
-            Algorithm::PageRank => OutputValues::F64(pagerank(
-                loaded,
-                params.pagerank_iterations,
-                params.damping_factor,
-                pool,
-                &mut c,
-            )),
-            Algorithm::Wcc => OutputValues::Id(wcc(csr, &mut c)),
-            Algorithm::Cdlp => OutputValues::Id(cdlp(csr, params.cdlp_iterations, pool, &mut c)),
-            Algorithm::Lcc => OutputValues::F64(lcc(csr, pool, &mut c)),
-            Algorithm::Sssp => {
-                if !csr.is_weighted() {
-                    return Err(graphalytics_core::Error::InvalidParameters(
-                        "SSSP requires a weighted graph".into(),
-                    ));
+        ctx.begin_trace();
+        let values = (|| -> Result<OutputValues> {
+            Ok(match algorithm {
+                Algorithm::Bfs => {
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::I64(bfs(csr, root, &mut c))
                 }
-                let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                OutputValues::F64(sssp(csr, root, &mut c))
-            }
-        };
+                Algorithm::PageRank => OutputValues::F64(pagerank(
+                    loaded,
+                    params.pagerank_iterations,
+                    params.damping_factor,
+                    pool,
+                    &mut c,
+                )),
+                Algorithm::Wcc => OutputValues::Id(wcc(csr, &mut c)),
+                Algorithm::Cdlp => {
+                    OutputValues::Id(cdlp(csr, params.cdlp_iterations, pool, &mut c))
+                }
+                Algorithm::Lcc => OutputValues::F64(lcc(csr, pool, &mut c)),
+                Algorithm::Sssp => {
+                    if !csr.is_weighted() {
+                        return Err(graphalytics_core::Error::InvalidParameters(
+                            "SSSP requires a weighted graph".into(),
+                        ));
+                    }
+                    let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
+                    OutputValues::F64(sssp(csr, root, &mut c))
+                }
+            })
+        })();
+        ctx.absorb_trace();
+        let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
         ctx.record_phase("ProcessGraph", wall_seconds);
         Ok(Execution {
@@ -316,7 +324,9 @@ fn bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
     dist[root as usize] = 0.0;
     let mut frontier = Frontier::singleton(n, root);
     let kernel = MinPlus;
+    let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        let active = frontier.len();
         c.supersteps += 1;
         c.vertices_processed += n as u64; // dense vector pass per iteration
         // Hop counting: weight 1 per edge regardless of stored weights.
@@ -340,6 +350,7 @@ fn bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
             }
         }
         frontier = next;
+        it.lap(c, |s| s.with_info("active", active));
     }
     dist.into_iter().map(|d| if d.is_finite() { d as i64 } else { i64::MAX }).collect()
 }
@@ -361,6 +372,7 @@ fn pagerank(
     }
     let inv_n = 1.0 / n as f64;
     let mut rank = vec![inv_n; n];
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         let dangling: f64 =
@@ -368,6 +380,7 @@ fn pagerank(
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
         let sums = spmv_dense(csr, &RankSpread, &rank, degrees, pool, c);
         rank = sums.into_iter().map(|s| base + damping * s).collect();
+        it.lap(c, |s| s.with_info("active", n));
     }
     rank
 }
@@ -377,6 +390,7 @@ fn wcc(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
     let n = csr.num_vertices();
     // Work over dense indices; convert to min-id labels at the end.
     let mut label: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut it = IterTimer::new("Iteration", c);
     loop {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
@@ -403,6 +417,7 @@ fn wcc(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
             }
         }
         label = next;
+        it.lap(c, |s| s.with_info("active", n));
         if !changed {
             break;
         }
@@ -417,6 +432,7 @@ fn cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> 
     type Tally = (u64, std::collections::HashMap<VertexId, u32>);
     let n = csr.num_vertices();
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
+    let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
         c.supersteps += 1;
         c.vertices_processed += n as u64;
@@ -445,6 +461,7 @@ fn cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> 
             c.add_messages(edges, 8);
         }
         labels = next;
+        it.lap(c, |s| s.with_info("active", n));
     }
     labels
 }
@@ -453,6 +470,7 @@ fn cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> 
 /// work counted as SpGEMM non-zeros.
 fn lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
+    let mut it = IterTimer::new("Iteration", c);
     c.supersteps += 1;
     c.vertices_processed += n as u64;
     let (values, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut (u64, u64)| {
@@ -486,6 +504,7 @@ fn lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
         c.edges_scanned += edges;
         c.add_messages(products, 12);
     }
+    it.lap(c, |s| s.with_info("active", n));
     values
 }
 
@@ -495,7 +514,9 @@ fn sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; n];
     dist[root as usize] = 0.0;
     let mut frontier = Frontier::singleton(n, root);
+    let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        let active = frontier.len();
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let products = spmspv(csr, &MinPlus, &dist, &frontier, c);
@@ -507,6 +528,7 @@ fn sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<f64> {
             }
         }
         frontier = next;
+        it.lap(c, |s| s.with_info("active", active));
     }
     dist
 }

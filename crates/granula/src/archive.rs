@@ -52,6 +52,48 @@ impl OperationRecord {
             ("children", Json::Arr(self.children.iter().map(|c| c.to_json()).collect())),
         ])
     }
+
+    /// Inverse of the serialization in [`PerformanceArchive::to_json`].
+    pub fn from_json(value: &Json) -> Result<OperationRecord, String> {
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("operation is missing \"name\"")?
+            .to_string();
+        let start_secs = value
+            .get("start_secs")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("operation {name:?} is missing \"start_secs\""))?;
+        let duration_secs = value
+            .get("duration_secs")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("operation {name:?} is missing \"duration_secs\""))?;
+        let simulated = value
+            .get("simulated")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("operation {name:?} is missing \"simulated\""))?;
+        let infos = match value.get("infos") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("info {k:?} of {name:?} is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err(format!("infos of {name:?} is not an object")),
+        };
+        let children = match value.get("children") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(OperationRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err(format!("children of {name:?} is not an array")),
+        };
+        Ok(OperationRecord { name, start_secs, duration_secs, simulated, infos, children })
+    }
 }
 
 /// A complete performance archive for one job.
@@ -98,12 +140,42 @@ impl PerformanceArchive {
 
     /// Serializes the archive to pretty JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// The archive as a [`Json`] value (the shape `to_json` prints).
+    pub fn to_json_value(&self) -> Json {
         Json::obj(vec![
             ("platform", Json::str(&self.platform)),
             ("job", Json::str(&self.job)),
             ("root", self.root.to_json()),
         ])
-        .to_string_pretty()
+    }
+
+    /// Parses an archive back from its `to_json` text. Together with
+    /// [`PerformanceArchive::to_json`] this is lossless for every
+    /// archive whose timings are finite (non-finite numbers serialize as
+    /// JSON `null` by design).
+    pub fn parse(text: &str) -> Result<PerformanceArchive, String> {
+        let value = Json::parse(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+        Self::from_json(&value)
+    }
+
+    /// Reconstructs an archive from a parsed [`Json`] value.
+    pub fn from_json(value: &Json) -> Result<PerformanceArchive, String> {
+        let platform = value
+            .get("platform")
+            .and_then(Json::as_str)
+            .ok_or("archive is missing \"platform\"")?
+            .to_string();
+        let job = value
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or("archive is missing \"job\"")?
+            .to_string();
+        let root =
+            OperationRecord::from_json(value.get("root").ok_or("archive is missing \"root\"")?)?;
+        Ok(PerformanceArchive { platform, job, root })
     }
 }
 
@@ -169,5 +241,22 @@ mod tests {
         assert!(j.contains("\"platform\": \"native\""));
         assert!(j.contains("\"Superstep\""));
         assert!(j.contains("\"edges\": \"1000\""));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let archive = sample();
+        let parsed = PerformanceArchive::parse(&archive.to_json()).unwrap();
+        assert_eq!(parsed, archive);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_archives() {
+        assert!(PerformanceArchive::parse("not json").is_err());
+        assert!(PerformanceArchive::parse("{}").is_err());
+        assert!(PerformanceArchive::parse(
+            r#"{"platform": "x", "job": "y", "root": {"name": "Job"}}"#
+        )
+        .is_err());
     }
 }

@@ -110,6 +110,21 @@ impl Archiver {
         });
     }
 
+    /// Appends a caller-built operation subtree (engine span trees, the
+    /// monitor's resource samples) at the current nesting level. The
+    /// record's `start_secs` are the caller's responsibility; use
+    /// [`Archiver::elapsed_secs`] to express them on this archive's
+    /// clock.
+    pub fn record_op(&mut self, op: OperationRecord) {
+        self.current().children.push(op);
+    }
+
+    /// Seconds since this archiver started (the clock `start_secs`
+    /// offsets are measured on).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
     /// Attaches an info key/value to the innermost open operation.
     pub fn info(&mut self, key: impl Into<String>, value: impl ToString) {
         let kv = (key.into(), value.to_string());

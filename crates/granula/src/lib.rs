@@ -1,13 +1,18 @@
 //! # graphalytics-granula
 //!
 //! Granula, the fine-grained performance evaluation framework of
-//! Graphalytics (Section 2.5.2), reimplemented in Rust. Three modules
-//! mirror the paper's three components:
+//! Graphalytics (Section 2.5.2), reimplemented in Rust. Four modules
+//! mirror the paper's four components:
 //!
 //! * **[`model`] (the Modeler)** — lets platform experts define, once, the
 //!   hierarchical phase structure of a job on their platform ("graph
 //!   loading includes reading and partitioning"), so evaluation is
 //!   automated thereafter;
+//! * **[`monitor`] (the Monitor)** — collects runtime telemetry *while* a
+//!   job executes: an atomic metrics registry (counters, gauges,
+//!   p50/p95/p99 duration histograms) plus a background sampler polling
+//!   `/proc/self` and worker-pool utilization, all gated by a
+//!   [`monitor::MonitorConfig`] and strictly data-plane passive;
 //! * **[`archiver`] (the Archiver)** — collects timed phase records while a
 //!   job runs (wall-clock or simulated durations) and produces a
 //!   [`archive::PerformanceArchive`] that is *complete* (all observations
@@ -35,8 +40,10 @@ pub mod archive;
 pub mod archiver;
 pub mod json;
 pub mod model;
+pub mod monitor;
 pub mod visualize;
 
 pub use archive::{OperationRecord, PerformanceArchive};
 pub use archiver::Archiver;
 pub use model::{OperationDef, PerformanceModel};
+pub use monitor::{MetricsRegistry, MonitorConfig, ResourceSample, Sampler};

@@ -34,10 +34,16 @@ fn render_children(parent: &OperationRecord, prefix: &str, out: &mut String) {
     for (i, child) in parent.children.iter().enumerate() {
         let last = i + 1 == n;
         let branch = if last { "└─ " } else { "├─ " };
-        let share = if parent.duration_secs > 0.0 {
+        // Share of parent only when it is meaningful: a zero-duration
+        // parent has no shares, and a child that outlasts its parent
+        // (overlapping repetitions, clock skew between measured and
+        // simulated records) would print a nonsense `inf%`/`>100%`.
+        let share = if parent.duration_secs > 0.0
+            && child.duration_secs <= parent.duration_secs
+        {
             format!("  {:>5.1}%", 100.0 * child.duration_secs / parent.duration_secs)
         } else {
-            String::new()
+            format!("  {:>6}", "—")
         };
         let infos = if child.infos.is_empty() {
             String::new()
@@ -102,6 +108,38 @@ mod tests {
         assert!(text.contains("80.0%"));
         assert!(text.contains("└─ ProcessGraph"));
         assert!(text.contains("   └─ Superstep"));
+    }
+
+    #[test]
+    fn zero_duration_parent_renders_dash_not_inf() {
+        let archive = PerformanceArchive {
+            platform: "native".into(),
+            job: "bfs@G22".into(),
+            root: record("Job", 0.0, vec![record("ProcessGraph", 0.5, vec![])]),
+        };
+        let text = render(&archive);
+        assert!(text.contains('—'), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn child_outlasting_parent_renders_dash_not_over_100() {
+        let archive = PerformanceArchive {
+            platform: "native".into(),
+            job: "bfs@G22".into(),
+            root: record("Job", 1.0, vec![record("ProcessGraph", 2.5, vec![])]),
+        };
+        let text = render(&archive);
+        assert!(text.contains('—'), "{text}");
+        assert!(!text.contains("250.0%"), "{text}");
+        // Exactly-equal durations are a legitimate 100%.
+        let flush = PerformanceArchive {
+            platform: "native".into(),
+            job: "bfs@G22".into(),
+            root: record("Job", 1.0, vec![record("ProcessGraph", 1.0, vec![])]),
+        };
+        assert!(render(&flush).contains("100.0%"));
     }
 
     #[test]

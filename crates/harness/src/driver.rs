@@ -33,8 +33,9 @@ use graphalytics_core::datasets::DatasetSpec;
 use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{Algorithm, Csr};
 use graphalytics_engines::profile::NetworkKind;
-use graphalytics_engines::{LoadedGraph, Platform, RunContext};
-use graphalytics_granula::{Archiver, PerformanceArchive};
+use graphalytics_engines::{LoadedGraph, Platform, RunContext, SpanRecord};
+use graphalytics_granula::monitor::ResourceSample;
+use graphalytics_granula::{Archiver, MonitorConfig, OperationRecord, PerformanceArchive, Sampler};
 
 use crate::description::JobDescription;
 use crate::SLA_MAKESPAN_SECS;
@@ -223,11 +224,23 @@ pub struct Driver {
     ///
     /// [`Runner`]: crate::runner::Runner
     pub pool: Arc<WorkerPool>,
+    /// Granula-monitor gate: when enabled (the default), measured runs
+    /// trace per-superstep spans into the archive and a background
+    /// sampler attaches resource samples ([`MonitorConfig::disabled`]
+    /// restores the pre-monitor behaviour). Strictly data-plane passive:
+    /// outputs are bit-identical either way.
+    pub monitor: MonitorConfig,
 }
 
 impl Default for Driver {
     fn default() -> Self {
-        Driver { validate: true, noise: true, seed: 0xB5ED, pool: WorkerPool::shared() }
+        Driver {
+            validate: true,
+            noise: true,
+            seed: 0xB5ED,
+            pool: WorkerPool::shared(),
+            monitor: MonitorConfig::default(),
+        }
     }
 }
 
@@ -421,10 +434,30 @@ impl Driver {
             None
         };
 
+        // The Granula monitor rides along while repetitions execute: a
+        // background sampler polls /proc/self + pool utilization, and the
+        // samples land under a `Monitor` operation in the archive.
+        let sampler = self.monitor.enabled.then(|| {
+            let pool = Arc::clone(&self.pool);
+            pool.enable_telemetry();
+            Sampler::start(
+                self.monitor.sample_interval,
+                Some(Box::new(move || {
+                    let u = pool.utilization();
+                    vec![
+                        ("pool_busy_fraction".to_string(), format!("{:.6}", u.busy_fraction())),
+                        ("pool_busy_secs".to_string(), format!("{:.6}", u.busy_secs)),
+                        ("pool_dispatch_wakeups".to_string(), u.dispatch_wakeups.to_string()),
+                    ]
+                })),
+            )
+        });
+
         let repetitions = spec.repetitions.max(1);
         let mut walls: Vec<f64> = Vec::with_capacity(repetitions as usize);
         for rep in 0..repetitions as u64 {
             let mut ctx = RunContext::with_run_index(&self.pool, spec.run_index + rep);
+            ctx.set_tracing(self.monitor.enabled);
             archiver.begin("ExecuteReal");
             let execution = platform.run(loaded, spec.algorithm, &params, &mut ctx);
             let supersteps = execution
@@ -432,12 +465,31 @@ impl Driver {
                 .map(|exec| exec.counters.supersteps)
                 .unwrap_or(0)
                 .to_string();
+            let mut spans = Some(ctx.take_spans());
             for phase in ctx.take_phases() {
-                archiver.record_measured(
-                    phase.name,
-                    phase.secs,
-                    &[("repetition", &rep.to_string()), ("supersteps", &supersteps)],
-                );
+                let start = (archiver.elapsed_secs() - phase.secs).max(0.0);
+                let mut op = OperationRecord {
+                    name: phase.name.to_string(),
+                    start_secs: start,
+                    duration_secs: phase.secs,
+                    simulated: false,
+                    infos: vec![
+                        ("repetition".to_string(), rep.to_string()),
+                        ("supersteps".to_string(), supersteps.clone()),
+                    ],
+                    children: Vec::new(),
+                };
+                // The engine's superstep spans nest under the kernel
+                // phase; the remaining phases (if any) stay leaves.
+                if phase.name == "ProcessGraph" {
+                    let mut cursor = start;
+                    for span in spans.take().unwrap_or_default() {
+                        let secs = span.secs;
+                        op.children.push(span_to_op(span, cursor));
+                        cursor += secs;
+                    }
+                }
+                archiver.record_op(op);
             }
             archiver.end();
             match execution {
@@ -472,6 +524,10 @@ impl Driver {
         }
         result.measured_wall_secs =
             Some(walls.iter().sum::<f64>() / walls.len().max(1) as f64);
+        if let Some(sampler) = sampler {
+            let duration = sampler.elapsed_secs();
+            archiver.record_op(monitor_op(sampler.stop(), duration));
+        }
         self.finish_with_cost_model(platform, spec, admission, result, archiver, &walls)
     }
 
@@ -666,6 +722,59 @@ impl Driver {
 
 fn job_name(spec: &JobSpec) -> String {
     format!("{}@{}", spec.algorithm, spec.dataset.id)
+}
+
+/// Converts one engine trace span (and its subtree) into an archive
+/// operation. Top-level siblings are laid out sequentially by the caller;
+/// nested children (per-shard spans) ran concurrently, so they inherit
+/// their parent's start offset.
+fn span_to_op(span: SpanRecord, start_secs: f64) -> OperationRecord {
+    OperationRecord {
+        name: span.name,
+        start_secs,
+        duration_secs: span.secs,
+        simulated: false,
+        infos: span.infos,
+        children: span.children.into_iter().map(|c| span_to_op(c, start_secs)).collect(),
+    }
+}
+
+/// The monitor's resource samples as an archive subtree: one zero-width
+/// `ResourceSample` child per poll, offset on the sampler's clock (which
+/// starts within microseconds of the archiver's).
+fn monitor_op(samples: Vec<ResourceSample>, duration_secs: f64) -> OperationRecord {
+    let children = samples
+        .into_iter()
+        .map(|s| {
+            let mut infos = Vec::new();
+            if let Some(rss) = s.usage.rss_bytes {
+                infos.push(("rss_bytes".to_string(), rss.to_string()));
+            }
+            if let Some(t) = s.usage.utime_secs {
+                infos.push(("utime_secs".to_string(), format!("{t:.2}")));
+            }
+            if let Some(t) = s.usage.stime_secs {
+                infos.push(("stime_secs".to_string(), format!("{t:.2}")));
+            }
+            infos.extend(s.extra);
+            OperationRecord {
+                name: "ResourceSample".to_string(),
+                start_secs: s.elapsed_secs,
+                duration_secs: 0.0,
+                simulated: false,
+                infos,
+                children: Vec::new(),
+            }
+        })
+        .collect::<Vec<_>>();
+    OperationRecord {
+        name: "Monitor".to_string(),
+        start_secs: 0.0,
+        duration_secs,
+        simulated: false,
+        infos: vec![("samples".to_string(), children.len().to_string())],
+        children,
+    }
 }
 
 /// Stable per-job seed component so noise streams differ across jobs but
@@ -945,6 +1054,51 @@ mod tests {
         assert!(ok.status.is_success(), "{:?}", ok.status);
         assert_eq!(ok.shards, 1);
         assert_eq!(ok.cut_fraction, None);
+    }
+
+    #[test]
+    fn monitored_run_archives_spans_and_samples() {
+        let platform = platform_by_name("pregel").unwrap();
+        let csr = proxy_csr("G22");
+        let driver = Driver::default();
+        assert!(driver.monitor.enabled, "monitoring defaults on");
+        let job = spec("G22", Algorithm::Bfs, 1).with_shards(2);
+        let r = driver.run(platform.as_ref(), &job, RunMode::Measured { csr: &csr });
+        assert!(r.status.is_success(), "{:?}", r.status);
+        let archive = r.archive.as_ref().unwrap();
+
+        // Job → ExecuteReal → ProcessGraph → Superstep → Shard.
+        let execute = archive.root.find("ExecuteReal").expect("ExecuteReal archived");
+        let process = execute.find("ProcessGraph").expect("ProcessGraph under ExecuteReal");
+        assert!(!process.children.is_empty(), "supersteps nested under ProcessGraph");
+        for (i, step) in process.children.iter().enumerate() {
+            assert_eq!(step.name, "Superstep");
+            let info = |k: &str| step.infos.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+            assert_eq!(info("index").as_deref(), Some(i.to_string().as_str()));
+            assert!(info("messages").is_some());
+            assert!(info("edges_scanned").is_some());
+            assert!(info("queue_depth").is_some());
+            assert_eq!(step.children.iter().filter(|c| c.name == "Shard").count(), 2);
+        }
+
+        // The monitor attached at least the start + stop resource samples.
+        let monitor = archive.root.find("Monitor").expect("Monitor op archived");
+        assert!(monitor.children.len() >= 2, "{}", monitor.children.len());
+        assert!(monitor.children.iter().all(|s| s.name == "ResourceSample"));
+        let sample = &monitor.children[0];
+        assert!(sample.infos.iter().any(|(k, _)| k == "pool_busy_fraction"));
+
+        // Disabling the monitor drops the telemetry but never the result.
+        let quiet = Driver { monitor: MonitorConfig::disabled(), ..Driver::default() };
+        let q = quiet.run(platform.as_ref(), &job, RunMode::Measured { csr: &csr });
+        assert!(q.status.is_success(), "{:?}", q.status);
+        assert_eq!(q.processing_secs, r.processing_secs, "telemetry is data-plane passive");
+        assert_eq!(q.counters, r.counters);
+        let quiet_archive = q.archive.as_ref().unwrap();
+        assert!(quiet_archive.root.find("Monitor").is_none());
+        let quiet_process =
+            quiet_archive.root.find("ExecuteReal").unwrap().find("ProcessGraph").unwrap();
+        assert!(quiet_process.children.is_empty(), "no spans when disabled");
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! | `POST /jobs`         | submit a job (202 + id)                        |
 //! | `GET /jobs`          | list all jobs                                  |
 //! | `GET /jobs/:id`      | one job, with its result when finished         |
+//! | `GET /jobs/:id/archive` | a finished job's full Granula archive       |
 //! | `DELETE /jobs/:id`   | cancel a queued job                            |
 //! | `GET /results`       | the full results database (JSON export)        |
 //! | `GET /graphs`        | resident graph store entries + configuration   |
-//! | `GET /metrics`       | job/store counters and EPS / EVPS aggregates   |
+//! | `GET /metrics`       | job/store counters, EPS / EVPS aggregates, and |
+//! |                      | monitor telemetry (`?format=prometheus` for    |
+//! |                      | the text exposition format)                    |
 //!
 //! Requests are validated before they reach the queue: unknown platforms,
 //! datasets and algorithms are 400s, not worker crashes — backed by the
@@ -33,10 +36,11 @@ pub fn handle(state: &ServiceState, request: &Request) -> Response {
         ("POST", ["jobs"]) => submit(state, request),
         ("GET", ["jobs"]) => list_jobs(state),
         ("GET", ["jobs", id]) => get_job(state, id),
+        ("GET", ["jobs", id, "archive"]) => get_archive(state, id),
         ("DELETE", ["jobs", id]) => cancel_job(state, id),
-        ("GET", ["results"]) => Response { status: 200, body: state.results.to_json() },
+        ("GET", ["results"]) => Response::raw_json(200, state.results.to_json()),
         ("GET", ["graphs"]) => graphs(state),
-        ("GET", ["metrics"]) => metrics(state),
+        ("GET", ["metrics"]) => metrics(state, request),
         ("GET" | "POST" | "DELETE", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, format!("method {} not allowed", request.method)),
     }
@@ -55,10 +59,12 @@ fn index() -> Response {
                         "POST /jobs",
                         "GET /jobs",
                         "GET /jobs/:id",
+                        "GET /jobs/:id/archive",
                         "DELETE /jobs/:id",
                         "GET /results",
                         "GET /graphs",
                         "GET /metrics",
+                        "GET /metrics?format=prometheus",
                     ]
                     .iter()
                     .map(|e| Json::str(*e))
@@ -240,7 +246,99 @@ fn graphs(state: &ServiceState) -> Response {
     )
 }
 
-fn metrics(state: &ServiceState) -> Response {
+fn get_archive(state: &ServiceState, raw_id: &str) -> Response {
+    let id = match parse_id(raw_id) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    match state.archive(id) {
+        Some(archive) => Response::json(200, &archive.to_json_value()),
+        None => match state.queue.get(id) {
+            Some(record) => Response::error(
+                404,
+                format!("job {id} is {}, no archive recorded", record.state.as_str()),
+            ),
+            None => Response::error(404, format!("no job {id}")),
+        },
+    }
+}
+
+/// Copies the worker pool's live utilization (and daemon uptime) into the
+/// monitor registry, so both exposition formats serve current values.
+fn refresh_pool_gauges(state: &ServiceState) {
+    let u = state.pool.utilization();
+    state.metrics.gauge("pool_busy_fraction").set(u.busy_fraction());
+    state.metrics.gauge("pool_busy_secs").set(u.busy_secs);
+    state.metrics.gauge("pool_uptime_secs").set(u.uptime_secs);
+    state.metrics.gauge("pool_dispatch_wait_secs").set(u.dispatch_wait_secs);
+    state.metrics.gauge("pool_dispatch_wakeups").set(u.dispatch_wakeups as f64);
+    for (i, busy) in u.per_worker_busy_secs.iter().enumerate() {
+        state.metrics.gauge(&format!("pool_worker_{i}_busy_secs")).set(*busy);
+    }
+    state.metrics.gauge("service_uptime_secs").set(state.uptime_secs());
+}
+
+/// The Granula-monitor section of `GET /metrics`: live pool utilization
+/// plus the registry's counters and latency histograms (with estimated
+/// p50/p95/p99).
+fn monitor_json(state: &ServiceState) -> Json {
+    let u = state.pool.utilization();
+    let snapshot = state.metrics.snapshot();
+    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    let counters: Vec<Json> = snapshot
+        .counters
+        .iter()
+        .map(|(name, v)| {
+            Json::obj(vec![("name", Json::str(name)), ("value", Json::Num(*v as f64))])
+        })
+        .collect();
+    let histograms: Vec<Json> = snapshot
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            Json::obj(vec![
+                ("name", Json::str(name)),
+                ("count", Json::Num(h.count as f64)),
+                ("sum_secs", Json::Num(h.sum_secs)),
+                ("mean_secs", opt(h.mean_secs())),
+                ("p50_secs", opt(h.p50())),
+                ("p95_secs", opt(h.p95())),
+                ("p99_secs", opt(h.p99())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "utilization",
+            Json::obj(vec![
+                ("busy_fraction", Json::Num(u.busy_fraction())),
+                ("busy_secs", Json::Num(u.busy_secs)),
+                ("uptime_secs", Json::Num(u.uptime_secs)),
+                ("dispatch_wait_secs", Json::Num(u.dispatch_wait_secs)),
+                ("dispatch_wakeups", Json::Num(u.dispatch_wakeups as f64)),
+                ("mean_dispatch_wait_secs", opt(u.mean_dispatch_wait_secs())),
+                (
+                    "per_worker_busy_secs",
+                    Json::Arr(u.per_worker_busy_secs.iter().map(|&b| Json::Num(b)).collect()),
+                ),
+            ]),
+        ),
+        ("counters", Json::Arr(counters)),
+        ("histograms", Json::Arr(histograms)),
+    ])
+}
+
+fn metrics(state: &ServiceState, request: &Request) -> Response {
+    match request.query_param("format") {
+        Some("prometheus") => {
+            refresh_pool_gauges(state);
+            return Response::text(200, state.metrics.snapshot().to_prometheus());
+        }
+        Some(other) => {
+            return Response::error(400, format!("unknown metrics format {other:?}"));
+        }
+        None => {}
+    }
     let counts = state.queue.counts();
     let store = state.store.metrics();
     let pool = state.pool.stats();
@@ -256,6 +354,7 @@ fn metrics(state: &ServiceState) -> Response {
                     ("dispatches", Json::Num(pool.dispatches as f64)),
                 ]),
             ),
+            ("monitor", monitor_json(state)),
             (
                 "jobs",
                 Json::obj(vec![
@@ -528,6 +627,65 @@ mod tests {
         assert_eq!(sharded.get("jobs"), Some(&Json::Num(1.0)));
         assert!(sharded.get("inter_shard_messages").and_then(Json::as_u64).unwrap() > 0);
         assert!(sharded.get("inter_shard_bytes").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn metrics_monitor_section_and_prometheus_format() {
+        let state = state();
+        state.metrics.histogram("job_seconds").observe_secs(0.25);
+        state.metrics.counter("jobs_executed_total").inc();
+        let resp = handle(&state, &get("/metrics"));
+        let body = Json::parse(&resp.body).unwrap();
+        let monitor = body.get("monitor").expect("monitor section");
+        let utilization = monitor.get("utilization").unwrap();
+        assert!(utilization.get("busy_fraction").is_some());
+        assert!(utilization.get("per_worker_busy_secs").is_some());
+        let histograms = monitor.get("histograms").unwrap();
+        let Json::Arr(rows) = histograms else { panic!("histograms is an array") };
+        let job_seconds = rows
+            .iter()
+            .find(|h| h.get("name").and_then(Json::as_str) == Some("job_seconds"))
+            .expect("job_seconds histogram");
+        assert_eq!(job_seconds.get("count"), Some(&Json::Num(1.0)));
+        assert!(job_seconds.get("p95_secs").and_then(Json::as_f64).unwrap() > 0.0);
+
+        let resp = handle(&state, &get("/metrics?format=prometheus"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
+        assert!(resp.body.contains("# TYPE jobs_executed_total counter"), "{}", resp.body);
+        assert!(resp.body.contains("# TYPE job_seconds histogram"));
+        assert!(resp.body.contains("job_seconds_count 1"));
+        assert!(resp.body.contains("# TYPE pool_busy_fraction gauge"));
+        assert!(resp.body.contains("pool_worker_0_busy_secs"));
+
+        let resp = handle(&state, &get("/metrics?format=xml"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn archive_endpoint_serves_stored_archives() {
+        let state = state();
+        assert_eq!(handle(&state, &get("/jobs/1/archive")).status, 404);
+        assert_eq!(handle(&state, &get("/jobs/one/archive")).status, 400);
+        // A queued job exists but has no archive yet: 404 with the state.
+        handle(
+            &state,
+            &post("/jobs", r#"{"platform":"native","dataset":"G22","algorithm":"bfs"}"#),
+        );
+        let resp = handle(&state, &get("/jobs/1/archive"));
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("queued"), "{}", resp.body);
+        // Once an archive is filed under the id, it is served whole.
+        let mut archiver = graphalytics_granula::Archiver::new("native", "bfs@G22");
+        archiver.begin("ProcessGraph");
+        archiver.end();
+        state.store_archive(1, archiver.finish());
+        let resp = handle(&state, &get("/jobs/1/archive"));
+        assert_eq!(resp.status, 200);
+        let archive =
+            graphalytics_granula::PerformanceArchive::parse(&resp.body).expect("parses back");
+        assert_eq!(archive.platform, "native");
+        assert!(archive.root.find("ProcessGraph").is_some());
     }
 
     #[test]

@@ -60,9 +60,14 @@ impl Client {
         &self.addr
     }
 
-    /// One round trip. 4xx/5xx responses become [`ClientError::Api`] with
-    /// the server's `error` message.
-    pub fn request(&self, method: &str, path: &str, body: Option<&Json>) -> ClientResult<Json> {
+    /// One raw round trip: status code + body text, no JSON expectations
+    /// (the Prometheus exposition endpoint serves plain text).
+    pub fn request_raw(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> ClientResult<(u16, String)> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
         let mut writer = BufWriter::new(&stream);
@@ -75,7 +80,13 @@ impl Client {
         )?;
         writer.flush()?;
         let mut reader = BufReader::new(&stream);
-        let (status, text) = read_response(&mut reader)?;
+        Ok(read_response(&mut reader)?)
+    }
+
+    /// One round trip. 4xx/5xx responses become [`ClientError::Api`] with
+    /// the server's `error` message.
+    pub fn request(&self, method: &str, path: &str, body: Option<&Json>) -> ClientResult<Json> {
+        let (status, text) = self.request_raw(method, path, body)?;
         let json = if text.is_empty() {
             Json::Null
         } else {
@@ -182,6 +193,22 @@ impl Client {
     /// Service metrics.
     pub fn metrics(&self) -> ClientResult<Json> {
         self.request("GET", "/metrics", None)
+    }
+
+    /// Service metrics in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> ClientResult<String> {
+        let (status, text) = self.request_raw("GET", "/metrics?format=prometheus", None)?;
+        if status >= 400 {
+            return Err(ClientError::Api { status, message: text });
+        }
+        Ok(text)
+    }
+
+    /// A finished job's full Granula archive.
+    pub fn archive(&self, id: u64) -> ClientResult<graphalytics_granula::PerformanceArchive> {
+        let json = self.request("GET", &format!("/jobs/{id}/archive"), None)?;
+        graphalytics_granula::PerformanceArchive::from_json(&json)
+            .map_err(|e| ClientError::Protocol(format!("bad archive body: {e}")))
     }
 
     /// Liveness probe.

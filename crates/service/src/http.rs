@@ -73,19 +73,47 @@ impl Request {
         let path = self.path.split('?').next().unwrap_or("");
         path.split('/').filter(|s| !s.is_empty()).collect()
     }
+
+    /// The value of one `?key=value` query parameter, if present. No
+    /// percent-decoding — the API's parameter values are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.path.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
 }
 
-/// An HTTP response carrying a JSON body.
+/// An HTTP response carrying a JSON (or plain-text) body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     pub status: u16,
     pub body: String,
+    /// `Content-Type` header value; [`Response::json`] and
+    /// [`Response::error`] set `application/json`, [`Response::text`]
+    /// sets `text/plain` (the Prometheus exposition format).
+    pub content_type: &'static str,
 }
 
 impl Response {
     /// A response with a JSON value as its body.
     pub fn json(status: u16, body: &Json) -> Response {
-        Response { status, body: body.to_string_pretty() }
+        Response {
+            status,
+            body: body.to_string_pretty(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A response with an already-serialized JSON body.
+    pub fn raw_json(status: u16, body: String) -> Response {
+        Response { status, body, content_type: "application/json" }
+    }
+
+    /// A plain-text response (`GET /metrics?format=prometheus`).
+    pub fn text(status: u16, body: String) -> Response {
+        Response { status, body, content_type: "text/plain; version=0.0.4" }
     }
 
     /// The standard error shape: `{"error": message}`.
@@ -97,9 +125,10 @@ impl Response {
     pub fn write(&self, writer: &mut impl Write) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len(),
         )?;
         writer.write_all(self.body.as_bytes())?;
@@ -275,6 +304,30 @@ mod tests {
         assert_eq!(resp.status, 404);
         let v = Json::parse(&resp.body).unwrap();
         assert_eq!(v.get("error").and_then(Json::as_str), Some("no such job"));
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let wire = "GET /metrics?format=prometheus&x=1 HTTP/1.1\r\n\r\n";
+        let req = Request::read(&mut Cursor::new(wire.as_bytes())).unwrap().unwrap();
+        assert_eq!(req.segments(), vec!["metrics"]);
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+        let bare = Request::read(&mut Cursor::new(b"GET /metrics HTTP/1.1\r\n\r\n".as_slice()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(bare.query_param("format"), None);
+    }
+
+    #[test]
+    fn text_response_content_type() {
+        let resp = Response::text(200, "metric 1\n".to_string());
+        let mut wire = Vec::new();
+        resp.write(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Content-Type: text/plain"), "{text}");
+        assert!(text.ends_with("metric 1\n"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use graphalytics_cluster::ClusterSpec;
 use graphalytics_core::pool::WorkerPool;
 use graphalytics_engines::platform_by_name;
+use graphalytics_granula::{MetricsRegistry, PerformanceArchive};
 use graphalytics_harness::{Driver, JobResult, JobSpec, ResultsDatabase, RunMode};
 
 use crate::api;
@@ -62,8 +63,14 @@ pub struct ServiceState {
     /// The daemon-wide execution runtime: one pool, shared by every job
     /// worker (and the store's CSR builds) for the process lifetime.
     pub pool: Arc<WorkerPool>,
+    /// The Granula monitor's metrics registry: job-latency histograms and
+    /// run counters, exported by `GET /metrics` (JSON or Prometheus).
+    pub metrics: MetricsRegistry,
     pub seed: u64,
     started: Instant,
+    /// Finished jobs' Granula archives, keyed by job id — served whole by
+    /// `GET /jobs/:id/archive` (the queue's job copies never carry them).
+    archives: std::sync::Mutex<std::collections::BTreeMap<u64, PerformanceArchive>>,
 }
 
 impl ServiceState {
@@ -74,19 +81,34 @@ impl ServiceState {
             config.pool_threads
         };
         let pool = Arc::new(WorkerPool::new(width));
+        // The daemon's pool always reports live utilization through
+        // GET /metrics; the clock sampling it needs is opt-in.
+        pool.enable_telemetry();
         ServiceState {
             store: GraphStore::new(config.store, pool.clone()),
             queue: JobQueue::new(),
             results: ResultsDatabase::new(),
             pool,
+            metrics: MetricsRegistry::new(),
             seed: config.seed,
             started: Instant::now(),
+            archives: std::sync::Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
     /// Seconds since the daemon started.
     pub fn uptime_secs(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// The Granula archive of a finished job, if one exists.
+    pub fn archive(&self, id: u64) -> Option<PerformanceArchive> {
+        self.archives.lock().unwrap().get(&id).cloned()
+    }
+
+    /// Files a finished job's archive under its id.
+    pub fn store_archive(&self, id: u64, archive: PerformanceArchive) {
+        self.archives.lock().unwrap().insert(id, archive);
     }
 
     /// Executes one validated job request through the harness driver's
@@ -187,20 +209,33 @@ fn worker_loop(state: &ServiceState) {
         // A panicking engine must cost one job, not a pool thread: an
         // unwinding worker would leave the job `running` forever and
         // silently shrink the pool until the daemon stops executing.
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             state.execute(&request)
         }))
         .unwrap_or_else(|panic| Err(panic_message(&panic)));
+        let wall = started.elapsed().as_secs_f64();
+        state.metrics.histogram("job_seconds").observe_secs(wall);
+        state
+            .metrics
+            .histogram(&format!("job_seconds_{}", request.platform))
+            .observe_secs(wall);
         match outcome {
             Ok(mut result) => {
+                state.metrics.counter("jobs_executed_total").inc();
+                // The archive lives once, keyed by job id for
+                // `GET /jobs/:id/archive` — the queue's and the results
+                // database's copies never carry it.
+                if let Some(archive) = result.archive.take() {
+                    state.store_archive(id, archive);
+                }
                 state.results.insert(result.clone());
-                // The queue's copy only feeds `GET /jobs/:id`, which never
-                // renders the Granula archive — keep the archive once, in
-                // the results database, instead of twice per job forever.
-                result.archive = None;
                 state.queue.finish(id, JobState::Completed, Some(result));
             }
-            Err(message) => state.queue.finish(id, JobState::Failed(message), None),
+            Err(message) => {
+                state.metrics.counter("jobs_panicked_total").inc();
+                state.queue.finish(id, JobState::Failed(message), None);
+            }
         }
     }
 }

@@ -195,6 +195,92 @@ fn bad_requests_are_rejected_not_fatal() {
 }
 
 #[test]
+fn sharded_job_serves_granula_archive_with_telemetry() {
+    let (service, client) = start_service(2);
+    // A sharded (shards=2) measured pregel BFS, submitted raw so the
+    // shards field reaches the API.
+    let body = Json::obj(vec![
+        ("platform", Json::str("pregel")),
+        ("dataset", Json::str("G22")),
+        ("algorithm", Json::str("bfs")),
+        ("mode", Json::str("measured")),
+        ("shards", Json::Num(2.0)),
+    ]);
+    let id = client
+        .request("POST", "/jobs", Some(&body))
+        .expect("submission accepted")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let record = client.wait(id, Duration::from_secs(120)).expect("job finishes");
+    assert_eq!(record.get("state").and_then(Json::as_str), Some("completed"));
+
+    // GET /jobs/:id/archive returns the full Granula archive: Job →
+    // ExecuteReal → ProcessGraph → Superstep → Shard with counters, plus
+    // the monitor's resource samples.
+    let archive = client.archive(id).expect("archive served");
+    assert_eq!(archive.platform, "pregel");
+    assert_eq!(archive.root.name, "Job");
+    let process = archive
+        .root
+        .find("ExecuteReal")
+        .expect("ExecuteReal op")
+        .find("ProcessGraph")
+        .expect("ProcessGraph under ExecuteReal");
+    assert!(!process.children.is_empty(), "per-superstep spans archived");
+    for step in &process.children {
+        assert_eq!(step.name, "Superstep");
+        assert!(step.infos.iter().any(|(k, _)| k == "messages"));
+        assert!(step.infos.iter().any(|(k, _)| k == "edges_scanned"));
+        assert_eq!(step.children.iter().filter(|c| c.name == "Shard").count(), 2);
+    }
+    let monitor = archive.root.find("Monitor").expect("Monitor op");
+    assert!(!monitor.children.is_empty(), "≥1 resource sample attached");
+    assert!(monitor.children.iter().any(|s| {
+        s.name == "ResourceSample" && s.infos.iter().any(|(k, _)| k == "pool_busy_fraction")
+    }));
+
+    // The visualizer renders the served archive.
+    let rendered = graphalytics_granula::visualize::render(&archive);
+    assert!(rendered.contains("Superstep"), "{rendered}");
+    assert!(rendered.contains("Shard"));
+
+    // Jobs without archives (still queued / unknown) 404.
+    match client.archive(id + 100) {
+        Err(graphalytics_service::ClientError::Api { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+
+    // The monitor registry surfaces the run through both formats.
+    let metrics = client.metrics().expect("metrics");
+    let monitor = metrics.get("monitor").expect("monitor section");
+    let histograms = monitor.get("histograms").and_then(Json::as_arr).unwrap();
+    let job_seconds = histograms
+        .iter()
+        .find(|h| h.get("name").and_then(Json::as_str) == Some("job_seconds"))
+        .expect("job_seconds histogram");
+    assert_eq!(job_seconds.get("count").and_then(Json::as_u64), Some(1));
+    assert!(job_seconds.get("p99_secs").and_then(Json::as_f64).unwrap() > 0.0);
+    let utilization = monitor.get("utilization").unwrap();
+    assert!(utilization.get("busy_secs").and_then(Json::as_f64).unwrap() > 0.0);
+    assert_eq!(
+        utilization
+            .get("per_worker_busy_secs")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(2),
+        "one entry per pool worker"
+    );
+    let text = client.metrics_prometheus().expect("prometheus exposition");
+    assert!(text.contains("# TYPE job_seconds histogram"), "{text}");
+    assert!(text.contains("job_seconds_count 1"));
+    assert!(text.contains("# TYPE pool_busy_fraction gauge"));
+    assert!(text.contains("jobs_executed_total 1"));
+
+    service.shutdown();
+}
+
+#[test]
 fn queued_jobs_can_be_cancelled() {
     // Single worker: two heavy head-of-line jobs occupy it while we
     // cancel a job that is still safely queued behind them.

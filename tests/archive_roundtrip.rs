@@ -1,0 +1,78 @@
+//! Property test: `PerformanceArchive` → JSON → parse is lossless for
+//! every archive with finite timings — including deep nesting, info
+//! key/values, and names that need JSON escaping.
+
+use proptest::prelude::*;
+
+use graphalytics::granula::{OperationRecord, PerformanceArchive};
+
+/// SplitMix64: one u64 seed from the proptest strategy drives the whole
+/// random tree, so failures reproduce from the printed seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Names exercising the JSON escaper: quotes, backslashes, control
+/// characters, non-ASCII.
+const NAMES: &[&str] = &[
+    "Job",
+    "ProcessGraph",
+    "Superstep 3",
+    "quoted \"phase\"",
+    "back\\slash",
+    "tab\tand\nnewline",
+    "ünï-ço∂é",
+    "",
+];
+
+fn pick<'a>(state: &mut u64, options: &[&'a str]) -> &'a str {
+    options[(mix(state) % options.len() as u64) as usize]
+}
+
+fn random_record(state: &mut u64, depth: u32) -> OperationRecord {
+    // Finite, exactly-representable durations: integer thousandths keep
+    // the float → decimal → float trip exact.
+    let start_secs = (mix(state) % 1_000_000) as f64 / 1000.0;
+    let duration_secs = (mix(state) % 1_000_000) as f64 / 1000.0;
+    // Unique keys per record: infos serialize as a JSON object, so the
+    // round-trip contract only covers key-unique info lists.
+    let infos = (0..mix(state) % 4)
+        .map(|i| (format!("key-{i} {}", pick(state, NAMES)), pick(state, NAMES).to_string()))
+        .collect();
+    let children = if depth == 0 {
+        Vec::new()
+    } else {
+        (0..mix(state) % 4).map(|_| random_record(state, depth - 1)).collect()
+    };
+    OperationRecord {
+        name: pick(state, NAMES).to_string(),
+        start_secs,
+        duration_secs,
+        simulated: mix(state).is_multiple_of(2),
+        infos,
+        children,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn archive_json_round_trip_is_lossless(seed in 0u64..1_000_000_000, depth in 0u32..6) {
+        let mut state = seed;
+        let archive = PerformanceArchive {
+            platform: pick(&mut state, NAMES).to_string(),
+            job: format!("job \"{seed}\"\n@G22"),
+            root: random_record(&mut state, depth),
+        };
+        let text = archive.to_json();
+        let parsed = PerformanceArchive::parse(&text).expect("archive JSON parses back");
+        prop_assert_eq!(&parsed, &archive);
+        // A second trip is a fixed point.
+        prop_assert_eq!(parsed.to_json(), text);
+    }
+}

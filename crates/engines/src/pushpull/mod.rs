@@ -5,8 +5,17 @@
 //! vertices to *push* (write) data" (Section 3.1). The engine implements
 //! the hybrid: every iteration chooses **push** (scatter from the active
 //! frontier, producing messages) or **pull** (scan the in-edges of
-//! undecided vertices, no messages) based on frontier density — the
-//! generalization of direction-optimizing BFS.
+//! undecided vertices, no messages) — the generalization of
+//! direction-optimizing BFS, driven by Beamer-style α/β scanned-edge
+//! estimates rather than a fixed density threshold.
+//!
+//! The traversal kernels (BFS, SSSP) run on the shared [`WorkerPool`]:
+//! workers scan contiguous chunks of the frontier (or vertex range) and
+//! stage sparse candidate buffers; the caller merges them in range
+//! order, which reproduces the exact discovery/relaxation order of a
+//! sequential sweep — so outputs *and* work counters are bit-identical
+//! at every pool width. SSSP is delta-stepping (Meyer & Sanders) over a
+//! light/heavy edge split cached on the uploaded representation.
 //!
 //! Profile-wise this engine mirrors PGX.D: near-linear thread scaling
 //! (cooperative context switching ⇒ tiny serial fraction), a compact wire
@@ -17,7 +26,8 @@
 
 mod sharded;
 
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
@@ -28,7 +38,7 @@ use graphalytics_core::{Algorithm, Csr, VertexId};
 use graphalytics_cluster::WorkCounters;
 
 use crate::common::frontier::Frontier;
-use crate::common::pool::WorkerPool;
+use crate::common::pool::{SharedSlice, WorkerPool};
 use crate::platform::{unsupported, Execution, LoadedGraph, Platform, RunContext};
 use crate::profile::PerfProfile;
 use crate::sharded::ShardPlan;
@@ -36,18 +46,269 @@ use crate::trace::IterTimer;
 
 pub use sharded::PushPullShardedGraph;
 
-/// Frontier density above which iterations switch from push to pull.
-pub const PULL_THRESHOLD: f64 = 0.05;
+/// Beamer α: a push level switches to pull when the frontier's
+/// out-degree sum exceeds `m_unexplored / α` — the point where scanning
+/// undecided vertices' in-edges (with early exit) beats scattering the
+/// whole frontier.
+pub const BFS_ALPHA: u64 = 14;
+
+/// Beamer β: a pull level switches back to push once the frontier
+/// shrinks below `n / β`.
+pub const BFS_BETA: u64 = 24;
+
+/// Below this arc count SSSP skips the light/heavy split and runs the
+/// simple label-correcting kernel. Delta-stepping's win is scanning
+/// fewer edges, but it pays per-relaxation bucket bookkeeping
+/// (`BTreeMap` re-bucketing, activation filters) that the
+/// label-correcting loop does not; measured on graph500 instances the
+/// wall-time crossover sits around 10^5 arcs, so smaller graphs take
+/// the cheaper kernel.
+pub const DELTA_MIN_ARCS: u64 = 100_000;
+
+/// Estimated scanned-edge work under which a traversal round runs inline
+/// instead of dispatching to the pool — a condvar wake costs more than a
+/// few thousand edge scans. The estimate is a property of the active
+/// *set*, so the inline/parallel decision is identical at every width
+/// (and both paths merge chunk results in the same order anyway).
+const PAR_WORK_CUTOFF: u64 = 4096;
+
+/// Cached `available_parallelism`: the pool deliberately does not clamp
+/// its width to the host (partitioning must depend only on `(threads,
+/// n)`), so the kernels check the host themselves before paying for a
+/// dispatch that pure time-slicing cannot win back.
+fn host_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// True when a traversal round is worth dispatching to the pool: enough
+/// estimated edge work to amortize the wake-up, more than one item, and
+/// a host that can actually run workers concurrently. Every input is
+/// set-level or host-constant — never pool-width-dependent — so the
+/// decision is identical at every width; and since the inline and
+/// chunked paths produce identical outputs *and* counters by
+/// construction, the choice is unobservable in results either way.
+fn parallel_worth(len: usize, work: u64) -> bool {
+    work >= PAR_WORK_CUTOFF && len > 1 && host_cores() > 1
+}
+
+/// Direction-optimizing switch state shared by the single-shard and
+/// sharded BFS drivers. All inputs are set-level quantities (frontier
+/// out-degree sum, frontier cardinality, undiscovered-edge estimate), so
+/// the push/pull schedule is identical at every pool width and shard
+/// count.
+struct DirectionState {
+    pulling: bool,
+    /// Out-degree sum of still-undiscovered vertices (Beamer's `m_u`).
+    unexplored: u64,
+}
+
+impl DirectionState {
+    fn new(total_out_degree: u64, root_degree: u64) -> Self {
+        DirectionState { pulling: false, unexplored: total_out_degree.saturating_sub(root_degree) }
+    }
+
+    /// Picks this level's direction from the frontier's out-degree sum
+    /// and cardinality.
+    fn choose(&mut self, frontier_degree: u64, frontier_len: usize, n: usize) -> bool {
+        if self.pulling {
+            if (frontier_len as u64).saturating_mul(BFS_BETA) < n as u64 {
+                self.pulling = false;
+            }
+        } else if frontier_degree.saturating_mul(BFS_ALPHA) > self.unexplored {
+            self.pulling = true;
+        }
+        self.pulling
+    }
+
+    /// Subtracts newly discovered vertices' out-degrees from `m_u`.
+    fn discovered(&mut self, degree_sum: u64) {
+        self.unexplored = self.unexplored.saturating_sub(degree_sum);
+    }
+}
+
+/// The delta-stepping edge split: every vertex's out-edges partitioned
+/// into light (`w ≤ Δ`) and heavy (`w > Δ`) CSR-shaped arrays, with the
+/// original row order preserved inside each class. Built once per
+/// uploaded graph — lazily, on the first SSSP run, recorded as the
+/// `TraversalPrep` phase so repetitions reuse it and the processing
+/// clock never includes it.
+pub struct LightHeavy {
+    delta: f64,
+    light_index: Vec<u32>,
+    light_targets: Vec<u32>,
+    light_weights: Vec<f64>,
+    heavy_index: Vec<u32>,
+    heavy_targets: Vec<u32>,
+    heavy_weights: Vec<f64>,
+}
+
+impl LightHeavy {
+    /// The bucket width Δ (mean out-edge weight).
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    #[inline]
+    fn light(&self, u: u32) -> (&[u32], &[f64]) {
+        let (lo, hi) =
+            (self.light_index[u as usize] as usize, self.light_index[u as usize + 1] as usize);
+        (&self.light_targets[lo..hi], &self.light_weights[lo..hi])
+    }
+
+    #[inline]
+    fn heavy(&self, u: u32) -> (&[u32], &[f64]) {
+        let (lo, hi) =
+            (self.heavy_index[u as usize] as usize, self.heavy_index[u as usize + 1] as usize);
+        (&self.heavy_targets[lo..hi], &self.heavy_weights[lo..hi])
+    }
+
+    #[inline]
+    fn light_degree(&self, u: u32) -> u64 {
+        (self.light_index[u as usize + 1] - self.light_index[u as usize]) as u64
+    }
+
+    #[inline]
+    fn heavy_degree(&self, u: u32) -> u64 {
+        (self.heavy_index[u as usize + 1] - self.heavy_index[u as usize]) as u64
+    }
+
+    /// Total light arcs in the split.
+    pub fn num_light(&self) -> u64 {
+        self.light_targets.len() as u64
+    }
+
+    /// Total heavy arcs in the split.
+    pub fn num_heavy(&self) -> u64 {
+        self.heavy_targets.len() as u64
+    }
+
+    /// Bytes held by both halves of the split.
+    pub fn resident_bytes(&self) -> u64 {
+        4 * (self.light_index.len()
+            + self.heavy_index.len()
+            + self.light_targets.len()
+            + self.heavy_targets.len()) as u64
+            + 8 * (self.light_weights.len() + self.heavy_weights.len()) as u64
+    }
+}
+
+/// Mean out-edge weight, computed width-invariantly: each row is summed
+/// left-to-right on whichever worker owns it, and the `n` row sums are
+/// folded sequentially — the f64 result is bit-identical at every pool
+/// width. Returns `None` when the mean is unusable as a bucket width.
+fn mean_weight<'a, R>(n: usize, arcs: u64, rows: R, pool: &WorkerPool) -> Option<f64>
+where
+    R: Fn(u32) -> (&'a [u32], &'a [f64]) + Sync,
+{
+    if arcs == 0 {
+        return None;
+    }
+    let row_sums: Vec<f64> = pool
+        .run(n, |_, range| {
+            range.map(|u| rows(u as u32).1.iter().sum::<f64>()).collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let mean = row_sums.iter().sum::<f64>() / arcs as f64;
+    (mean.is_finite() && mean > 0.0).then_some(mean)
+}
+
+/// Partitions every row into its light/heavy halves at Δ. Per-worker
+/// pieces are concatenated in range order, so the arrays equal what a
+/// single sequential sweep would build.
+fn split_rows<'a, R>(n: usize, delta: f64, rows: R, pool: &WorkerPool) -> LightHeavy
+where
+    R: Fn(u32) -> (&'a [u32], &'a [f64]) + Sync,
+{
+    struct Piece {
+        light_counts: Vec<u32>,
+        heavy_counts: Vec<u32>,
+        lt: Vec<u32>,
+        lw: Vec<f64>,
+        ht: Vec<u32>,
+        hw: Vec<f64>,
+    }
+    let pieces: Vec<Piece> = pool.run(n, |_, range| {
+        let mut p = Piece {
+            light_counts: Vec::with_capacity(range.len()),
+            heavy_counts: Vec::with_capacity(range.len()),
+            lt: Vec::new(),
+            lw: Vec::new(),
+            ht: Vec::new(),
+            hw: Vec::new(),
+        };
+        for u in range {
+            let (targets, weights) = rows(u as u32);
+            let (mut light, mut heavy) = (0u32, 0u32);
+            for (&v, &w) in targets.iter().zip(weights) {
+                if w <= delta {
+                    p.lt.push(v);
+                    p.lw.push(w);
+                    light += 1;
+                } else {
+                    p.ht.push(v);
+                    p.hw.push(w);
+                    heavy += 1;
+                }
+            }
+            p.light_counts.push(light);
+            p.heavy_counts.push(heavy);
+        }
+        p
+    });
+    let mut lh = LightHeavy {
+        delta,
+        light_index: Vec::with_capacity(n + 1),
+        light_targets: Vec::new(),
+        light_weights: Vec::new(),
+        heavy_index: Vec::with_capacity(n + 1),
+        heavy_targets: Vec::new(),
+        heavy_weights: Vec::new(),
+    };
+    lh.light_index.push(0);
+    lh.heavy_index.push(0);
+    let (mut light_total, mut heavy_total) = (0u32, 0u32);
+    for p in pieces {
+        for count in p.light_counts {
+            light_total += count;
+            lh.light_index.push(light_total);
+        }
+        for count in p.heavy_counts {
+            heavy_total += count;
+            lh.heavy_index.push(heavy_total);
+        }
+        lh.light_targets.extend_from_slice(&p.lt);
+        lh.light_weights.extend_from_slice(&p.lw);
+        lh.heavy_targets.extend_from_slice(&p.ht);
+        lh.heavy_weights.extend_from_slice(&p.hw);
+    }
+    lh
+}
+
+/// Whether the graph qualifies for delta-stepping at all. Arc counts
+/// above `u32::MAX` would overflow the split's `u32` offsets.
+fn delta_eligible(csr: &Csr) -> bool {
+    csr.is_weighted()
+        && csr.num_arcs() as u64 >= DELTA_MIN_ARCS
+        && csr.num_arcs() as u64 <= u32::MAX as u64
+}
 
 /// The uploaded representation: PGX.D's dual-direction adjacency. The
 /// upload phase pins both CSR directions (push walks out-edges, pull
 /// walks in-edges — the engine needs both resident, which is part of
 /// PGX.D's large-memory profile) and caches the out-degree table that
-/// pull iterations divide by on every traversed in-edge.
+/// the pull direction and the α/β switch consult.
 pub struct PushPullGraph {
     csr: Arc<Csr>,
-    /// Cached out-degrees for the pull direction.
+    /// Cached out-degrees for the pull direction and the α/β estimates.
     out_degrees: Box<[u32]>,
+    /// Σ out-degrees — the BFS `m_u` starting point.
+    total_out_degree: u64,
+    /// Delta-stepping split, built on first SSSP use (`TraversalPrep`).
+    light_heavy: OnceLock<Option<LightHeavy>>,
 }
 
 impl PushPullGraph {
@@ -55,6 +316,36 @@ impl PushPullGraph {
     #[inline]
     pub fn out_degrees(&self) -> &[u32] {
         &self.out_degrees
+    }
+
+    /// Σ out-degrees over all vertices.
+    #[inline]
+    pub fn total_out_degree(&self) -> u64 {
+        self.total_out_degree
+    }
+
+    /// The delta-stepping split, built on first use and cached on the
+    /// uploaded representation. `None` when the graph is unweighted or
+    /// too small for bucketing to pay.
+    pub fn light_heavy(&self, pool: &WorkerPool) -> Option<&LightHeavy> {
+        self.light_heavy
+            .get_or_init(|| {
+                if !delta_eligible(&self.csr) {
+                    return None;
+                }
+                let csr = &self.csr;
+                let n = csr.num_vertices();
+                let rows = |u: u32| (csr.out_neighbors(u), csr.out_weights(u));
+                let delta = mean_weight(n, csr.num_arcs() as u64, rows, pool)?;
+                Some(split_rows(n, delta, rows, pool))
+            })
+            .as_ref()
+    }
+
+    /// Whether the split has already been built (used by `run` to decide
+    /// if a `TraversalPrep` phase is still owed).
+    pub fn traversal_prepared(&self) -> bool {
+        self.light_heavy.get().is_some()
     }
 }
 
@@ -68,7 +359,13 @@ impl LoadedGraph for PushPullGraph {
     }
 
     fn resident_bytes(&self) -> u64 {
-        self.csr.resident_bytes() + 4 * self.out_degrees.len() as u64
+        self.csr.resident_bytes()
+            + 4 * self.out_degrees.len() as u64
+            + self
+                .light_heavy
+                .get()
+                .and_then(|split| split.as_ref())
+                .map_or(0, LightHeavy::resident_bytes)
     }
 }
 
@@ -89,9 +386,9 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn bfs(&self, root: u32, c: &mut WorkCounters) -> Vec<i64> {
+    fn bfs(&self, root: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<i64> {
         match self {
-            Exec::Single(g) => direction_optimizing_bfs(g.csr(), root, c),
+            Exec::Single(g) => direction_optimizing_bfs(g, root, pool, c),
             Exec::Sharded(g) => sharded::sharded_bfs(g, root, c),
         }
     }
@@ -123,10 +420,13 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn sssp(&self, root: u32, c: &mut WorkCounters) -> Vec<f64> {
+    fn sssp(&self, root: u32, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
         match self {
-            Exec::Single(g) => push_sssp(g.csr(), root, c),
-            Exec::Sharded(g) => sharded::sharded_sssp(g, root, c),
+            Exec::Single(g) => match g.light_heavy(pool) {
+                Some(split) => delta_stepping_sssp(g.csr(), split, root, pool, c),
+                None => label_correcting_sssp(g.csr(), root, c),
+            },
+            Exec::Sharded(g) => sharded::sharded_sssp(g, pool, root, c),
         }
     }
 }
@@ -171,7 +471,13 @@ impl Platform for PushPullEngine {
             .into_iter()
             .flatten()
             .collect();
-        Ok(Box::new(PushPullGraph { csr, out_degrees: degrees.into() }))
+        let total_out_degree = degrees.iter().map(|&d| d as u64).sum();
+        Ok(Box::new(PushPullGraph {
+            csr,
+            out_degrees: degrees.into(),
+            total_out_degree,
+            light_heavy: OnceLock::new(),
+        }))
     }
 
     fn supports_sharded(&self) -> bool {
@@ -210,6 +516,28 @@ impl Platform for PushPullEngine {
         };
         let csr = exec.csr();
         let pool = ctx.pool;
+        // The one-time SSSP preprocessing (the delta-stepping light/heavy
+        // split) runs before the processing clock starts and is recorded
+        // as its own phase — the paper's methodology prices graph
+        // preprocessing separately from T_proc, and repetitions reuse it.
+        if algorithm == Algorithm::Sssp && csr.is_weighted() {
+            let prepared = match &exec {
+                Exec::Single(g) => g.traversal_prepared(),
+                Exec::Sharded(g) => g.traversal_prepared(),
+            };
+            if !prepared {
+                let prep = Instant::now();
+                match &exec {
+                    Exec::Single(g) => {
+                        g.light_heavy(pool);
+                    }
+                    Exec::Sharded(g) => {
+                        g.light_heavy(pool);
+                    }
+                }
+                ctx.record_phase("TraversalPrep", prep.elapsed().as_secs_f64());
+            }
+        }
         let start = Instant::now();
         let mut c = WorkCounters::new();
         ctx.begin_trace();
@@ -217,7 +545,7 @@ impl Platform for PushPullEngine {
             Ok(match algorithm {
                 Algorithm::Bfs => {
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                    OutputValues::I64(exec.bfs(root, &mut c))
+                    OutputValues::I64(exec.bfs(root, pool, &mut c))
                 }
                 Algorithm::PageRank => OutputValues::F64(exec.pagerank(
                     params.pagerank_iterations,
@@ -237,7 +565,7 @@ impl Platform for PushPullEngine {
                         ));
                     }
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
-                    OutputValues::F64(exec.sssp(root, &mut c))
+                    OutputValues::F64(exec.sssp(root, pool, &mut c))
                 }
             })
         })();
@@ -288,8 +616,17 @@ impl Platform for PushPullEngine {
                 c.edges_scanned = s.edge_traversals as u64;
                 c.random_accesses = s.edge_traversals as u64;
             }
+            Algorithm::Sssp => {
+                // Delta-stepping: buckets bound re-relaxation, so scans
+                // stay near one pass over the arcs and only successful
+                // relaxations become messages (roughly one per vertex
+                // plus a correction tail).
+                c.vertices_processed = s.active_vertex_rounds as u64 + vertices;
+                c.edges_scanned = s.edge_traversals as u64;
+                c.messages = (2.0 * vertices as f64).min(s.edge_traversals) as u64;
+            }
             _ => {
-                // WCC/SSSP: push relaxations emit one message per scanned
+                // WCC: push relaxations emit one message per scanned
                 // edge.
                 c.vertices_processed = s.active_vertex_rounds as u64 + vertices;
                 c.edges_scanned = s.edge_traversals as u64;
@@ -302,72 +639,170 @@ impl Platform for PushPullEngine {
 }
 
 /// Direction-optimizing BFS: push while the frontier is sparse, pull
-/// (scan undecided vertices' in-edges) once it is dense.
+/// (scan undecided vertices' in-edges) once the α/β estimates say the
+/// pull scan is cheaper.
 ///
 /// Like [`pushpull_wcc`], dispatches on the tracing state outside the
 /// kernel: this is the hottest loop in the suite, and trace hooks in
 /// the body cost ~35% even when disabled.
-fn direction_optimizing_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
+fn direction_optimizing_bfs(
+    g: &PushPullGraph,
+    root: u32,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<i64> {
     if crate::trace::active() {
-        bfs_kernel::<true>(csr, root, c)
+        bfs_kernel::<true>(g, root, pool, c)
     } else {
-        bfs_kernel::<false>(csr, root, c)
+        bfs_kernel::<false>(g, root, pool, c)
     }
 }
 
 #[inline(never)]
-fn bfs_kernel<const TRACED: bool>(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
+fn bfs_kernel<const TRACED: bool>(
+    g: &PushPullGraph,
+    root: u32,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<i64> {
+    let csr = g.csr();
+    let degrees = g.out_degrees();
     let n = csr.num_vertices();
     let mut depth = vec![i64::MAX; n];
     depth[root as usize] = 0;
     let mut frontier = Frontier::singleton(n, root);
+    let mut next = Frontier::new(n);
+    let mut frontier_degree = degrees[root as usize] as u64;
+    let mut dir = DirectionState::new(g.total_out_degree(), frontier_degree);
     let mut level = 0i64;
     let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
     while !frontier.is_empty() {
         let active = frontier.len();
-        let pulled = frontier.density() >= PULL_THRESHOLD;
+        let pulling = dir.choose(frontier_degree, active, n);
         c.supersteps += 1;
         level += 1;
-        let mut next = Frontier::new(n);
-        if frontier.density() < PULL_THRESHOLD {
-            // Push: scatter from active vertices (messages).
-            c.vertices_processed += frontier.len() as u64;
-            for &u in frontier.members() {
-                let out = csr.out_neighbors(u);
-                c.edges_scanned += out.len() as u64;
-                c.add_messages(out.len() as u64, 8);
-                for &v in out {
-                    if depth[v as usize] == i64::MAX {
-                        depth[v as usize] = level;
-                        next.insert(v);
+        let mut next_degree = 0u64;
+        if !pulling {
+            // Push: workers scan contiguous chunks of the frontier and
+            // stage undiscovered targets; the merge applies them in chunk
+            // order — the discovery order of a sequential sweep, so
+            // `next`'s member order is width-invariant. Rounds below the
+            // dispatch cutoff apply discoveries directly (same
+            // first-encounter order, no staging buffers).
+            c.vertices_processed += active as u64;
+            if !parallel_worth(frontier.len(), frontier_degree) {
+                let mut edges = 0u64;
+                for &u in frontier.members() {
+                    let out = csr.out_neighbors(u);
+                    edges += out.len() as u64;
+                    for &v in out {
+                        if depth[v as usize] == i64::MAX {
+                            depth[v as usize] = level;
+                            next.insert(v);
+                            next_degree += degrees[v as usize] as u64;
+                        }
+                    }
+                }
+                c.edges_scanned += edges;
+                c.add_messages(edges, 8);
+            } else {
+                let members = frontier.members();
+                let depth_ref: &[i64] = &depth;
+                let chunks = pool.run(members.len(), |_, range| {
+                    let mut found = Vec::new();
+                    let mut edges = 0u64;
+                    for &u in &members[range] {
+                        let out = csr.out_neighbors(u);
+                        edges += out.len() as u64;
+                        for &v in out {
+                            if depth_ref[v as usize] == i64::MAX {
+                                found.push(v);
+                            }
+                        }
+                    }
+                    (found, edges)
+                });
+                for (found, edges) in chunks {
+                    c.edges_scanned += edges;
+                    c.add_messages(edges, 8);
+                    for v in found {
+                        if depth[v as usize] == i64::MAX {
+                            depth[v as usize] = level;
+                            next.insert(v);
+                            next_degree += degrees[v as usize] as u64;
+                        }
                     }
                 }
             }
         } else {
             // Pull: every undecided vertex reads its in-neighbours until
             // it finds one in the frontier (early exit — the pull win).
+            // Workers own contiguous vertex ranges and write only their
+            // own depth slots; newly found vertices merge in range order,
+            // which is exactly ascending-vertex order. Below the cutoff
+            // the same ascending sweep runs directly.
             c.vertices_processed += n as u64;
-            for v in 0..n as u32 {
-                if depth[v as usize] != i64::MAX {
-                    continue;
+            if !parallel_worth(n, dir.unexplored + n as u64) {
+                let mut edges = 0u64;
+                for v in 0..n {
+                    if depth[v] != i64::MAX {
+                        continue;
+                    }
+                    for &u in csr.in_neighbors(v as u32) {
+                        edges += 1;
+                        if frontier.contains(u) {
+                            depth[v] = level;
+                            next.insert(v as u32);
+                            next_degree += degrees[v] as u64;
+                            break;
+                        }
+                    }
                 }
-                for &u in csr.in_neighbors(v) {
-                    c.edges_scanned += 1;
-                    c.random_accesses += 1;
-                    if frontier.contains(u) {
-                        depth[v as usize] = level;
+                c.edges_scanned += edges;
+                c.random_accesses += edges;
+            } else {
+                let frontier_ref = &frontier;
+                let depth_ptr = SharedSlice::new(depth.as_mut_ptr());
+                let chunks = pool.run(n, |_, range| {
+                    let mut found = Vec::new();
+                    let mut edges = 0u64;
+                    for v in range {
+                        // SAFETY: pool ranges are disjoint; only this
+                        // worker touches index v.
+                        let dv = unsafe { depth_ptr.at(v) };
+                        if *dv != i64::MAX {
+                            continue;
+                        }
+                        for &u in csr.in_neighbors(v as u32) {
+                            edges += 1;
+                            if frontier_ref.contains(u) {
+                                *dv = level;
+                                found.push(v as u32);
+                                break;
+                            }
+                        }
+                    }
+                    (found, edges)
+                });
+                for (found, edges) in chunks {
+                    c.edges_scanned += edges;
+                    c.random_accesses += edges;
+                    for v in found {
                         next.insert(v);
-                        break;
+                        next_degree += degrees[v as usize] as u64;
                     }
                 }
             }
         }
-        frontier = next;
+        dir.discovered(next_degree);
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+        frontier_degree = next_degree;
         if TRACED {
             if let Some(it) = it.as_mut() {
                 it.lap(c, |s| {
                     s.with_info("active", active)
-                        .with_info("mode", if pulled { "pull" } else { "push" })
+                        .with_info("mode", if pulling { "pull" } else { "push" })
                 });
             }
         }
@@ -439,11 +874,11 @@ fn wcc_kernel<const TRACED: bool>(csr: &Csr, c: &mut WorkCounters) -> Vec<Vertex
     for v in 0..n as u32 {
         active.insert(v);
     }
+    let mut next = Frontier::new(n);
     let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
     while !active.is_empty() {
         c.supersteps += 1;
         c.vertices_processed += active.len() as u64;
-        let mut next = Frontier::new(n);
         // Accumulate the per-edge tallies in a register and flush once
         // per superstep: three counter read-modify-writes per traversed
         // edge would dominate this loop (every push is exactly one
@@ -473,7 +908,8 @@ fn wcc_kernel<const TRACED: bool>(csr: &Csr, c: &mut WorkCounters) -> Vec<Vertex
         c.edges_scanned += edges;
         c.add_messages(edges, 8);
         let active_count = active.len();
-        active = next;
+        std::mem::swap(&mut active, &mut next);
+        next.clear();
         if TRACED {
             if let Some(it) = it.as_mut() {
                 it.lap(c, |s| s.with_info("active", active_count));
@@ -521,34 +957,292 @@ fn pull_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters
     labels
 }
 
-/// SSSP: push-based relaxation over the active set.
-fn push_sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<f64> {
+/// The simple label-correcting SSSP: synchronous push relaxation over
+/// the active frontier. The tiny-graph fallback when delta-stepping is
+/// not worth its bucket bookkeeping, and the scanned-edge baseline the
+/// delta regression test and `repro_bench` compare against. Messages
+/// count only *successful* relaxations (12 bytes each: target + f64
+/// distance), the same rule as the delta kernel.
+pub fn label_correcting_sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     let mut dist = vec![f64::INFINITY; n];
     dist[root as usize] = 0.0;
     let mut active = Frontier::singleton(n, root);
+    let mut next = Frontier::new(n);
     let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
         let active_count = active.len();
         c.supersteps += 1;
-        c.vertices_processed += active.len() as u64;
-        let mut next = Frontier::new(n);
+        c.vertices_processed += active_count as u64;
+        let mut edges = 0u64;
+        let mut relaxed = 0u64;
         for &u in active.members() {
             let du = dist[u as usize];
             let out = csr.out_neighbors(u);
             let weights = csr.out_weights(u);
-            c.edges_scanned += out.len() as u64;
-            c.add_messages(out.len() as u64, 12);
+            edges += out.len() as u64;
             for (&v, &w) in out.iter().zip(weights) {
                 let nd = du + w;
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
+                    relaxed += 1;
                     next.insert(v);
                 }
             }
         }
-        active = next;
+        c.edges_scanned += edges;
+        c.add_messages(relaxed, 12);
+        std::mem::swap(&mut active, &mut next);
+        next.clear();
         it.lap(c, |s| s.with_info("active", active_count));
+    }
+    dist
+}
+
+/// One synchronous relaxation round over `active`, on the light or heavy
+/// half of the split: workers scan contiguous chunks and stage improving
+/// candidates (read-only against the distance snapshot); the merge
+/// applies them in chunk order — the relaxation order of a sequential
+/// sweep — counting one 12-byte message per *successful* relaxation.
+/// Rounds below the dispatch cutoff run the same two phases on the
+/// caller thread through a reused `scratch` buffer (the snapshot
+/// semantics must be kept either way: a source's distance is read as it
+/// was at round start, so both paths produce the identical candidate
+/// stream). Changed vertices are re-bucketed by their new tentative
+/// distance — re-entries into the *current* bucket (the common case for
+/// light edges) land in `pending` for the next round instead of paying a
+/// map lookup.
+#[allow(clippy::too_many_arguments)]
+fn relax_round<const HEAVY: bool>(
+    lh: &LightHeavy,
+    active: &[u32],
+    work: u64,
+    dist: &mut [f64],
+    changed: &mut Frontier,
+    buckets: &mut BTreeMap<u64, Vec<u32>>,
+    bucket: u64,
+    pending: &mut Vec<u32>,
+    scratch: &mut Vec<(u32, f64)>,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) {
+    let delta = lh.delta;
+    c.supersteps += 1;
+    c.vertices_processed += active.len() as u64;
+    let mut relaxed = 0u64;
+    if !parallel_worth(active.len(), work) {
+        scratch.clear();
+        let mut edges = 0u64;
+        for &u in active {
+            let du = dist[u as usize];
+            let (targets, weights) = if HEAVY { lh.heavy(u) } else { lh.light(u) };
+            edges += targets.len() as u64;
+            for (&v, &w) in targets.iter().zip(weights) {
+                let nd = du + w;
+                if nd < dist[v as usize] {
+                    scratch.push((v, nd));
+                }
+            }
+        }
+        c.edges_scanned += edges;
+        for &(v, nd) in scratch.iter() {
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                relaxed += 1;
+                changed.insert(v);
+            }
+        }
+    } else {
+        let dist_ref: &[f64] = dist;
+        let chunks = pool.run(active.len(), |_, range| {
+            let mut candidates: Vec<(u32, f64)> = Vec::new();
+            let mut edges = 0u64;
+            for &u in &active[range] {
+                let du = dist_ref[u as usize];
+                let (targets, weights) = if HEAVY { lh.heavy(u) } else { lh.light(u) };
+                edges += targets.len() as u64;
+                for (&v, &w) in targets.iter().zip(weights) {
+                    let nd = du + w;
+                    if nd < dist_ref[v as usize] {
+                        candidates.push((v, nd));
+                    }
+                }
+            }
+            (candidates, edges)
+        });
+        for (candidates, edges) in chunks {
+            c.edges_scanned += edges;
+            for (v, nd) in candidates {
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    relaxed += 1;
+                    changed.insert(v);
+                }
+            }
+        }
+    }
+    c.add_messages(relaxed, 12);
+    for &v in changed.members() {
+        let b = (dist[v as usize] / delta) as u64;
+        // Light relaxations never land below the current bucket
+        // (distances of current-bucket sources are ≥ bucket·Δ and
+        // weights are positive), and heavy ones always land above it.
+        if b == bucket {
+            pending.push(v);
+        } else {
+            buckets.entry(b).or_default().push(v);
+        }
+    }
+    changed.clear();
+}
+
+/// Delta-stepping SSSP (Meyer & Sanders) over the cached light/heavy
+/// split: vertices are bucketed by `⌊dist/Δ⌋`; each bucket runs light
+/// rounds to a local fixpoint, then one heavy pass over everything the
+/// bucket settled. Light relaxations within the bucket re-enter it;
+/// heavier improvements land in later buckets — so far fewer edges are
+/// re-scanned than the label-correcting sweep.
+///
+/// Output is bitwise identical to [`label_correcting_sssp`]: both
+/// compute the unique relaxation fixpoint where every `dist[v]` is a
+/// path-ordered f64 sum and no edge can improve it, and the fixpoint
+/// does not depend on the relaxation schedule. Settled vertices are
+/// final because `⌊a/Δ⌋ > ⌊b/Δ⌋` implies `a > b` and `fl(a+w) ≥ a` for
+/// `w > 0` — candidates from later buckets cannot improve them.
+fn delta_stepping_sssp(
+    csr: &Csr,
+    lh: &LightHeavy,
+    root: u32,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    if crate::trace::active() {
+        delta_sssp_kernel::<true>(csr, lh, root, pool, c)
+    } else {
+        delta_sssp_kernel::<false>(csr, lh, root, pool, c)
+    }
+}
+
+#[inline(never)]
+fn delta_sssp_kernel<const TRACED: bool>(
+    csr: &Csr,
+    lh: &LightHeavy,
+    root: u32,
+    pool: &WorkerPool,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    let n = csr.num_vertices();
+    let delta = lh.delta;
+    let mut dist = vec![f64::INFINITY; n];
+    dist[root as usize] = 0.0;
+    let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    buckets.insert(0, vec![root]);
+    // Reused across all rounds (double-buffered-style: clear, not
+    // reallocate): the bucket's settled set, the per-round activation
+    // dedup, the per-round successful-relaxation set, the current /
+    // pending bucket buffers, and the candidate scratch.
+    let mut settled = Frontier::new(n);
+    let mut seen = Frontier::new(n);
+    let mut changed = Frontier::new(n);
+    let mut active: Vec<u32> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    let mut pending: Vec<u32> = Vec::new();
+    let mut scratch: Vec<(u32, f64)> = Vec::new();
+    let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
+    while let Some((&bucket, _)) = buckets.first_key_value() {
+        settled.clear();
+        // Light rounds: drain bucket `bucket` to its local fixpoint —
+        // first the map's entry, then whatever each round re-enqueued
+        // into `pending`. Entries whose distance has since improved into
+        // a later bucket (or that already ran this round) are stale and
+        // skipped.
+        loop {
+            current.clear();
+            std::mem::swap(&mut current, &mut pending);
+            if current.is_empty() {
+                match buckets.remove(&bucket) {
+                    Some(cur) => current = cur,
+                    None => break,
+                }
+            }
+            active.clear();
+            let mut light_work = 0u64;
+            for &v in &current {
+                if (dist[v as usize] / delta) as u64 == bucket && seen.insert(v) {
+                    active.push(v);
+                    light_work += lh.light_degree(v);
+                }
+            }
+            seen.clear();
+            if active.is_empty() {
+                continue;
+            }
+            for &v in &active {
+                settled.insert(v);
+            }
+            let round_active = active.len();
+            relax_round::<false>(
+                lh,
+                &active,
+                light_work,
+                &mut dist,
+                &mut changed,
+                &mut buckets,
+                bucket,
+                &mut pending,
+                &mut scratch,
+                pool,
+                c,
+            );
+            if TRACED {
+                if let Some(it) = it.as_mut() {
+                    it.lap(c, |s| {
+                        s.with_info("active", round_active)
+                            .with_info("mode", "light")
+                            .with_info("bucket", bucket)
+                    });
+                }
+            }
+        }
+        // One heavy pass over everything this bucket settled: heavy
+        // edges (w > Δ) cannot re-enter the bucket, so once is enough.
+        if !settled.is_empty() {
+            let heavy_work: u64 = settled.members().iter().map(|&v| lh.heavy_degree(v)).sum();
+            if heavy_work > 0 {
+                let round_active = settled.len();
+                relax_round::<true>(
+                    lh,
+                    settled.members(),
+                    heavy_work,
+                    &mut dist,
+                    &mut changed,
+                    &mut buckets,
+                    bucket,
+                    &mut pending,
+                    &mut scratch,
+                    pool,
+                    c,
+                );
+                if TRACED {
+                    if let Some(it) = it.as_mut() {
+                        it.lap(c, |s| {
+                            s.with_info("active", round_active)
+                                .with_info("mode", "heavy")
+                                .with_info("bucket", bucket)
+                        });
+                    }
+                }
+                // A heavy relaxation mathematically lands above the
+                // current bucket, but f64 rounding can floor it back in
+                // (fl(du+w) can dip just under (bucket+1)·Δ). The outer
+                // loop only consults the map, so spill any such
+                // re-entries back — min-bucket selection then resumes
+                // the bucket exactly as the map-only variant would.
+                for v in pending.drain(..) {
+                    buckets.entry((dist[v as usize] / delta) as u64).or_default().push(v);
+                }
+            }
+        }
     }
     dist
 }
@@ -568,6 +1262,26 @@ mod tests {
             b.add_weighted_edge(s, d, w);
         }
         b.build().unwrap().to_csr()
+    }
+
+    /// Number of vertices in [`mid_weighted_csr`]: two out-edges each,
+    /// so the 120k arcs clear `DELTA_MIN_ARCS` and the graph takes the
+    /// delta-stepping path.
+    const MID_N: u64 = 60_000;
+
+    fn mid_weighted_csr() -> Arc<Csr> {
+        let mut b = GraphBuilder::new(true);
+        b.set_weighted(true);
+        b.add_vertex_range(MID_N);
+        for v in 0..MID_N {
+            b.add_weighted_edge(v, (v * 7 + 1) % MID_N, ((v % 13) + 1) as f64);
+            b.add_weighted_edge(v, (v * 31 + 5) % MID_N, (((v % 3) + 1) as f64) * 2.5);
+        }
+        Arc::new(b.build().unwrap().to_csr())
+    }
+
+    fn upload(csr: Arc<Csr>, pool: &WorkerPool) -> Box<dyn LoadedGraph> {
+        PushPullEngine::new().upload(csr, pool).unwrap()
     }
 
     #[test]
@@ -598,18 +1312,21 @@ mod tests {
 
     #[test]
     fn bfs_switches_to_pull_on_dense_frontier() {
-        // A star: after one push step the frontier is the whole graph.
+        // A star: after one push step the frontier's out-degree sum (99)
+        // exceeds m_u/α, so the next level runs in pull mode.
         let mut b = GraphBuilder::new(false);
         b.add_vertex_range(100);
         for i in 1..100u64 {
             b.add_edge(0, i);
         }
-        let csr = b.build().unwrap().to_csr();
+        let pool = WorkerPool::inline();
+        let loaded = upload(Arc::new(b.build().unwrap().to_csr()), &pool);
+        let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
         let mut c = WorkCounters::new();
-        let depths = direction_optimizing_bfs(&csr, 0, &mut c);
+        let depths = direction_optimizing_bfs(g, 0, &pool, &mut c);
         assert!(depths.iter().all(|&d| d <= 2));
         // Pull iterations process all vertices; push processes frontier
-        // only. The second level must have been pull (density 0.99).
+        // only. The dense level must have been pull.
         assert!(c.vertices_processed > 100);
     }
 
@@ -624,5 +1341,72 @@ mod tests {
         let _ = pull_pagerank(graph, 5, 0.85, &pool, &mut c);
         assert_eq!(c.messages, 0, "pull mode reads, never sends");
         assert!(c.edges_scanned > 0);
+    }
+
+    #[test]
+    fn light_heavy_split_partitions_every_edge_at_mean_weight() {
+        let csr = mid_weighted_csr();
+        let pool = WorkerPool::new(2);
+        let loaded = upload(csr.clone(), &pool);
+        let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
+        assert!(!g.traversal_prepared(), "split is lazy");
+        let lh = g.light_heavy(&pool).expect("eligible graph");
+        assert!(g.traversal_prepared());
+        assert_eq!(lh.num_light() + lh.num_heavy(), csr.num_arcs() as u64);
+        let total: f64 =
+            (0..MID_N as u32).map(|u| csr.out_weights(u).iter().sum::<f64>()).sum();
+        assert_eq!(lh.delta(), total / csr.num_arcs() as f64);
+        for u in 0..MID_N as u32 {
+            let (_, lw) = lh.light(u);
+            assert!(lw.iter().all(|&w| w <= lh.delta()));
+            let (_, hw) = lh.heavy(u);
+            assert!(hw.iter().all(|&w| w > lh.delta()));
+            assert_eq!(
+                lh.light_degree(u) + lh.heavy_degree(u),
+                csr.out_degree(u) as u64,
+                "vertex {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_skip_the_delta_split() {
+        let pool = WorkerPool::inline();
+        let loaded = upload(Arc::new(sample(true)), &pool);
+        let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
+        assert!(g.light_heavy(&pool).is_none(), "below DELTA_MIN_ARCS");
+    }
+
+    #[test]
+    fn sssp_messages_count_only_successful_relaxations() {
+        // 0→1 (w=1), 0→2 (w=5), 1→2 (w=1), 2→1 (w=10). The 2→1 edge is
+        // scanned twice and never relaxes: 5 scans, 3 successes.
+        let mut b = GraphBuilder::new(true);
+        b.set_weighted(true);
+        b.add_vertex_range(3);
+        for (s, d, w) in [(0, 1, 1.0), (0, 2, 5.0), (1, 2, 1.0), (2, 1, 10.0)] {
+            b.add_weighted_edge(s, d, w);
+        }
+        let csr = b.build().unwrap().to_csr();
+        let mut c = WorkCounters::new();
+        let dist = label_correcting_sssp(&csr, 0, &mut c);
+        assert_eq!(dist, vec![0.0, 1.0, 2.0]);
+        assert_eq!(c.edges_scanned, 5);
+        assert_eq!(c.messages, 3, "only successful relaxations are messages");
+        assert_eq!(c.message_bytes, 36);
+    }
+
+    #[test]
+    fn delta_stepping_matches_label_correcting_bitwise() {
+        let csr = mid_weighted_csr();
+        let pool = WorkerPool::new(4);
+        let loaded = upload(csr.clone(), &pool);
+        let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
+        let lh = g.light_heavy(&pool).unwrap();
+        let mut cd = WorkCounters::new();
+        let delta = delta_stepping_sssp(&csr, lh, 0, &pool, &mut cd);
+        let mut cb = WorkCounters::new();
+        let base = label_correcting_sssp(&csr, 0, &mut cb);
+        assert_eq!(delta, base, "same relaxation fixpoint, bitwise");
     }
 }

@@ -5,11 +5,13 @@
 //! Why bit-identity holds per kernel:
 //!
 //! * **BFS** — level-synchronous: a vertex's depth is its BFS level, a
-//!   property of the level *sets*, which no schedule can change. Push
-//!   rounds stage discoveries in per-shard queues applied at the barrier
-//!   in deterministic shard/worker order; pull rounds scan each
-//!   undecided vertex's in-row (a verbatim copy of the global row, so
-//!   the early-exit point is identical) and write only owned slots.
+//!   property of the level *sets*, which no schedule can change. The
+//!   push/pull choice comes from the same set-level α/β estimates as the
+//!   single-shard kernel. Push rounds stage discoveries in per-shard
+//!   queues applied at the barrier in deterministic shard/worker order;
+//!   pull rounds scan each undecided vertex's in-row (a verbatim copy of
+//!   the global row, so the early-exit point is identical) and write
+//!   only owned slots.
 //! * **PageRank** — the dangling-mass scan is the same canonical
 //!   ascending loop as the single-shard kernel, and each vertex's rank
 //!   sum walks its shard in-row, a verbatim copy of the global in-row:
@@ -17,9 +19,10 @@
 //! * **WCC / SSSP** — min-label and min-plus relaxation are monotone
 //!   fixpoints: the final value at each vertex is the minimum over
 //!   (path-ordered) candidate values, independent of relaxation
-//!   schedule, so the synchronous sharded rounds land on bitwise the
-//!   same fixpoint as the asynchronous single-shard sweeps (superstep
-//!   *counts* legitimately differ; outputs cannot).
+//!   schedule, so the sharded rounds — delta-stepping buckets over the
+//!   per-shard light/heavy splits for SSSP — land on bitwise the same
+//!   fixpoint as the single-shard sweeps (superstep *counts*
+//!   legitimately differ; outputs cannot).
 //! * **CDLP** — fully synchronous: every label is a function of the
 //!   previous iteration's labels and the vertex's own (verbatim-copied)
 //!   adjacency rows.
@@ -27,20 +30,23 @@
 //! Inter-shard accounting follows the engine's semantics: only *push*
 //! traffic is messages (pull is remote reads and stays message-free, as
 //! in the single-shard kernels), so `inter_shard_messages` remains a
-//! subset of `messages`.
+//! subset of `messages`. For SSSP both counters tally only *successful*
+//! relaxations, matching the single-shard kernels' rule.
 
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use graphalytics_cluster::WorkCounters;
 use graphalytics_core::{Csr, VertexId};
 
 use crate::common::frontier::Frontier;
-use crate::common::pool::SharedSlice;
+use crate::common::pool::{SharedSlice, WorkerPool};
 use crate::platform::LoadedGraph;
 use crate::sharded::{ShardLayout, ShardSet};
 use crate::trace::{self, IterTimer, SpanRecord};
 
-use super::PULL_THRESHOLD;
+use super::{delta_eligible, mean_weight, split_rows, DirectionState, LightHeavy};
 
 /// Per-shard pull-phase output: shard wall seconds plus each worker's
 /// (newly found vertices, edges scanned) tallies.
@@ -83,14 +89,19 @@ fn lap_sharded(
 pub struct PushPullShardedGraph {
     set: ShardSet,
     out_degrees: Box<[u32]>,
+    total_out_degree: u64,
+    /// Per-shard delta-stepping splits (indexed by shard, then local
+    /// vertex index) sharing one global Δ. Built on first SSSP use.
+    light_heavy: OnceLock<Option<Vec<LightHeavy>>>,
 }
 
 impl PushPullShardedGraph {
     pub(crate) fn new(set: ShardSet) -> Self {
         let csr = set.csr();
-        let out_degrees =
+        let out_degrees: Box<[u32]> =
             (0..csr.num_vertices() as u32).map(|u| csr.out_degree(u) as u32).collect();
-        PushPullShardedGraph { set, out_degrees }
+        let total_out_degree = out_degrees.iter().map(|&d| d as u64).sum();
+        PushPullShardedGraph { set, out_degrees, total_out_degree, light_heavy: OnceLock::new() }
     }
 
     /// The underlying shard set.
@@ -104,6 +115,47 @@ impl PushPullShardedGraph {
     pub fn out_degrees(&self) -> &[u32] {
         &self.out_degrees
     }
+
+    /// Σ out-degrees over all vertices.
+    #[inline]
+    pub fn total_out_degree(&self) -> u64 {
+        self.total_out_degree
+    }
+
+    /// The per-shard delta-stepping splits, built on first use. Δ is the
+    /// *global* mean edge weight (computed over the monolithic CSR, so
+    /// it is bit-identical to the single-shard kernel's Δ); each shard's
+    /// rows are then split locally. `None` under the same eligibility
+    /// gate as the single-shard split.
+    pub fn light_heavy(&self, pool: &WorkerPool) -> Option<&[LightHeavy]> {
+        self.light_heavy
+            .get_or_init(|| {
+                let csr = self.set.csr();
+                if !delta_eligible(csr) {
+                    return None;
+                }
+                let n = csr.num_vertices();
+                let rows = |u: u32| (csr.out_neighbors(u), csr.out_weights(u));
+                let delta = mean_weight(n, csr.num_arcs() as u64, rows, pool)?;
+                let sharded = self.set.sharded();
+                Some(
+                    (0..sharded.num_shards() as usize)
+                        .map(|s| {
+                            let shard = sharded.shard(s);
+                            split_rows(shard.len(), delta, |li| shard.out_row(li as usize), pool)
+                        })
+                        .collect(),
+                )
+            })
+            .as_ref()
+            .map(|splits| splits.as_slice())
+    }
+
+    /// Whether the splits have already been built (used by `run` to
+    /// decide if a `TraversalPrep` phase is still owed).
+    pub fn traversal_prepared(&self) -> bool {
+        self.light_heavy.get().is_some()
+    }
 }
 
 impl LoadedGraph for PushPullShardedGraph {
@@ -116,7 +168,13 @@ impl LoadedGraph for PushPullShardedGraph {
     }
 
     fn resident_bytes(&self) -> u64 {
-        self.set.resident_bytes() + 4 * self.out_degrees.len() as u64
+        self.set.resident_bytes()
+            + 4 * self.out_degrees.len() as u64
+            + self
+                .light_heavy
+                .get()
+                .and_then(|splits| splits.as_ref())
+                .map_or(0, |splits| splits.iter().map(LightHeavy::resident_bytes).sum())
     }
 
     fn shard_layout(&self) -> Option<ShardLayout> {
@@ -142,7 +200,8 @@ struct PushOut<T> {
 }
 
 /// Sharded direction-optimizing BFS (see module docs for the identity
-/// argument).
+/// argument). Uses the same α/β switch state as the single-shard kernel
+/// and a double-buffered frontier pair.
 pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCounters) -> Vec<i64> {
     let set = g.set();
     let sharded = set.sharded();
@@ -150,22 +209,27 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
     let pools = set.pools();
     let shards = sharded.num_shards() as usize;
     let n = set.csr().num_vertices();
+    let degrees = g.out_degrees();
 
     let mut depth = vec![i64::MAX; n];
     depth[root as usize] = 0;
     let mut frontier = Frontier::singleton(n, root);
+    let mut next = Frontier::new(n);
+    let mut frontier_degree = degrees[root as usize] as u64;
+    let mut dir = DirectionState::new(g.total_out_degree(), frontier_degree);
     let mut level = 0i64;
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
         let active = frontier.len();
+        let pulling = dir.choose(frontier_degree, active, n);
         c.supersteps += 1;
         level += 1;
-        let mut next = Frontier::new(n);
-        if frontier.density() < PULL_THRESHOLD {
+        let mut next_degree = 0u64;
+        if !pulling {
             // Push: owned frontier vertices scatter through the shard
             // queues; the barrier applies discoveries in shard order.
-            c.vertices_processed += frontier.len() as u64;
+            c.vertices_processed += active as u64;
             let owned = route(frontier.members(), owner, shards);
             let depth_ref = &depth;
             let outputs: Vec<(f64, Vec<PushOut<()>>)> = std::thread::scope(|scope| {
@@ -213,6 +277,7 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
                         if depth[v as usize] == i64::MAX {
                             depth[v as usize] = level;
                             next.insert(v);
+                            next_degree += degrees[v as usize] as u64;
                         }
                     }
                 }
@@ -268,6 +333,7 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
                     c.random_accesses += edges;
                     for v in found {
                         next.insert(v);
+                        next_degree += degrees[v as usize] as u64;
                     }
                 }
             }
@@ -275,7 +341,10 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
             // Pull rounds read remotely instead of queueing messages.
             lap_sharded(&mut it, c, active, shard_secs, 0, drain_secs, "pull");
         }
-        frontier = next;
+        dir.discovered(next_degree);
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+        frontier_degree = next_degree;
     }
     depth
 }
@@ -351,7 +420,8 @@ pub(super) fn sharded_pagerank(
     rank
 }
 
-/// Sharded WCC: synchronous min-label rounds through the shard queues.
+/// Sharded WCC: synchronous min-label rounds through the shard queues,
+/// over a double-buffered frontier pair.
 pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec<VertexId> {
     let set = g.set();
     let csr = set.csr();
@@ -363,14 +433,18 @@ pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec
     let directed = csr.is_directed();
 
     let mut label: Vec<u32> = (0..n as u32).collect();
-    let mut active: Vec<u32> = (0..n as u32).collect();
+    let mut active = Frontier::new(n);
+    for v in 0..n as u32 {
+        active.insert(v);
+    }
+    let mut next = Frontier::new(n);
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
         let active_count = active.len();
         c.supersteps += 1;
-        c.vertices_processed += active.len() as u64;
-        let owned = route(&active, owner, shards);
+        c.vertices_processed += active_count as u64;
+        let owned = route(active.members(), owner, shards);
         let label_ref = &label;
         let outputs: Vec<(f64, Vec<PushOut<u32>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
@@ -407,7 +481,6 @@ pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
         });
-        let mut next = Frontier::new(n);
         let mut shard_secs = Vec::with_capacity(shards);
         let mut queue_depth = 0usize;
         let drain_t = tracing.then(Instant::now);
@@ -427,7 +500,8 @@ pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec
                 }
             }
         }
-        active = next.members().to_vec();
+        std::mem::swap(&mut active, &mut next);
+        next.clear();
         let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
         lap_sharded(&mut it, c, active_count, shard_secs, queue_depth, drain_secs, "push");
     }
@@ -511,9 +585,220 @@ pub(super) fn sharded_cdlp(
     labels
 }
 
-/// Sharded SSSP: synchronous min-plus relaxation through the shard
-/// queues.
-pub(super) fn sharded_sssp(g: &PushPullShardedGraph, root: u32, c: &mut WorkCounters) -> Vec<f64> {
+/// Sharded SSSP: delta-stepping over the per-shard light/heavy splits,
+/// or the synchronous label-correcting fallback when the graph is below
+/// the delta-stepping threshold.
+pub(super) fn sharded_sssp(
+    g: &PushPullShardedGraph,
+    pool: &WorkerPool,
+    root: u32,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    match g.light_heavy(pool) {
+        Some(splits) => sharded_delta_sssp(g, splits, root, c),
+        None => sharded_label_correcting_sssp(g, root, c),
+    }
+}
+
+/// One synchronous sharded relaxation round over `active`, on the light
+/// or heavy half of the splits. Each shard's owned vertices stage
+/// improving candidates against the round's frozen distance snapshot;
+/// the barrier merge applies them in shard/worker order, counting one
+/// 12-byte message per successful relaxation (and one inter-shard
+/// message when the producing shard does not own the target). Rounds
+/// with little estimated work run inline — shard by shard on the caller
+/// thread, producing the identical candidate stream — instead of paying
+/// a thread spawn per shard.
+#[allow(clippy::too_many_arguments)]
+fn sharded_relax_round<const HEAVY: bool>(
+    g: &PushPullShardedGraph,
+    splits: &[LightHeavy],
+    active: &[u32],
+    work: u64,
+    dist: &mut [f64],
+    changed: &mut Frontier,
+    buckets: &mut BTreeMap<u64, Vec<u32>>,
+    c: &mut WorkCounters,
+    tracing: bool,
+    it: &mut IterTimer,
+) {
+    let set = g.set();
+    let sharded = set.sharded();
+    let owner = sharded.owner();
+    let pools = set.pools();
+    let shards = sharded.num_shards() as usize;
+    let delta = splits[0].delta();
+    c.supersteps += 1;
+    c.vertices_processed += active.len() as u64;
+    let owned = route(active, owner, shards);
+    let outputs: Vec<(f64, Vec<PushOut<f64>>)> = {
+        let dist_ref: &[f64] = dist;
+        let scan = |s: usize, mine: &[u32], range: std::ops::Range<usize>| {
+            let mut out = PushOut { msgs: Vec::new(), edges: 0, inter: 0 };
+            for &u in &mine[range] {
+                let du = dist_ref[u as usize];
+                let li = sharded.local_index_of(u);
+                let (targets, weights) =
+                    if HEAVY { splits[s].heavy(li) } else { splits[s].light(li) };
+                out.edges += targets.len() as u64;
+                for (&v, &w) in targets.iter().zip(weights) {
+                    let nd = du + w;
+                    if nd < dist_ref[v as usize] {
+                        out.msgs.push((v, nd));
+                    }
+                }
+            }
+            out
+        };
+        if !super::parallel_worth(active.len(), work) {
+            (0..shards)
+                .map(|s| {
+                    let mine = owned[s].as_slice();
+                    timed(tracing, || vec![scan(s, mine, 0..mine.len())])
+                })
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let scan = &scan;
+                let handles: Vec<_> = (0..shards)
+                    .map(|s| {
+                        let mine = owned[s].as_slice();
+                        let pool = &pools[s];
+                        scope.spawn(move || {
+                            timed(tracing, || {
+                                pool.run(mine.len(), |_, range| scan(s, mine, range))
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+            })
+        }
+    };
+    let mut relaxed = 0u64;
+    let mut inter = 0u64;
+    let mut shard_secs = Vec::with_capacity(shards);
+    let mut queue_depth = 0usize;
+    let drain_t = tracing.then(Instant::now);
+    for (s, (secs, outs)) in outputs.into_iter().enumerate() {
+        shard_secs.push(secs);
+        for out in outs {
+            queue_depth += out.msgs.len();
+            c.edges_scanned += out.edges;
+            for (v, nd) in out.msgs {
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    relaxed += 1;
+                    changed.insert(v);
+                    if owner[v as usize] != s as u32 {
+                        inter += 1;
+                    }
+                }
+            }
+        }
+    }
+    c.add_messages(relaxed, 12);
+    c.inter_shard_messages += inter;
+    c.inter_shard_bytes += 12 * inter;
+    for &v in changed.members() {
+        buckets.entry((dist[v as usize] / delta) as u64).or_default().push(v);
+    }
+    changed.clear();
+    let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+    lap_sharded(
+        it,
+        c,
+        active.len(),
+        shard_secs,
+        queue_depth,
+        drain_secs,
+        if HEAVY { "heavy" } else { "light" },
+    );
+}
+
+/// Sharded delta-stepping: the same bucket driver as the single-shard
+/// kernel (same global Δ, so the same bucket schedule in spirit), with
+/// each round's relaxations fanned out shard-by-shard.
+fn sharded_delta_sssp(
+    g: &PushPullShardedGraph,
+    splits: &[LightHeavy],
+    root: u32,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
+    let set = g.set();
+    let sharded = set.sharded();
+    let owner = sharded.owner();
+    let n = set.csr().num_vertices();
+    let delta = splits[0].delta();
+    let degree_of = |v: u32, heavy: bool| {
+        let split = &splits[owner[v as usize] as usize];
+        let li = sharded.local_index_of(v);
+        if heavy { split.heavy_degree(li) } else { split.light_degree(li) }
+    };
+
+    let mut dist = vec![f64::INFINITY; n];
+    dist[root as usize] = 0.0;
+    let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    buckets.insert(0, vec![root]);
+    let mut settled = Frontier::new(n);
+    let mut seen = Frontier::new(n);
+    let mut changed = Frontier::new(n);
+    let mut active: Vec<u32> = Vec::new();
+    let tracing = trace::active();
+    let mut it = IterTimer::new("Iteration", c);
+    while let Some((&bucket, _)) = buckets.first_key_value() {
+        settled.clear();
+        while let Some(current) = buckets.remove(&bucket) {
+            active.clear();
+            let mut light_work = 0u64;
+            for &v in &current {
+                if (dist[v as usize] / delta) as u64 == bucket && seen.insert(v) {
+                    active.push(v);
+                    light_work += degree_of(v, false);
+                }
+            }
+            seen.clear();
+            if active.is_empty() {
+                continue;
+            }
+            for &v in &active {
+                settled.insert(v);
+            }
+            sharded_relax_round::<false>(
+                g, splits, &active, light_work, &mut dist, &mut changed, &mut buckets, c,
+                tracing, &mut it,
+            );
+        }
+        if !settled.is_empty() {
+            let heavy_work: u64 =
+                settled.members().iter().map(|&v| degree_of(v, true)).sum();
+            if heavy_work > 0 {
+                sharded_relax_round::<true>(
+                    g,
+                    splits,
+                    settled.members(),
+                    heavy_work,
+                    &mut dist,
+                    &mut changed,
+                    &mut buckets,
+                    c,
+                    tracing,
+                    &mut it,
+                );
+            }
+        }
+    }
+    dist
+}
+
+/// Sharded label-correcting SSSP (the tiny-graph fallback): synchronous
+/// min-plus relaxation through the shard queues, double-buffered
+/// frontiers, messages counted per successful relaxation.
+fn sharded_label_correcting_sssp(
+    g: &PushPullShardedGraph,
+    root: u32,
+    c: &mut WorkCounters,
+) -> Vec<f64> {
     let set = g.set();
     let sharded = set.sharded();
     let owner = sharded.owner();
@@ -523,14 +808,15 @@ pub(super) fn sharded_sssp(g: &PushPullShardedGraph, root: u32, c: &mut WorkCoun
 
     let mut dist = vec![f64::INFINITY; n];
     dist[root as usize] = 0.0;
-    let mut active = vec![root];
+    let mut active = Frontier::singleton(n, root);
+    let mut next = Frontier::new(n);
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
         let active_count = active.len();
         c.supersteps += 1;
-        c.vertices_processed += active.len() as u64;
-        let owned = route(&active, owner, shards);
+        c.vertices_processed += active_count as u64;
+        let owned = route(active.members(), owner, shards);
         let dist_ref = &dist;
         let outputs: Vec<(f64, Vec<PushOut<f64>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
@@ -547,9 +833,6 @@ pub(super) fn sharded_sssp(g: &PushPullShardedGraph, root: u32, c: &mut WorkCoun
                                 let (targets, weights) = shard.out_row(li);
                                 out.edges += targets.len() as u64;
                                 for (&v, &w) in targets.iter().zip(weights) {
-                                    if owner[v as usize] != s as u32 {
-                                        out.inter += 1;
-                                    }
                                     let nd = du + w;
                                     if nd < dist_ref[v as usize] {
                                         out.msgs.push((v, nd));
@@ -563,27 +846,33 @@ pub(super) fn sharded_sssp(g: &PushPullShardedGraph, root: u32, c: &mut WorkCoun
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
         });
-        let mut next = Frontier::new(n);
+        let mut relaxed = 0u64;
+        let mut inter = 0u64;
         let mut shard_secs = Vec::with_capacity(shards);
         let mut queue_depth = 0usize;
         let drain_t = tracing.then(Instant::now);
-        for (secs, outs) in outputs {
+        for (s, (secs, outs)) in outputs.into_iter().enumerate() {
             shard_secs.push(secs);
             for out in outs {
                 queue_depth += out.msgs.len();
                 c.edges_scanned += out.edges;
-                c.add_messages(out.edges, 12);
-                c.inter_shard_messages += out.inter;
-                c.inter_shard_bytes += 12 * out.inter;
                 for (v, nd) in out.msgs {
                     if nd < dist[v as usize] {
                         dist[v as usize] = nd;
+                        relaxed += 1;
                         next.insert(v);
+                        if owner[v as usize] != s as u32 {
+                            inter += 1;
+                        }
                     }
                 }
             }
         }
-        active = next.members().to_vec();
+        c.add_messages(relaxed, 12);
+        c.inter_shard_messages += inter;
+        c.inter_shard_bytes += 12 * inter;
+        std::mem::swap(&mut active, &mut next);
+        next.clear();
         let drain_secs = drain_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
         lap_sharded(&mut it, c, active_count, shard_secs, queue_depth, drain_secs, "push");
     }
@@ -603,6 +892,20 @@ mod tests {
         for v in 0..150u64 {
             b.add_weighted_edge(v, (v + 1) % 150, ((v % 7) + 1) as f64);
             b.add_weighted_edge(v, (v + 53) % 150, ((v % 5) + 1) as f64);
+        }
+        Arc::new(b.build().unwrap().to_csr())
+    }
+
+    /// Two out-edges per vertex, 120k arcs: above `DELTA_MIN_ARCS`, so
+    /// the sharded SSSP takes the delta-stepping path.
+    fn big_csr() -> Arc<Csr> {
+        const N: u64 = 60_000;
+        let mut b = GraphBuilder::new(true);
+        b.set_weighted(true);
+        b.add_vertex_range(N);
+        for v in 0..N {
+            b.add_weighted_edge(v, (v * 3 + 1) % N, ((v % 11) + 1) as f64);
+            b.add_weighted_edge(v, (v + 158) % N, (((v % 4) + 1) as f64) * 1.75);
         }
         Arc::new(b.build().unwrap().to_csr())
     }
@@ -632,6 +935,34 @@ mod tests {
                     "{alg:?}: inter-shard messages are a subset of messages"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sharded_delta_sssp_matches_single_shard() {
+        let csr = big_csr();
+        let engine = PushPullEngine::new();
+        let pool = WorkerPool::new(4);
+        let params = AlgorithmParams::with_source(0);
+        let single = engine.upload(csr.clone(), &pool).unwrap();
+        assert!(
+            single
+                .as_any()
+                .downcast_ref::<PushPullGraph>()
+                .unwrap()
+                .light_heavy(&pool)
+                .is_some(),
+            "graph must be delta-eligible for this test to bite"
+        );
+        for shards in [2u32, 4] {
+            let multi =
+                engine.upload_sharded(csr.clone(), &ShardPlan::new(shards), &pool).unwrap();
+            let mut c1 = RunContext::new(&pool);
+            let mut c2 = RunContext::new(&pool);
+            let base = engine.run(single.as_ref(), Algorithm::Sssp, &params, &mut c1).unwrap();
+            let run = engine.run(multi.as_ref(), Algorithm::Sssp, &params, &mut c2).unwrap();
+            assert_eq!(base.output, run.output, "delta SSSP at {shards} shards");
+            assert!(run.counters.inter_shard_messages <= run.counters.messages);
         }
     }
 

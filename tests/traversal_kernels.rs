@@ -1,0 +1,110 @@
+//! Determinism and work contracts of the parallel traversal kernels
+//! (direction-optimizing BFS with α/β switching, delta-stepping SSSP):
+//! bit-identical outputs *and* work counters across pool widths, and the
+//! delta-stepping edge-work win over the label-correcting baseline that
+//! justifies the kernel swap.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use graphalytics::core::{AlgorithmOutput, OutputValues};
+use graphalytics::engines::WorkCounters;
+use graphalytics::graph500::RmatConfig;
+use graphalytics::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole determinism contract on the traversal pair: for
+    /// random weighted R-MAT graphs (directed and undirected), the
+    /// push–pull engine's BFS and SSSP must produce bit-identical
+    /// outputs AND identical work counters at pool widths 1 (inline),
+    /// 2, 4 and 8 — parallelism may only change wall time.
+    #[test]
+    fn traversal_outputs_and_counters_invariant_across_widths(
+        scale in 6u32..10,
+        seed in 0u64..1000,
+        directed in proptest::bool::ANY,
+    ) {
+        let graph = RmatConfig {
+            scale,
+            edge_factor: 6,
+            a: 0.55,
+            b: 0.2,
+            c: 0.2,
+            seed,
+            directed,
+            weighted: true,
+            keep_isolated: false,
+        }
+        .generate();
+        let baseline_pool = WorkerPool::inline();
+        let csr = Arc::new(graph.to_csr_with(&baseline_pool).unwrap());
+        let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
+        let params = AlgorithmParams::with_source(root);
+        let platform = platform_by_name("PGX.D").unwrap();
+        for algorithm in [Algorithm::Bfs, Algorithm::Sssp] {
+            let loaded = platform.upload(csr.clone(), &baseline_pool).unwrap();
+            let mut ctx = RunContext::new(&baseline_pool);
+            let base = platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).unwrap();
+            platform.delete(loaded);
+            for threads in [2u32, 4, 8] {
+                let pool = WorkerPool::new(threads);
+                let loaded = platform.upload(csr.clone(), &pool).unwrap();
+                let mut ctx = RunContext::new(&pool);
+                let run = platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).unwrap();
+                platform.delete(loaded);
+                prop_assert_eq!(
+                    &base.output, &run.output,
+                    "{} scale {} seed {} width {}: output changed",
+                    algorithm, scale, seed, threads
+                );
+                prop_assert_eq!(base.counters.supersteps, run.counters.supersteps);
+                prop_assert_eq!(base.counters.edges_scanned, run.counters.edges_scanned);
+                prop_assert_eq!(base.counters.messages, run.counters.messages);
+                prop_assert_eq!(base.counters.message_bytes, run.counters.message_bytes);
+            }
+        }
+    }
+}
+
+/// The perf claim behind the SSSP kernel swap, as a correctness-gated
+/// regression test: on a weighted proxy graph, delta-stepping must scan
+/// strictly fewer edges than the synchronous label-correcting baseline
+/// (which re-relaxes vertices across supersteps) while landing on the
+/// bitwise-identical distance fixpoint.
+#[test]
+fn delta_stepping_scans_fewer_edges_than_label_correcting() {
+    // Scale 14 (~180k arcs) clears DELTA_MIN_ARCS, so the platform
+    // dispatches the delta-stepping kernel rather than label-correcting.
+    let graph = Graph500Config::new(14).with_seed(11).with_weights(true).generate();
+    let pool = WorkerPool::new(4);
+    let csr = Arc::new(graph.to_csr_with(&pool).unwrap());
+    let root = SourceSelection::MaxOutDegree.resolve(&csr).unwrap();
+    let params = AlgorithmParams::with_source(root);
+
+    let platform = platform_by_name("PGX.D").unwrap();
+    let loaded = platform.upload(csr.clone(), &pool).unwrap();
+    let mut ctx = RunContext::new(&pool);
+    let delta = platform.run(loaded.as_ref(), Algorithm::Sssp, &params, &mut ctx).unwrap();
+    platform.delete(loaded);
+
+    let mut base_counters = WorkCounters::new();
+    let dense_root = csr.index_of(root).unwrap();
+    let base =
+        graphalytics::engines::pushpull::label_correcting_sssp(&csr, dense_root, &mut base_counters);
+    let base_output =
+        AlgorithmOutput::from_dense(Algorithm::Sssp, &csr, OutputValues::F64(base));
+
+    assert_eq!(base_output, delta.output, "both kernels reach the same fixpoint, bitwise");
+    assert!(
+        delta.counters.edges_scanned < base_counters.edges_scanned,
+        "delta-stepping must scan strictly fewer edges ({} vs label-correcting {})",
+        delta.counters.edges_scanned,
+        base_counters.edges_scanned
+    );
+    // Both kernels count one 12-byte message per *successful* relaxation.
+    assert_eq!(delta.counters.message_bytes, delta.counters.messages * 12);
+    assert_eq!(base_counters.message_bytes, base_counters.messages * 12);
+}

@@ -8,6 +8,7 @@
 //! graphctl <addr> wait <id> [timeout-secs]         block until the job finishes
 //! graphctl <addr> cancel <id>                      cancel a queued job
 //! graphctl <addr> archive <id>                     render a job's Granula archive
+//! graphctl <addr> mutate <dataset> <insert> <delete> [seed]
 //! graphctl <addr> jobs | results | graphs | metrics | health
 //! ```
 
@@ -26,6 +27,11 @@ commands:
   cancel <id>                                        cancel a queued job
   archive <id>                                       fetch a finished job's Granula archive
                                                      and render it as an ASCII phase tree
+  mutate <dataset> <insert> <delete> [seed]          apply one server-generated mutation
+                                                     batch (<insert> new edges, <delete>
+                                                     removals) to a resident graph's delta
+                                                     log; later jobs on <dataset> run on the
+                                                     mutated graph
   jobs                                               list all jobs
   results                                            results database export
   graphs                                             resident graph store
@@ -90,6 +96,16 @@ fn run(args: &[String]) -> Result<(), String> {
             print_line(&graphalytics_granula::visualize::render(&archive));
             return Ok(());
         }
+        ("mutate", [dataset, insert, delete, rest @ ..]) => {
+            let insertions = parse_count("insert", insert)?;
+            let deletions = parse_count("delete", delete)?;
+            let seed = match rest {
+                [] => 0,
+                [seed] => parse_count("seed", seed)?,
+                _ => return Err(USAGE.to_string()),
+            };
+            client.mutate_generated(dataset, insertions, deletions, seed)
+        }
         ("jobs", []) => client.jobs(),
         ("results", []) => client.results(),
         ("graphs", []) => client.graphs(),
@@ -122,6 +138,10 @@ fn serve(addr: &str, rest: &[String]) -> Result<(), String> {
 
 fn parse_id(raw: &str) -> Result<u64, String> {
     raw.parse().map_err(|_| format!("bad job id {raw:?}"))
+}
+
+fn parse_count(what: &str, raw: &str) -> Result<u64, String> {
+    raw.parse().map_err(|_| format!("bad {what} count {raw:?}"))
 }
 
 fn print_json(

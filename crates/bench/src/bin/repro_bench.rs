@@ -1,7 +1,7 @@
 //! `repro_bench` — the perf-trajectory emitter.
 //!
 //! Measures the hot paths this repository's refactors target and writes
-//! `BENCH_pr8.json`:
+//! `BENCH_pr9.json`:
 //!
 //! * **upload** — CSR build throughput (edges/s), sequential baseline vs
 //!   the pool build at widths 1/2/4/8, plus parallel edge-file parsing;
@@ -26,7 +26,16 @@
 //!   identical across widths, width 4 ≥ width 1 asserted in full mode),
 //!   delta-stepping edge work + one-time `TraversalPrep` split cost vs
 //!   the label-correcting baseline, and the bit-packed frontier's
-//!   resident footprint vs the old `Vec<bool>` layout.
+//!   resident footprint vs the old `Vec<bool>` layout;
+//! * **mutation** — the streaming-mutation trade: batch apply
+//!   throughput, then incremental recompute (delta-log apply + cached
+//!   WCC labels / PageRank warm start) vs the full pipeline a
+//!   non-incremental engine needs (materialize the merged CSR, upload,
+//!   run cold) at mutation rates 1% / 5% / 20% of the base edge
+//!   count, plus the cost of an explicit delta-log compaction. WCC is
+//!   asserted bit-identical and PageRank within validator epsilon of
+//!   the cold run at every rate; in full mode incremental must win at
+//!   rates ≤ 5% (the 20% column documents the crossover).
 //!
 //! ```text
 //! cargo run --release -p graphalytics-bench --bin repro_bench
@@ -89,6 +98,7 @@ struct Config {
     kernel_scale: u32,
     runtime_scale: u32,
     traversal_scale: u32,
+    mutation_scale: u32,
     pagerank_iterations: u32,
     reps: usize,
     out: String,
@@ -101,9 +111,10 @@ fn parse_args() -> Config {
         kernel_scale: 11,
         runtime_scale: 10,
         traversal_scale: 15,
+        mutation_scale: 13,
         pagerank_iterations: 50,
         reps: 5,
-        out: "BENCH_pr8.json".to_string(),
+        out: "BENCH_pr9.json".to_string(),
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -116,6 +127,7 @@ fn parse_args() -> Config {
                 // Stays above DELTA_MIN_ARCS so the smoke run still
                 // exercises the delta-stepping section.
                 cfg.traversal_scale = 14;
+                cfg.mutation_scale = 10;
                 cfg.pagerank_iterations = 10;
                 cfg.reps = 2;
                 cfg.out = "target/BENCH_smoke.json".to_string();
@@ -744,6 +756,172 @@ fn bench_traversal(cfg: &Config) -> Json {
     ])
 }
 
+/// The streaming-mutation trade on the pushpull engine. For each
+/// mutation rate (1% / 5% / 20% of the base edge count, half inserts and
+/// half deletes): one measured `apply_mutations` batch prices apply
+/// throughput, then incremental recompute — apply into the engine's
+/// delta log and re-run against its cached WCC labels / PageRank warm
+/// ranks — races the full pipeline a non-incremental engine needs
+/// (materialize the merged CSR, upload, run cold). Incremental WCC is
+/// asserted bit-identical to the cold run and incremental PageRank
+/// within validator epsilon at every rate; in full mode incremental must
+/// win at rates ≤ 5%, and the 20% column documents where the trade
+/// crosses over. An explicit `compact` of a 20% log prices folding the
+/// delta back into a fresh base CSR.
+fn bench_mutation(cfg: &Config) -> Json {
+    use graphalytics_core::{random_batch, validation, DeltaConfig, MutableGraph};
+
+    let graph =
+        Graph500Config::new(cfg.mutation_scale).with_seed(23).with_weights(true).generate();
+    let pool = WorkerPool::new(4);
+    let csr: Arc<Csr> = Arc::new(graph.to_csr_with(&pool).unwrap());
+    let edges = csr.num_edges();
+    // Deep enough that a cold run is converged well inside the validator
+    // tolerance — the precondition for the engine's warm-start path —
+    // and that restarting from near-converged ranks (whose iteration
+    // count is set by the contraction bound, not by K) undercuts the
+    // fixed-K cold schedule.
+    let params = AlgorithmParams {
+        source_vertex: Some(csr.id_of(0)),
+        pagerank_iterations: 400,
+        damping_factor: 0.85,
+        cdlp_iterations: 5,
+    };
+    let platform = platform_by_name("pushpull").unwrap();
+    let reps = cfg.reps.max(2);
+    let no_auto = DeltaConfig { auto_compact: false, ..DeltaConfig::default() };
+
+    let mut rates = Vec::new();
+    for (i, rate) in [0.01f64, 0.05, 0.20].into_iter().enumerate() {
+        let per_kind = ((edges as f64 * rate) / 2.0).ceil() as usize;
+        let batch = random_batch(&csr, per_kind, per_kind, 0xC0FFEE + i as u64);
+        // The engine caches incremental state on its first post-mutation
+        // run, so the steady-state streaming scenario — the one worth
+        // measuring — needs one small warmup batch + run before the
+        // timed apply rides the cached labels / warm ranks.
+        let warm_batch = random_batch(&csr, 8, 8, 0xBEEF + i as u64);
+
+        // The post-mutation graph, held in a core-side delta log
+        // (compaction off so the log survives the timed
+        // materializations below).
+        let mut mirror = MutableGraph::with_config(csr.clone(), no_auto);
+        mirror.apply(&warm_batch, &pool).unwrap();
+        mirror.apply(&batch, &pool).unwrap();
+
+        // Apply throughput: one measured batch on a fresh upload.
+        let loaded = platform.upload(csr.clone(), &pool).unwrap();
+        let mut ctx = RunContext::new(&pool);
+        ctx.set_tracing(false);
+        let mutation = platform.apply_mutations(loaded.as_ref(), &batch, &mut ctx).unwrap();
+        platform.delete(loaded);
+
+        let mut kernels = Vec::new();
+        for algorithm in [Algorithm::Wcc, Algorithm::PageRank] {
+            // Incremental: warmup batch + run to establish the cached
+            // state, then time apply + recompute. Fresh upload per
+            // repetition — a second apply of the same batch would be
+            // all updates and no-ops.
+            let mut inc_secs = f64::INFINITY;
+            let mut inc_output = None;
+            for _ in 0..reps {
+                let loaded = platform.upload(csr.clone(), &pool).unwrap();
+                let mut ctx = RunContext::new(&pool);
+                ctx.set_tracing(false);
+                platform.apply_mutations(loaded.as_ref(), &warm_batch, &mut ctx).unwrap();
+                std::hint::black_box(
+                    platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).unwrap(),
+                );
+                let t = Instant::now();
+                platform.apply_mutations(loaded.as_ref(), &batch, &mut ctx).unwrap();
+                let exec = platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).unwrap();
+                inc_secs = inc_secs.min(t.elapsed().as_secs_f64());
+                inc_output = Some(exec.output);
+                platform.delete(loaded);
+            }
+            let inc_output = inc_output.unwrap();
+
+            // Full: everything a non-incremental engine must redo.
+            let mut full_secs = f64::INFINITY;
+            let mut full_output = None;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let merged: Arc<Csr> = Arc::new(mirror.materialize(&pool).unwrap());
+                let loaded = platform.upload(merged, &pool).unwrap();
+                let exec = run_on(platform.as_ref(), loaded.as_ref(), algorithm, &params, &pool);
+                full_secs = full_secs.min(t.elapsed().as_secs_f64());
+                full_output = Some(exec.output);
+                platform.delete(loaded);
+            }
+            let full_output = full_output.unwrap();
+
+            match algorithm {
+                Algorithm::Wcc => assert_eq!(
+                    inc_output, full_output,
+                    "incremental WCC must match the cold recompute bit-for-bit at rate {rate}"
+                ),
+                _ => {
+                    validation::validate(&full_output, &inc_output).unwrap_or_else(|e| {
+                        panic!("incremental {algorithm} outside validator epsilon at rate {rate}: {e}")
+                    });
+                }
+            }
+            if !cfg.smoke && rate <= 0.05 {
+                assert!(
+                    inc_secs < full_secs,
+                    "{algorithm} at rate {rate}: incremental ({inc_secs:.4}s) must beat \
+                     materialize+upload+cold ({full_secs:.4}s)"
+                );
+            }
+            kernels.push(Json::obj(vec![
+                ("algorithm", Json::str(algorithm.acronym())),
+                ("incremental_secs", num(inc_secs)),
+                ("full_secs", num(full_secs)),
+                ("speedup", num(full_secs / inc_secs)),
+            ]));
+        }
+        rates.push(Json::obj(vec![
+            ("rate", num(rate)),
+            ("batch_edges", Json::Num(batch.len() as f64)),
+            ("apply_secs", num(mutation.wall_seconds)),
+            ("apply_eps", num(batch.len() as f64 / mutation.wall_seconds.max(1e-9))),
+            ("delta_arcs", Json::Num(mutation.delta_arcs as f64)),
+            ("fill_ratio", num(mutation.fill_ratio)),
+            ("compacted", Json::Bool(mutation.compacted)),
+            ("kernels", Json::Arr(kernels)),
+        ]));
+    }
+
+    // Explicit compaction: fold a 20%-rate log back into a fresh CSR.
+    let per_kind = ((edges as f64 * 0.20) / 2.0).ceil() as usize;
+    let batch = random_batch(&csr, per_kind, per_kind, 0xC0FFEE + 2);
+    let mut compact_secs = f64::INFINITY;
+    let mut compact_arcs = 0u64;
+    for _ in 0..reps {
+        let mut mg = MutableGraph::with_config(csr.clone(), no_auto);
+        mg.apply(&batch, &pool).unwrap();
+        compact_arcs = mg.delta_arcs();
+        compact_secs = compact_secs.min(mg.compact(&pool).unwrap());
+        assert_eq!(mg.delta_arcs(), 0, "compaction must empty the log");
+    }
+
+    Json::obj(vec![
+        ("graph", Json::str(format!("graph500-{}", cfg.mutation_scale))),
+        ("vertices", Json::Num(csr.num_vertices() as f64)),
+        ("edges", Json::Num(edges as f64)),
+        ("engine", Json::str("pushpull")),
+        ("pagerank_iterations", Json::Num(params.pagerank_iterations as f64)),
+        ("pool_threads", Json::Num(4.0)),
+        ("rates", Json::Arr(rates)),
+        (
+            "compaction",
+            Json::obj(vec![
+                ("delta_arcs", Json::Num(compact_arcs as f64)),
+                ("compact_secs", num(compact_secs)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let cfg = parse_args();
     println!("repro_bench: measuring upload path ...");
@@ -758,11 +936,13 @@ fn main() {
     let monitor = bench_monitor_overhead(&cfg);
     println!("repro_bench: measuring traversal kernels (widths 1/2/4/8) ...");
     let traversal = bench_traversal(&cfg);
+    println!("repro_bench: measuring streaming mutation (incremental vs full recompute) ...");
+    let mutation = bench_mutation(&cfg);
 
     let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
     let report = Json::obj(vec![
-        ("pr", Json::Num(8.0)),
-        ("benchmark", Json::str("parallel traversal kernels: delta-stepping sssp, pool-parallel direction-optimizing bfs, bit-packed frontier")),
+        ("pr", Json::Num(9.0)),
+        ("benchmark", Json::str("streaming graph mutation: delta-log adjacency, incremental wcc/pagerank recompute vs full rebuild")),
         (
             "host",
             Json::obj(vec![
@@ -776,6 +956,7 @@ fn main() {
         ("sharded", sharded),
         ("monitor_overhead", monitor),
         ("traversal", traversal),
+        ("mutation", mutation),
     ]);
 
     if let Some(parent) = std::path::Path::new(&cfg.out).parent() {

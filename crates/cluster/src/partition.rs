@@ -18,8 +18,11 @@ pub enum PartitionStrategy {
     HashEdgeCut,
     /// Contiguous dense-index ranges with equal vertex counts.
     RangeEdgeCut,
-    /// Greedy vertex cut: each edge goes to the least-loaded machine
-    /// already hosting one of its endpoints (PowerGraph-style).
+    /// Greedy placement (PowerGraph/Fennel family). As an edge-cut
+    /// placement ([`edge_cut`]), vertices stream in seeded order to the
+    /// machine holding most of their placed neighbors, capacity-bounded;
+    /// as a vertex cut ([`vertex_cut`]), each edge goes to the
+    /// least-loaded machine already hosting one of its endpoints.
     GreedyVertexCut,
 }
 
@@ -84,9 +87,7 @@ pub fn edge_cut_seeded(
             let chunk = n.div_ceil(parts as usize).max(1);
             (0..n).map(|i| (i / chunk) as u32).collect()
         }
-        PartitionStrategy::GreedyVertexCut => {
-            panic!("GreedyVertexCut is a vertex cut; use vertex_cut()")
-        }
+        PartitionStrategy::GreedyVertexCut => greedy_owners(csr, parts, seed),
     };
     let mut cut = 0u64;
     for u in 0..n as u32 {
@@ -113,6 +114,70 @@ pub fn edge_cut_seeded(
         total_arcs: csr.num_arcs() as u64,
         vertex_balance: balance,
     }
+}
+
+/// Greedy streaming placement (linear deterministic greedy, the
+/// PowerGraph/Fennel family): vertices arrive in a seeded pseudo-random
+/// order and each goes to the machine holding the most of its
+/// already-placed neighbors, discounted by that machine's remaining
+/// capacity so no machine overfills. All-integer scoring keeps the
+/// placement exactly reproducible: `score(p) = placed_neighbors(p) ·
+/// (capacity − load(p))`, ties broken by lower load then lower machine
+/// index. Machines at capacity (5% slack over `n/parts`) are skipped, so
+/// vertex balance is bounded by construction.
+fn greedy_owners(csr: &Csr, parts: u32, seed: u64) -> Vec<u32> {
+    let n = csr.num_vertices();
+    if parts <= 1 || n == 0 {
+        return vec![0; n];
+    }
+    // Seeded visit order: sort is stable, hash ties fall back to dense
+    // index order, so the permutation is a pure function of (csr, seed).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&u| splitmix(csr.id_of(u) ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let capacity = (n as u64).div_ceil(parts as u64) + (n as u64 / (20 * parts as u64)) + 1;
+    let mut owner = vec![u32::MAX; n];
+    let mut load = vec![0u64; parts as usize];
+    let mut counts = vec![0u64; parts as usize];
+    for &u in &order {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &v in csr.out_neighbors(u) {
+            let o = owner[v as usize];
+            if o != u32::MAX {
+                counts[o as usize] += 1;
+            }
+        }
+        if csr.is_directed() {
+            for &v in csr.in_neighbors(u) {
+                let o = owner[v as usize];
+                if o != u32::MAX {
+                    counts[o as usize] += 1;
+                }
+            }
+        }
+        let mut best: Option<u32> = None;
+        let mut best_score = 0u64;
+        for p in 0..parts {
+            let l = load[p as usize];
+            if l >= capacity {
+                continue;
+            }
+            let score = counts[p as usize] * (capacity - l);
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    score > best_score || (score == best_score && l < load[b as usize])
+                }
+            };
+            if better {
+                best = Some(p);
+                best_score = score;
+            }
+        }
+        let target = best.expect("capacity slack leaves at least one open machine");
+        owner[u as usize] = target;
+        load[target as usize] += 1;
+    }
+    owner
 }
 
 /// Statistics of a vertex-cut partition (edges owned; vertices replicated).
@@ -265,7 +330,11 @@ mod tests {
     #[test]
     fn edge_cut_is_deterministic_and_seedable() {
         let csr = ring(500);
-        for strategy in [PartitionStrategy::HashEdgeCut, PartitionStrategy::RangeEdgeCut] {
+        for strategy in [
+            PartitionStrategy::HashEdgeCut,
+            PartitionStrategy::RangeEdgeCut,
+            PartitionStrategy::GreedyVertexCut,
+        ] {
             // Identical CSR + strategy + parts → identical owners, every time.
             let a = edge_cut(&csr, 4, strategy);
             let b = edge_cut(&csr, 4, strategy);
@@ -282,6 +351,45 @@ mod tests {
         let s0 = edge_cut_seeded(&csr, 4, PartitionStrategy::HashEdgeCut, 0);
         let s7 = edge_cut_seeded(&csr, 4, PartitionStrategy::HashEdgeCut, 7);
         assert_ne!(s0.owner, s7.owner, "seed must perturb hash placement");
+    }
+
+    #[test]
+    fn greedy_placement_beats_hash_on_rmat_proxy() {
+        // The standing cut-fraction regression: on a skewed R-MAT proxy
+        // the greedy placement must beat random hashing, which cuts
+        // ~ (1 - 1/p) of arcs regardless of structure.
+        let csr = Graph500Config::new(9).generate().to_csr();
+        for parts in [4u32, 8] {
+            let hash = edge_cut(&csr, parts, PartitionStrategy::HashEdgeCut);
+            let greedy = edge_cut(&csr, parts, PartitionStrategy::GreedyVertexCut);
+            assert!(
+                greedy.cut_fraction() < hash.cut_fraction(),
+                "parts {parts}: greedy {} should beat hash {}",
+                greedy.cut_fraction(),
+                hash.cut_fraction()
+            );
+            assert!(
+                greedy.vertex_balance <= 1.1,
+                "capacity bound keeps balance tight, got {}",
+                greedy.vertex_balance
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_placement_is_seed_deterministic() {
+        let csr = Graph500Config::new(8).generate().to_csr();
+        let a = edge_cut_seeded(&csr, 4, PartitionStrategy::GreedyVertexCut, 11);
+        let b = edge_cut_seeded(&csr, 4, PartitionStrategy::GreedyVertexCut, 11);
+        assert_eq!(a.owner, b.owner, "same seed, same placement");
+        let c = edge_cut_seeded(&csr, 4, PartitionStrategy::GreedyVertexCut, 12);
+        assert_ne!(a.owner, c.owner, "seed perturbs the visit order");
+        // Every machine gets vertices on a connected proxy of this size.
+        let mut seen = [false; 4];
+        for &o in &a.owner {
+            seen[o as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all machines populated");
     }
 
     #[test]

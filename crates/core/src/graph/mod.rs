@@ -15,12 +15,16 @@
 
 mod builder;
 mod csr;
+mod delta;
 mod io;
 mod sharded;
 mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use delta::{
+    random_batch, ApplyOutcome, DeltaConfig, DeltaStats, MergedEdges, MutableGraph, MutationBatch,
+};
 pub use sharded::{ShardCsr, ShardedCsr};
 pub use io::{
     read_edge_file, read_edge_file_with, read_graph, read_graph_with, read_vertex_file,

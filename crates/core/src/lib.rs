@@ -37,7 +37,10 @@ pub mod scale;
 pub mod validation;
 
 pub use error::{Error, Result};
-pub use graph::{Csr, Edge, Graph, GraphBuilder, ShardCsr, ShardedCsr, VertexId};
+pub use graph::{
+    random_batch, ApplyOutcome, Csr, DeltaConfig, DeltaStats, Edge, Graph, GraphBuilder,
+    MutableGraph, MutationBatch, ShardCsr, ShardedCsr, VertexId,
+};
 pub use pool::WorkerPool;
 pub use output::{AlgorithmOutput, OutputValues};
 pub use scale::{scale_of, SizeClass};

@@ -24,6 +24,7 @@
 //! like the real system — **no LCC implementation** (Figure 6 marks it
 //! `NA`).
 
+mod delta;
 mod sharded;
 
 use std::collections::BTreeMap;
@@ -309,6 +310,9 @@ pub struct PushPullGraph {
     total_out_degree: u64,
     /// Delta-stepping split, built on first SSSP use (`TraversalPrep`).
     light_heavy: OnceLock<Option<LightHeavy>>,
+    /// Streaming-mutation state; `None` until the first
+    /// [`Platform::apply_mutations`] batch arrives.
+    delta: delta::DeltaSlot,
 }
 
 impl PushPullGraph {
@@ -431,6 +435,28 @@ impl<'a> Exec<'a> {
     }
 }
 
+/// Builds the dual-direction representation with its cached degree
+/// table — the upload phase, also reused for mutated-graph snapshots.
+fn build_graph(csr: Arc<Csr>, pool: &WorkerPool) -> PushPullGraph {
+    let n = csr.num_vertices();
+    let csr_ref = &csr;
+    let degrees: Vec<u32> = pool
+        .run(n, |_, range| {
+            range.map(|u| csr_ref.out_degree(u as u32) as u32).collect::<Vec<u32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let total_out_degree = degrees.iter().map(|&d| d as u64).sum();
+    PushPullGraph {
+        csr,
+        out_degrees: degrees.into(),
+        total_out_degree,
+        light_heavy: OnceLock::new(),
+        delta: delta::empty_slot(),
+    }
+}
+
 /// The PGX.D-like platform.
 pub struct PushPullEngine {
     profile: PerfProfile,
@@ -462,22 +488,7 @@ impl Platform for PushPullEngine {
     }
 
     fn upload(&self, csr: Arc<Csr>, pool: &WorkerPool) -> Result<Box<dyn LoadedGraph>> {
-        let n = csr.num_vertices();
-        let csr_ref = &csr;
-        let degrees: Vec<u32> = pool
-            .run(n, |_, range| {
-                range.map(|u| csr_ref.out_degree(u as u32) as u32).collect::<Vec<u32>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-        let total_out_degree = degrees.iter().map(|&d| d as u64).sum();
-        Ok(Box::new(PushPullGraph {
-            csr,
-            out_degrees: degrees.into(),
-            total_out_degree,
-            light_heavy: OnceLock::new(),
-        }))
+        Ok(Box::new(build_graph(csr, pool)))
     }
 
     fn supports_sharded(&self) -> bool {
@@ -497,6 +508,31 @@ impl Platform for PushPullEngine {
         Ok(Box::new(PushPullShardedGraph::new(set)))
     }
 
+    fn supports_mutation(&self) -> bool {
+        true
+    }
+
+    fn apply_mutations(
+        &self,
+        graph: &dyn LoadedGraph,
+        batch: &graphalytics_core::MutationBatch,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<crate::platform::Mutation> {
+        if let Some(g) = graph.as_any().downcast_ref::<PushPullGraph>() {
+            return delta::apply(g, batch, ctx);
+        }
+        if graph.as_any().downcast_ref::<PushPullShardedGraph>().is_some() {
+            return Err(graphalytics_core::Error::InvalidParameters(
+                "sharded pushpull graphs do not take mutations; mutate an unsharded upload"
+                    .into(),
+            ));
+        }
+        Err(graphalytics_core::Error::InvalidParameters(format!(
+            "graph was not uploaded through platform {}",
+            self.name()
+        )))
+    }
+
     fn run(
         &self,
         graph: &dyn LoadedGraph,
@@ -513,6 +549,32 @@ impl Platform for PushPullEngine {
                 "graph was not uploaded through platform {}",
                 self.name()
             )));
+        };
+        // Mutated resident graphs route through the delta view: WCC and
+        // PageRank serve incrementally maintained state; everything else
+        // runs on a lazily materialized snapshot of the merged graph
+        // (built once per mutation epoch, recorded as `Materialize`).
+        let mut snapshot_hold: Option<Arc<PushPullGraph>> = None;
+        if let Exec::Single(g) = &exec {
+            if g.has_mutations() {
+                match algorithm {
+                    Algorithm::Wcc | Algorithm::PageRank => {
+                        return delta::run_incremental(g, algorithm, params, ctx);
+                    }
+                    Algorithm::Lcc => return Err(unsupported(self.name(), algorithm)),
+                    _ => {
+                        let (snap, built) = g.mutated_snapshot(ctx.pool)?;
+                        if let Some(secs) = built {
+                            ctx.record_phase("Materialize", secs);
+                        }
+                        snapshot_hold = Some(snap);
+                    }
+                }
+            }
+        }
+        let exec = match &snapshot_hold {
+            Some(snap) => Exec::Single(snap),
+            None => exec,
         };
         let csr = exec.csr();
         let pool = ctx.pool;
@@ -1408,5 +1470,173 @@ mod tests {
         let mut cb = WorkCounters::new();
         let base = label_correcting_sssp(&csr, 0, &mut cb);
         assert_eq!(delta, base, "same relaxation fixpoint, bitwise");
+    }
+
+    /// Cold-run an algorithm on the materialized post-mutation graph —
+    /// the correctness anchor for every incremental path.
+    fn cold_on_materialized(
+        g: &PushPullGraph,
+        alg: Algorithm,
+        params: &AlgorithmParams,
+        pool: &WorkerPool,
+    ) -> AlgorithmOutput {
+        let guard = g.delta.lock().unwrap();
+        let merged = Arc::new(guard.as_ref().unwrap().graph.materialize(pool).unwrap());
+        drop(guard);
+        let engine = PushPullEngine::new();
+        let loaded = engine.upload(merged, pool).unwrap();
+        let mut ctx = RunContext::new(pool);
+        engine.run(loaded.as_ref(), alg, params, &mut ctx).unwrap().output
+    }
+
+    #[test]
+    fn mutated_wcc_is_bit_identical_to_cold_recompute() {
+        for directed in [true, false] {
+            let csr = Arc::new(sample(directed));
+            let engine = PushPullEngine::new();
+            let pool = WorkerPool::new(2);
+            let loaded = engine.upload(csr.clone(), &pool).unwrap();
+            let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
+            let params = AlgorithmParams::default();
+
+            // Batch 1 (no cached labels yet → full merged compute),
+            // splitting 3–4 off and bridging 5 in.
+            let mut batch = graphalytics_core::MutationBatch::new();
+            batch.delete(2, 3).insert(4, 5);
+            let mut ctx = RunContext::new(&pool);
+            let m = engine.apply_mutations(loaded.as_ref(), &batch, &mut ctx).unwrap();
+            assert_eq!((m.inserted, m.deleted), (1, 1));
+            assert!(ctx.phases().iter().any(|p| p.name == "Mutate"), "Mutate phase recorded");
+            let mut ctx = RunContext::new(&pool);
+            let warm = engine.run(loaded.as_ref(), Algorithm::Wcc, &params, &mut ctx).unwrap();
+            let cold = cold_on_materialized(g, Algorithm::Wcc, &params, &pool);
+            assert_eq!(warm.output.values, cold.values, "directed={directed} batch 1");
+
+            // Batch 2 exercises the incremental maintenance proper
+            // (cached labels now exist): another split + a merge.
+            let mut batch = graphalytics_core::MutationBatch::new();
+            batch.delete(0, 1).insert(3, 5);
+            engine
+                .apply_mutations(loaded.as_ref(), &batch, &mut RunContext::new(&pool))
+                .unwrap();
+            let mut ctx = RunContext::new(&pool);
+            let warm = engine.run(loaded.as_ref(), Algorithm::Wcc, &params, &mut ctx).unwrap();
+            let cold = cold_on_materialized(g, Algorithm::Wcc, &params, &pool);
+            assert_eq!(warm.output.values, cold.values, "directed={directed} batch 2");
+            engine.delete(loaded);
+        }
+    }
+
+    #[test]
+    fn mutated_pagerank_matches_cold_recompute_within_epsilon() {
+        let csr = Arc::new(sample(false));
+        let engine = PushPullEngine::new();
+        let pool = WorkerPool::new(2);
+        let loaded = engine.upload(csr, &pool).unwrap();
+        let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
+        // 120 iterations: converged for n=6, so the warm path engages
+        // on the second run.
+        let params = AlgorithmParams { pagerank_iterations: 120, ..AlgorithmParams::default() };
+
+        let mut batch = graphalytics_core::MutationBatch::new();
+        batch.insert(0, 4).delete(2, 3);
+        engine.apply_mutations(loaded.as_ref(), &batch, &mut RunContext::new(&pool)).unwrap();
+        // First post-mutation run: cold replay over the merged view —
+        // bit-identical to the materialized cold run.
+        let mut ctx = RunContext::new(&pool);
+        let first = engine.run(loaded.as_ref(), Algorithm::PageRank, &params, &mut ctx).unwrap();
+        let cold = cold_on_materialized(g, Algorithm::PageRank, &params, &pool);
+        assert_eq!(first.output.values, cold.values, "full replay is bitwise");
+
+        // Second mutation: the cached ranks warm-start the solve, which
+        // must stay within the validator's epsilon of a cold run.
+        let mut batch = graphalytics_core::MutationBatch::new();
+        batch.insert(1, 5).insert(3, 5);
+        engine.apply_mutations(loaded.as_ref(), &batch, &mut RunContext::new(&pool)).unwrap();
+        let mut ctx = RunContext::new(&pool);
+        let warm = engine.run(loaded.as_ref(), Algorithm::PageRank, &params, &mut ctx).unwrap();
+        let cold = cold_on_materialized(g, Algorithm::PageRank, &params, &pool);
+        assert!(
+            warm.counters.supersteps < 120,
+            "warm start converges early, took {} supersteps",
+            warm.counters.supersteps
+        );
+        graphalytics_core::validation::validate(&cold, &warm.output)
+            .unwrap()
+            .into_result()
+            .unwrap();
+        engine.delete(loaded);
+    }
+
+    #[test]
+    fn mutated_snapshot_serves_traversals_and_is_cached() {
+        let csr = Arc::new(sample(true));
+        let engine = PushPullEngine::new();
+        let pool = WorkerPool::new(2);
+        let loaded = engine.upload(csr, &pool).unwrap();
+        let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
+        let params = AlgorithmParams::with_source(0);
+
+        let mut batch = graphalytics_core::MutationBatch::new();
+        batch.insert_weighted(4, 5, 1.5).delete(0, 2);
+        engine.apply_mutations(loaded.as_ref(), &batch, &mut RunContext::new(&pool)).unwrap();
+
+        let mut ctx = RunContext::new(&pool);
+        let bfs = engine.run(loaded.as_ref(), Algorithm::Bfs, &params, &mut ctx).unwrap();
+        assert!(
+            ctx.phases().iter().any(|p| p.name == "Materialize"),
+            "first non-incremental run builds the snapshot"
+        );
+        let cold = cold_on_materialized(g, Algorithm::Bfs, &params, &pool);
+        assert_eq!(bfs.output.values, cold.values);
+
+        // The snapshot is cached within the mutation epoch.
+        let mut ctx = RunContext::new(&pool);
+        let sssp = engine.run(loaded.as_ref(), Algorithm::Sssp, &params, &mut ctx).unwrap();
+        assert!(
+            ctx.phases().iter().all(|p| p.name != "Materialize"),
+            "second run reuses the snapshot"
+        );
+        let cold = cold_on_materialized(g, Algorithm::Sssp, &params, &pool);
+        assert_eq!(sssp.output.values, cold.values);
+        engine.delete(loaded);
+    }
+
+    #[test]
+    fn mutation_rejections_and_defaults() {
+        let csr = Arc::new(sample(false));
+        let engine = PushPullEngine::new();
+        let pool = WorkerPool::new(2);
+        assert!(engine.supports_mutation());
+
+        // Undeclared endpoints reject before anything applies.
+        let loaded = engine.upload(csr.clone(), &pool).unwrap();
+        let mut bad = graphalytics_core::MutationBatch::new();
+        bad.insert(0, 999);
+        let err = engine
+            .apply_mutations(loaded.as_ref(), &bad, &mut RunContext::new(&pool))
+            .unwrap_err();
+        assert!(err.to_string().contains("undeclared vertex"), "{err}");
+        let g = loaded.as_any().downcast_ref::<PushPullGraph>().unwrap();
+        assert!(!g.has_mutations() || g.delta_metrics().0 == 0, "rejected batch left no log");
+
+        // Sharded uploads refuse mutations.
+        let plan = ShardPlan::new(2);
+        let sharded = engine.upload_sharded(csr, &plan, &pool).unwrap();
+        let mut ok = graphalytics_core::MutationBatch::new();
+        ok.insert(0, 3);
+        let err = engine
+            .apply_mutations(sharded.as_ref(), &ok, &mut RunContext::new(&pool))
+            .unwrap_err();
+        assert!(err.to_string().contains("sharded"), "{err}");
+
+        // Engines without a delta path keep the trait default.
+        let gas = crate::gas::GasEngine::new();
+        assert!(!gas.supports_mutation());
+        let gas_loaded = gas.upload(Arc::new(sample(false)), &pool).unwrap();
+        let err = gas
+            .apply_mutations(gas_loaded.as_ref(), &ok, &mut RunContext::new(&pool))
+            .unwrap_err();
+        assert!(err.to_string().contains("no mutation path"), "{err}");
     }
 }

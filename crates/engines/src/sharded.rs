@@ -75,13 +75,7 @@ impl ShardSet {
     /// shard extraction itself runs on the caller's `pool`.
     pub fn build(csr: Arc<Csr>, plan: &ShardPlan, pool: &WorkerPool) -> Result<ShardSet> {
         let parts = plan.shards.max(1);
-        let strategy = match plan.strategy {
-            // GreedyVertexCut places edges; vertex ownership needs an
-            // edge cut, so vertex-cut engines shard by hashing.
-            PartitionStrategy::GreedyVertexCut => PartitionStrategy::HashEdgeCut,
-            s => s,
-        };
-        let partition = edge_cut_seeded(&csr, parts, strategy, plan.seed);
+        let partition = edge_cut_seeded(&csr, parts, plan.strategy, plan.seed);
         let sharded = ShardedCsr::partition_with(csr, &partition.owner, parts, pool)?;
         let per_shard = if plan.threads_per_shard == 0 {
             (pool.threads() / parts).max(1)
@@ -94,7 +88,7 @@ impl ShardSet {
             pools,
             cut_arcs: partition.cut_arcs,
             total_arcs: partition.total_arcs,
-            strategy,
+            strategy: plan.strategy,
         })
     }
 
@@ -200,14 +194,15 @@ mod tests {
     }
 
     #[test]
-    fn vertex_cut_strategy_falls_back_to_hash() {
+    fn greedy_strategy_shards_with_real_placement() {
         let pool = WorkerPool::inline();
         let plan = ShardPlan {
             strategy: PartitionStrategy::GreedyVertexCut,
             ..ShardPlan::new(2)
         };
         let set = ShardSet::build(csr(), &plan, &pool).unwrap();
-        assert_eq!(set.strategy(), PartitionStrategy::HashEdgeCut);
+        // No hash fallback anymore: the greedy placement shards directly.
+        assert_eq!(set.strategy(), PartitionStrategy::GreedyVertexCut);
         assert_eq!(set.num_shards(), 2);
     }
 

@@ -31,9 +31,9 @@ use graphalytics_cluster::partition::{estimate_replication, PartitionStrategy};
 use graphalytics_cluster::{ClusterSpec, NetworkSpec, WorkCounters};
 use graphalytics_core::datasets::DatasetSpec;
 use graphalytics_core::pool::WorkerPool;
-use graphalytics_core::{Algorithm, Csr};
+use graphalytics_core::{random_batch, Algorithm, Csr, DeltaConfig, MutableGraph, MutationBatch};
 use graphalytics_engines::profile::NetworkKind;
-use graphalytics_engines::{LoadedGraph, Platform, RunContext, SpanRecord};
+use graphalytics_engines::{LoadedGraph, PhaseRecord, Platform, RunContext, SpanRecord};
 use graphalytics_granula::monitor::ResourceSample;
 use graphalytics_granula::{Archiver, MonitorConfig, OperationRecord, PerformanceArchive, Sampler};
 
@@ -66,12 +66,27 @@ pub struct JobSpec {
     /// [`Platform::upload_sharded`] and are rejected as `Unsupported` on
     /// platforms without a sharded run path.
     pub shards: u32,
+    /// Optional mutation script (measured mode only): the driver replays
+    /// these deterministic batches against the resident upload through
+    /// [`Platform::apply_mutations`] before the execute phase, and
+    /// validates outputs against a reference computed on the materialized
+    /// post-mutation graph. Rejected as `Unsupported` on platforms
+    /// without a mutation path.
+    pub mutations: Option<MutationScript>,
 }
 
 impl JobSpec {
     /// A single-repetition, single-shard spec starting at noise index 0.
     pub fn new(dataset: &'static DatasetSpec, algorithm: Algorithm, cluster: ClusterSpec) -> Self {
-        JobSpec { dataset, algorithm, cluster, run_index: 0, repetitions: 1, shards: 1 }
+        JobSpec {
+            dataset,
+            algorithm,
+            cluster,
+            run_index: 0,
+            repetitions: 1,
+            shards: 1,
+            mutations: None,
+        }
     }
 
     /// Builder-style repetition count.
@@ -85,6 +100,67 @@ impl JobSpec {
         self.shards = shards;
         self
     }
+
+    /// Builder-style mutation script.
+    pub fn with_mutations(mut self, script: MutationScript) -> Self {
+        self.mutations = Some(script);
+        self
+    }
+}
+
+/// A deterministic stream of mutation batches a measured job replays
+/// against the resident upload before executing. The batches derive
+/// entirely from (base graph, script), so the same spec replays
+/// identically across pool widths and sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationScript {
+    /// How many batches to generate and apply, in order.
+    pub batches: u32,
+    /// Edge insertions per batch.
+    pub insertions: usize,
+    /// Edge deletions per batch.
+    pub deletions: usize,
+    /// Seed of the batch stream; batch `i` draws its own sub-seed.
+    pub seed: u64,
+}
+
+impl MutationScript {
+    pub fn new(batches: u32, insertions: usize, deletions: usize, seed: u64) -> Self {
+        MutationScript { batches, insertions, deletions, seed }
+    }
+
+    /// The concrete batches for a base graph, in application order.
+    /// Every batch draws against the *base* CSR; overlaps across batches
+    /// resolve through the delta log's set semantics (re-insert becomes a
+    /// weight refresh, re-delete a no-op), so the stream stays valid for
+    /// any batch count.
+    pub fn batches_for(&self, csr: &Csr) -> Vec<MutationBatch> {
+        (0..self.batches as u64)
+            .map(|i| {
+                let seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+                random_batch(csr, self.insertions, self.deletions, seed)
+            })
+            .collect()
+    }
+}
+
+/// Aggregate outcome of a job's mutation replay, reported on the
+/// [`JobResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MutationSummary {
+    /// Batches applied.
+    pub batches: u32,
+    /// Edges inserted / deleted / weight-updated across all batches.
+    pub inserted: u64,
+    pub deleted: u64,
+    pub updated: u64,
+    /// Delta-log compactions triggered while applying.
+    pub compactions: u64,
+    /// Total measured wall seconds of the apply phase (all batches).
+    pub apply_secs: f64,
+    /// Delta-log arcs and fill ratio left after the final batch.
+    pub delta_arcs: u64,
+    pub fill_ratio: f64,
 }
 
 /// Job outcome classification. Everything except `Completed` breaks the
@@ -176,6 +252,8 @@ pub struct JobResult {
     pub runs: Vec<RunMeasurement>,
     pub counters: WorkCounters,
     pub archive: Option<PerformanceArchive>,
+    /// Mutation-replay outcome (jobs with a [`MutationScript`] only).
+    pub mutation: Option<MutationSummary>,
 }
 
 impl JobResult {
@@ -244,6 +322,23 @@ impl Default for Driver {
     }
 }
 
+/// What a mutation replay hands to the execute phase: the materialized
+/// post-mutation graph (validation anchor), the aggregate summary, and
+/// the measured `Mutate` phases for the archive.
+struct MutationReplay {
+    merged: Arc<Csr>,
+    summary: MutationSummary,
+    phases: Vec<PhaseRecord>,
+}
+
+/// Measured-mode extras for `execute_repetitions`: the timed upload
+/// phase and any replayed mutation script.
+#[derive(Default)]
+struct MeasuredPhases {
+    upload_secs: Option<f64>,
+    replay: Option<MutationReplay>,
+}
+
 /// Everything admission resolves before any phase runs.
 struct Admission {
     cluster: ClusterSpec,
@@ -264,6 +359,13 @@ impl Driver {
             RunMode::Analytic => self.run_analytic(platform, spec),
             RunMode::Measured { csr } => {
                 let mut result = self.blank_result(platform, spec);
+                if spec.mutations.is_some() && (!platform.supports_mutation() || spec.shards > 1)
+                {
+                    // Mutation scripts need the platform's delta-log path
+                    // and an unsharded resident upload.
+                    result.status = JobStatus::Unsupported;
+                    return result;
+                }
                 if let Some(admission) = self.admit(platform, spec, Some(csr), &mut result) {
                     let upload_start = Instant::now();
                     match graphalytics_engines::upload_with_shards(
@@ -275,13 +377,31 @@ impl Driver {
                     ) {
                         Ok(loaded) => {
                             let upload_secs = upload_start.elapsed().as_secs_f64();
+                            let replay = match spec.mutations {
+                                Some(script) => {
+                                    match self.replay_mutations(
+                                        platform,
+                                        loaded.as_ref(),
+                                        csr,
+                                        &script,
+                                    ) {
+                                        Ok(replay) => Some(replay),
+                                        Err(message) => {
+                                            result.status = JobStatus::ValidationFailed(message);
+                                            platform.delete(loaded);
+                                            return result;
+                                        }
+                                    }
+                                }
+                                None => None,
+                            };
                             result = self.execute_repetitions(
                                 platform,
                                 loaded.as_ref(),
                                 spec,
                                 admission,
                                 result,
-                                Some(upload_secs),
+                                MeasuredPhases { upload_secs: Some(upload_secs), replay },
                             );
                             platform.delete(loaded);
                         }
@@ -322,10 +442,51 @@ impl Driver {
                 spec,
                 admission,
                 result,
-                measured_upload_secs,
+                MeasuredPhases { upload_secs: measured_upload_secs, ..MeasuredPhases::default() },
             ),
             None => result,
         }
+    }
+
+    /// Replays a mutation script against the resident upload while a
+    /// core-side mirror delta log tracks the identical batches; the
+    /// mirror's materialized post-mutation graph anchors validation. Any
+    /// apply-side failure comes back as the job's failure message.
+    fn replay_mutations(
+        &self,
+        platform: &dyn Platform,
+        loaded: &dyn LoadedGraph,
+        csr: &Arc<Csr>,
+        script: &MutationScript,
+    ) -> Result<MutationReplay, String> {
+        let batches = script.batches_for(csr);
+        let mut mirror = MutableGraph::with_config(
+            csr.clone(),
+            DeltaConfig { auto_compact: false, ..DeltaConfig::default() },
+        );
+        let mut summary = MutationSummary { batches: batches.len() as u32, ..Default::default() };
+        let mut phases: Vec<PhaseRecord> = Vec::new();
+        for batch in &batches {
+            let mut ctx = RunContext::new(&self.pool);
+            let outcome = platform
+                .apply_mutations(loaded, batch, &mut ctx)
+                .map_err(|e| format!("mutation apply failed: {e}"))?;
+            mirror
+                .apply(batch, &self.pool)
+                .map_err(|e| format!("mutation mirror diverged: {e}"))?;
+            summary.inserted += outcome.inserted;
+            summary.deleted += outcome.deleted;
+            summary.updated += outcome.updated;
+            summary.compactions += u64::from(outcome.compacted);
+            summary.apply_secs += outcome.wall_seconds;
+            summary.delta_arcs = outcome.delta_arcs;
+            summary.fill_ratio = outcome.fill_ratio;
+            phases.extend(ctx.take_phases());
+        }
+        let merged = mirror
+            .materialize(&self.pool)
+            .map_err(|e| format!("mutation mirror materialize failed: {e}"))?;
+        Ok(MutationReplay { merged: Arc::new(merged), summary, phases })
     }
 
     /// Admission without execution: returns the rejection row
@@ -399,8 +560,9 @@ impl Driver {
         spec: &JobSpec,
         admission: Admission,
         mut result: JobResult,
-        measured_upload_secs: Option<f64>,
+        measured: MeasuredPhases,
     ) -> JobResult {
+        let MeasuredPhases { upload_secs: measured_upload_secs, replay } = measured;
         let csr = loaded.csr();
         if let Some(layout) = loaded.shard_layout() {
             result.shards = layout.shards;
@@ -417,12 +579,29 @@ impl Driver {
                 &[("edges", &csr.num_edges().to_string())],
             );
         }
+        if let Some(replay) = &replay {
+            result.mutation = Some(replay.summary);
+            for phase in &replay.phases {
+                archiver.record_measured(
+                    phase.name,
+                    phase.secs,
+                    &[("batches", &replay.summary.batches.to_string())],
+                );
+            }
+        }
 
-        // The reference output is computed once; a reference-side failure
+        // The reference output is computed once — on the materialized
+        // post-mutation graph when a mutation script ran, since that is
+        // the graph the engine now answers for. A reference-side failure
         // is recorded as a validation failure instead of panicking the
         // benchmark mid-run.
+        let reference_csr = replay.as_ref().map(|r| r.merged.as_ref()).unwrap_or(csr);
         let reference = if self.validate {
-            match graphalytics_core::algorithms::run_reference(csr, spec.algorithm, &params) {
+            match graphalytics_core::algorithms::run_reference(
+                reference_csr,
+                spec.algorithm,
+                &params,
+            ) {
                 Ok(reference) => Some(reference),
                 Err(e) => {
                     result.status =
@@ -634,6 +813,7 @@ impl Driver {
             runs: Vec::new(),
             counters: WorkCounters::new(),
             archive: None,
+            mutation: None,
         }
     }
 
@@ -815,6 +995,7 @@ mod tests {
             run_index: 0,
             repetitions: 1,
             shards: 1,
+            mutations: None,
         }
     }
 
@@ -858,6 +1039,44 @@ mod tests {
         let archive = r.archive.as_ref().unwrap();
         assert!(archive.duration_of("UploadGraph").is_some());
         assert!(archive.duration_of("ProcessGraph").is_some());
+    }
+
+    #[test]
+    fn mutation_script_replays_and_validates_on_post_mutation_graph() {
+        let platform = platform_by_name("pushpull").unwrap();
+        let csr = proxy_csr("G22");
+        let driver = Driver::default();
+        let script = MutationScript::new(2, 24, 24, 0xFEED);
+        for alg in [Algorithm::Wcc, Algorithm::PageRank, Algorithm::Bfs] {
+            let job = spec("G22", alg, 1).with_mutations(script);
+            let r = driver.run(platform.as_ref(), &job, RunMode::Measured { csr: &csr });
+            assert!(r.status.is_success(), "{alg:?}: {:?}", r.status);
+            let summary = r.mutation.expect("mutation summary recorded");
+            assert_eq!(summary.batches, 2);
+            assert!(summary.inserted + summary.updated > 0, "{alg:?}: batches mutated nothing");
+            assert!(summary.deleted > 0, "{alg:?}: no deletions landed");
+            let archive = r.archive.as_ref().unwrap();
+            assert!(archive.duration_of("Mutate").is_some(), "{alg:?}: Mutate phase archived");
+        }
+    }
+
+    #[test]
+    fn mutation_script_needs_a_mutation_platform_and_one_shard() {
+        let csr = proxy_csr("G22");
+        let driver = Driver::default();
+        let job = spec("G22", Algorithm::Wcc, 1)
+            .with_mutations(MutationScript::new(1, 8, 8, 7));
+        let gas = platform_by_name("gas").unwrap();
+        let rejected = driver.run(gas.as_ref(), &job, RunMode::Measured { csr: &csr });
+        assert_eq!(rejected.status, JobStatus::Unsupported, "no mutation path on gas");
+        assert!(rejected.mutation.is_none());
+        let pushpull = platform_by_name("pushpull").unwrap();
+        let sharded = driver.run(
+            pushpull.as_ref(),
+            &job.with_shards(2),
+            RunMode::Measured { csr: &csr },
+        );
+        assert_eq!(sharded.status, JobStatus::Unsupported, "mutations need a resident upload");
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod survey;
 
 pub use config::BenchmarkConfig;
 pub use description::BenchmarkDescription;
-pub use driver::{Driver, JobResult, JobSpec, JobStatus, RunMeasurement, RunMode};
+pub use driver::{
+    Driver, JobResult, JobSpec, JobStatus, MutationScript, MutationSummary, RunMeasurement,
+    RunMode,
+};
 pub use results::ResultsDatabase;
 pub use runner::{Runner, RunnerMode};
 

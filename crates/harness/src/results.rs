@@ -187,6 +187,7 @@ mod tests {
             }],
             counters: WorkCounters::new(),
             archive: None,
+            mutation: None,
         }
     }
 

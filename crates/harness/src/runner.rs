@@ -123,6 +123,7 @@ impl Runner {
                     run_index: 0,
                     repetitions,
                     shards: self.config.shards,
+                    mutations: None,
                 };
                 match &csr {
                     Some(csr) => {

@@ -11,9 +11,12 @@
 //! | `DELETE /jobs/:id`   | cancel a queued job                            |
 //! | `GET /results`       | the full results database (JSON export)        |
 //! | `GET /graphs`        | resident graph store entries + configuration   |
-//! | `GET /metrics`       | job/store counters, EPS / EVPS aggregates, and |
-//! |                      | monitor telemetry (`?format=prometheus` for    |
-//! |                      | the text exposition format)                    |
+//! | `POST /graphs/:id/mutations` | apply a streaming mutation batch to a  |
+//! |                      | resident graph's delta log (explicit           |
+//! |                      | insert/delete rows or a `generate` shorthand)  |
+//! | `GET /metrics`       | job/store/mutation counters, EPS / EVPS        |
+//! |                      | aggregates, and monitor telemetry              |
+//! |                      | (`?format=prometheus` for the text format)     |
 //!
 //! Requests are validated before they reach the queue: unknown platforms,
 //! datasets and algorithms are 400s, not worker crashes — backed by the
@@ -40,6 +43,7 @@ pub fn handle(state: &ServiceState, request: &Request) -> Response {
         ("DELETE", ["jobs", id]) => cancel_job(state, id),
         ("GET", ["results"]) => Response::raw_json(200, state.results.to_json()),
         ("GET", ["graphs"]) => graphs(state),
+        ("POST", ["graphs", id, "mutations"]) => mutate_graph(state, id, request),
         ("GET", ["metrics"]) => metrics(state, request),
         ("GET" | "POST" | "DELETE", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, format!("method {} not allowed", request.method)),
@@ -63,6 +67,7 @@ fn index() -> Response {
                         "DELETE /jobs/:id",
                         "GET /results",
                         "GET /graphs",
+                        "POST /graphs/:id/mutations",
                         "GET /metrics",
                         "GET /metrics?format=prometheus",
                     ]
@@ -228,12 +233,19 @@ fn graphs(state: &ServiceState) -> Response {
         .list()
         .iter()
         .map(|info| {
-            Json::obj(vec![
+            let mut fields = vec![
                 ("dataset", Json::str(&info.dataset)),
                 ("vertices", Json::Num(info.vertices as f64)),
                 ("edges", Json::Num(info.edges as f64)),
                 ("bytes", Json::Num(info.bytes as f64)),
-            ])
+            ];
+            if let Some(delta) = state.mutations.status(&info.dataset) {
+                fields.push(("mutated", Json::Bool(true)));
+                fields.push(("applied_batches", Json::Num(delta.stats.applied_batches as f64)));
+                fields.push(("delta_arcs", Json::Num(delta.delta_arcs as f64)));
+                fields.push(("fill_ratio", Json::Num(delta.fill_ratio)));
+            }
+            Json::obj(fields)
         })
         .collect();
     Response::json(
@@ -244,6 +256,132 @@ fn graphs(state: &ServiceState) -> Response {
             ("scale_divisor", Json::Num(config.scale_divisor as f64)),
         ]),
     )
+}
+
+/// Parses an explicit mutation body: `insert` rows of `[src, dst]` or
+/// `[src, dst, weight]`, `delete` rows of `[src, dst]`.
+fn parse_mutation_batch(json: &Json) -> Result<graphalytics_core::MutationBatch, String> {
+    let mut batch = graphalytics_core::MutationBatch::new();
+    let vertex = |cell: &Json, field: &str| -> Result<u64, String> {
+        cell.as_u64()
+            .ok_or_else(|| format!("field `{field}` rows must hold non-negative vertex ids"))
+    };
+    if let Some(rows) = json.get("insert") {
+        let rows = rows
+            .as_arr()
+            .ok_or_else(|| "field `insert` must be an array of edge rows".to_string())?;
+        for row in rows {
+            let cells = row
+                .as_arr()
+                .ok_or_else(|| "field `insert` rows must be arrays".to_string())?;
+            match cells {
+                [src, dst] => {
+                    batch.insert(vertex(src, "insert")?, vertex(dst, "insert")?);
+                }
+                [src, dst, weight] => {
+                    let w = weight
+                        .as_f64()
+                        .ok_or_else(|| "field `insert` weights must be numbers".to_string())?;
+                    batch.insert_weighted(vertex(src, "insert")?, vertex(dst, "insert")?, w);
+                }
+                _ => {
+                    return Err(
+                        "field `insert` rows must be [src, dst] or [src, dst, weight]".to_string()
+                    )
+                }
+            }
+        }
+    }
+    if let Some(rows) = json.get("delete") {
+        let rows = rows
+            .as_arr()
+            .ok_or_else(|| "field `delete` must be an array of [src, dst] rows".to_string())?;
+        for row in rows {
+            match row.as_arr() {
+                Some([src, dst]) => {
+                    batch.delete(vertex(src, "delete")?, vertex(dst, "delete")?);
+                }
+                _ => return Err("field `delete` rows must be [src, dst]".to_string()),
+            }
+        }
+    }
+    Ok(batch)
+}
+
+/// `POST /graphs/:id/mutations`: applies one batch (explicit rows or the
+/// `generate: {insert, delete, seed}` shorthand) to the dataset's delta
+/// log. Validation failures — undeclared vertices, self loops, bad
+/// weights, malformed rows — are structured 400s and leave the log
+/// untouched; the graph is generated into the store first if it was not
+/// yet resident.
+fn mutate_graph(state: &ServiceState, raw_id: &str, request: &Request) -> Response {
+    let Some(dataset) = graphalytics_core::datasets::dataset(raw_id) else {
+        return Response::error(404, format!("unknown dataset {raw_id}"));
+    };
+    let Some(body) = request.body_utf8() else {
+        return Response::error(400, "request body is not UTF-8");
+    };
+    let json = match Json::parse(body) {
+        Ok(json) => json,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let base = state.store.get(dataset);
+    let applied = if let Some(generate) = json.get("generate") {
+        if json.get("insert").is_some() || json.get("delete").is_some() {
+            return Response::error(
+                400,
+                "`generate` excludes explicit `insert`/`delete` arrays",
+            );
+        }
+        let count = |name: &str| -> Result<u64, Response> {
+            match generate.get(name) {
+                None => Ok(0),
+                Some(value) => value.as_u64().ok_or_else(|| {
+                    Response::error(
+                        400,
+                        format!("field `generate.{name}` must be a non-negative integer"),
+                    )
+                }),
+            }
+        };
+        let (insertions, deletions) = match (count("insert"), count("delete")) {
+            (Ok(i), Ok(d)) => (i as usize, d as usize),
+            (Err(resp), _) | (_, Err(resp)) => return resp,
+        };
+        let seed = generate.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        state.mutations.apply_generated(dataset.id, &base, insertions, deletions, seed)
+    } else {
+        match parse_mutation_batch(&json) {
+            Ok(batch) if batch.is_empty() => {
+                return Response::error(
+                    400,
+                    "mutation batch is empty (no `insert`, `delete`, or `generate`)",
+                )
+            }
+            Ok(batch) => {
+                let len = batch.len();
+                state.mutations.apply(dataset.id, &base, &batch).map(|report| (len, report))
+            }
+            Err(message) => return Response::error(400, message),
+        }
+    };
+    match applied {
+        Ok((batch_len, report)) => Response::json(
+            200,
+            &Json::obj(vec![
+                ("dataset", Json::str(dataset.id)),
+                ("batch_len", Json::Num(batch_len as f64)),
+                ("inserted", Json::Num(report.inserted as f64)),
+                ("deleted", Json::Num(report.deleted as f64)),
+                ("updated", Json::Num(report.updated as f64)),
+                ("compacted", Json::Bool(report.compacted)),
+                ("delta_arcs", Json::Num(report.delta_arcs as f64)),
+                ("fill_ratio", Json::Num(report.fill_ratio)),
+                ("apply_secs", Json::Num(report.apply_secs)),
+            ]),
+        ),
+        Err(message) => Response::error(400, message),
+    }
 }
 
 fn get_archive(state: &ServiceState, raw_id: &str) -> Response {
@@ -328,10 +466,39 @@ fn monitor_json(state: &ServiceState) -> Json {
     ])
 }
 
+/// The delta-log section of `GET /metrics`: aggregate mutation counters
+/// over every resident graph with a live delta log.
+fn mutations_json(state: &ServiceState) -> Json {
+    let m = state.mutations.metrics();
+    Json::obj(vec![
+        ("mutated_graphs", Json::Num(m.mutated_graphs as f64)),
+        ("applied_batches", Json::Num(m.applied_batches as f64)),
+        ("inserted_edges", Json::Num(m.inserted_edges as f64)),
+        ("deleted_edges", Json::Num(m.deleted_edges as f64)),
+        ("updated_edges", Json::Num(m.updated_edges as f64)),
+        ("compactions", Json::Num(m.compactions as f64)),
+        ("compact_secs", Json::Num(m.compact_secs)),
+        ("delta_arcs", Json::Num(m.delta_arcs as f64)),
+        ("snapshot_builds", Json::Num(m.snapshot_builds as f64)),
+    ])
+}
+
+/// Copies the mutation-store counters into the monitor registry so the
+/// Prometheus exposition carries the delta-log gauges too.
+fn refresh_mutation_gauges(state: &ServiceState) {
+    let m = state.mutations.metrics();
+    state.metrics.gauge("mutation_applied_batches").set(m.applied_batches as f64);
+    state.metrics.gauge("mutation_inserted_edges").set(m.inserted_edges as f64);
+    state.metrics.gauge("mutation_deleted_edges").set(m.deleted_edges as f64);
+    state.metrics.gauge("mutation_compactions").set(m.compactions as f64);
+    state.metrics.gauge("mutation_delta_arcs").set(m.delta_arcs as f64);
+}
+
 fn metrics(state: &ServiceState, request: &Request) -> Response {
     match request.query_param("format") {
         Some("prometheus") => {
             refresh_pool_gauges(state);
+            refresh_mutation_gauges(state);
             return Response::text(200, state.metrics.snapshot().to_prometheus());
         }
         Some(other) => {
@@ -377,6 +544,7 @@ fn metrics(state: &ServiceState, request: &Request) -> Response {
                     ("entries", Json::Num(store.entries as f64)),
                 ]),
             ),
+            ("mutations", mutations_json(state)),
             ("results", results_aggregates(state)),
         ]),
     )

@@ -190,6 +190,35 @@ impl Client {
         self.request("GET", "/graphs", None)
     }
 
+    /// Applies one mutation batch to a resident graph's delta log. The
+    /// body follows `POST /graphs/:id/mutations`: explicit `insert` /
+    /// `delete` edge rows, or a `generate` shorthand (see
+    /// [`Client::mutate_generated`]).
+    pub fn mutate(&self, dataset: &str, body: &Json) -> ClientResult<Json> {
+        self.request("POST", &format!("/graphs/{dataset}/mutations"), Some(body))
+    }
+
+    /// Applies one server-generated mutation batch (`insertions` new
+    /// edges, `deletions` removed edges, drawn deterministically from
+    /// `seed`) to a resident graph's delta log.
+    pub fn mutate_generated(
+        &self,
+        dataset: &str,
+        insertions: u64,
+        deletions: u64,
+        seed: u64,
+    ) -> ClientResult<Json> {
+        let body = Json::obj(vec![(
+            "generate",
+            Json::obj(vec![
+                ("insert", Json::Num(insertions as f64)),
+                ("delete", Json::Num(deletions as f64)),
+                ("seed", Json::Num(seed as f64)),
+            ]),
+        )]);
+        self.mutate(dataset, &body)
+    }
+
     /// Service metrics.
     pub fn metrics(&self) -> ClientResult<Json> {
         self.request("GET", "/metrics", None)

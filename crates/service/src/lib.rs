@@ -12,6 +12,10 @@
 //! * [`store`] — the cached graph store: proxy datasets are generated at
 //!   most once, kept resident keyed by dataset, and evicted LRU-first by
 //!   estimated memory footprint;
+//! * [`mutations`] — per-dataset streaming delta logs over the resident
+//!   graphs (`POST /graphs/:id/mutations`): batched edge
+//!   insertions/deletions with auto-compaction; measured jobs targeting a
+//!   mutated dataset run on its materialized post-mutation snapshot;
 //! * [`jobs`] — the asynchronous job queue: submit a `(platform, dataset,
 //!   algorithm)` job, poll its state, cancel while queued; a worker pool
 //!   drains the queue through the harness `Driver` into a shared
@@ -39,10 +43,12 @@ pub mod api;
 pub mod client;
 pub mod http;
 pub mod jobs;
+pub mod mutations;
 pub mod server;
 pub mod store;
 
 pub use client::{Client, ClientError, ClientResult};
 pub use jobs::{JobMode, JobQueue, JobRecord, JobRequest, JobState};
+pub use mutations::{BatchReport, MutationMetrics, MutationStore};
 pub use server::{Service, ServiceConfig, ServiceState};
 pub use store::{GraphStore, GraphStoreConfig, StoreMetrics};

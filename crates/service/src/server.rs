@@ -23,6 +23,7 @@ use graphalytics_harness::{Driver, JobResult, JobSpec, ResultsDatabase, RunMode}
 use crate::api;
 use crate::http::{Request, Response};
 use crate::jobs::{JobMode, JobQueue, JobRequest, JobState};
+use crate::mutations::MutationStore;
 use crate::store::{GraphStore, GraphStoreConfig};
 
 /// Daemon configuration.
@@ -58,6 +59,10 @@ impl Default for ServiceConfig {
 /// Everything the API and the workers share.
 pub struct ServiceState {
     pub store: GraphStore,
+    /// Per-dataset streaming delta logs over the store's resident graphs
+    /// (`POST /graphs/:id/mutations`); measured jobs that target a
+    /// mutated dataset run on its materialized snapshot.
+    pub mutations: MutationStore,
     pub queue: JobQueue,
     pub results: ResultsDatabase,
     /// The daemon-wide execution runtime: one pool, shared by every job
@@ -86,6 +91,7 @@ impl ServiceState {
         pool.enable_telemetry();
         ServiceState {
             store: GraphStore::new(config.store, pool.clone()),
+            mutations: MutationStore::new(pool.clone()),
             queue: JobQueue::new(),
             results: ResultsDatabase::new(),
             pool,
@@ -129,11 +135,18 @@ impl ServiceState {
             run_index: 0,
             repetitions: request.repetitions.max(1),
             shards: request.shards.max(1),
+            mutations: None,
         };
         let result = match request.mode {
             JobMode::Analytic => driver.run(platform.as_ref(), &spec, RunMode::Analytic),
             JobMode::Measured => {
-                let csr = self.store.get(dataset);
+                // A dataset with a live delta log serves its materialized
+                // post-mutation snapshot: jobs answer for the graph as
+                // mutated, and validation references match it.
+                let csr = self
+                    .mutations
+                    .snapshot(dataset.id)
+                    .unwrap_or_else(|| self.store.get(dataset));
                 driver.run(platform.as_ref(), &spec, RunMode::Measured { csr: &csr })
             }
         };

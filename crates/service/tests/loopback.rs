@@ -281,6 +281,93 @@ fn sharded_job_serves_granula_archive_with_telemetry() {
 }
 
 #[test]
+fn mutations_reject_undeclared_vertices_and_jobs_run_on_mutated_graphs() {
+    let (service, client) = start_service(2);
+
+    // Make G22 resident and establish a pre-mutation baseline.
+    let id = client.submit("pushpull", "G22", "wcc", JobMode::Measured).unwrap();
+    let record = client.wait(id, Duration::from_secs(120)).unwrap();
+    assert_eq!(record.get("state").and_then(Json::as_str), Some("completed"));
+    let baseline_edges = record
+        .get("result")
+        .and_then(|r| r.get("edges"))
+        .and_then(Json::as_u64)
+        .expect("baseline edge count");
+
+    // Satellite: a batch referencing an undeclared vertex is a structured
+    // 400 with the offending id in the message — not a worker crash — and
+    // leaves the delta log untouched.
+    let body = Json::obj(vec![(
+        "insert",
+        Json::Arr(vec![Json::Arr(vec![Json::Num(1.0e12), Json::Num(0.0)])]),
+    )]);
+    match client.mutate("G22", &body) {
+        Err(graphalytics_service::ClientError::Api { status: 400, message }) => {
+            assert!(message.contains("undeclared vertex"), "{message}");
+        }
+        other => panic!("expected 400, got {other:?}"),
+    }
+    // Unknown dataset: 404. Malformed rows: 400.
+    match client.mutate_generated("R99", 1, 0, 0) {
+        Err(graphalytics_service::ClientError::Api { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+    let bad = Json::obj(vec![("insert", Json::Arr(vec![Json::Num(3.0)]))]);
+    match client.mutate("G22", &bad) {
+        Err(graphalytics_service::ClientError::Api { status: 400, .. }) => {}
+        other => panic!("expected 400, got {other:?}"),
+    }
+    let metrics = client.metrics().unwrap();
+    let mutations = metrics.get("mutations").expect("mutations section");
+    assert_eq!(mutations.get("applied_batches").and_then(Json::as_u64), Some(0));
+
+    // A server-generated batch applies: net edge growth, counters move.
+    let report = client.mutate_generated("G22", 64, 16, 7).expect("batch applies");
+    assert_eq!(report.get("inserted").and_then(Json::as_u64), Some(64), "{report:?}");
+    assert!(report.get("deleted").and_then(Json::as_u64).unwrap() > 0);
+    assert!(report.get("fill_ratio").and_then(Json::as_f64).is_some());
+
+    // Jobs targeting the dataset now run on the materialized
+    // post-mutation snapshot — on every platform, with validation against
+    // the mutated graph — and report its edge count.
+    for platform in ["pushpull", "native"] {
+        let id = client.submit(platform, "G22", "wcc", JobMode::Measured).unwrap();
+        let record = client.wait(id, Duration::from_secs(120)).unwrap();
+        let result = record.get("result").expect("result");
+        assert_eq!(
+            result.get("status").and_then(Json::as_str),
+            Some("completed"),
+            "{platform}: {result:?}"
+        );
+        let edges = result.get("edges").and_then(Json::as_u64).unwrap();
+        let deleted = report.get("deleted").and_then(Json::as_u64).unwrap();
+        assert_eq!(edges, baseline_edges + 64 - deleted, "{platform}: mutated edge count");
+    }
+
+    // The delta-log counters surface through GET /metrics (JSON and
+    // Prometheus) and the graph listing flags the mutated entry.
+    let metrics = client.metrics().unwrap();
+    let mutations = metrics.get("mutations").expect("mutations section");
+    assert_eq!(mutations.get("mutated_graphs").and_then(Json::as_u64), Some(1));
+    assert_eq!(mutations.get("applied_batches").and_then(Json::as_u64), Some(1));
+    assert_eq!(mutations.get("inserted_edges").and_then(Json::as_u64), Some(64));
+    assert!(mutations.get("snapshot_builds").and_then(Json::as_u64).unwrap() >= 1);
+    let text = client.metrics_prometheus().unwrap();
+    assert!(text.contains("mutation_applied_batches 1"), "{text}");
+    let graphs = client.graphs().unwrap();
+    let rows = graphs.get("graphs").and_then(Json::as_arr).unwrap();
+    let g22 = rows
+        .iter()
+        .find(|g| g.get("dataset").and_then(Json::as_str) == Some("G22"))
+        .expect("G22 resident");
+    assert_eq!(g22.get("mutated"), Some(&Json::Bool(true)));
+
+    // The daemon survived everything.
+    assert_eq!(client.health().unwrap().get("status").and_then(Json::as_str), Some("ok"));
+    service.shutdown();
+}
+
+#[test]
 fn queued_jobs_can_be_cancelled() {
     // Single worker: two heavy head-of-line jobs occupy it while we
     // cancel a job that is still safely queued behind them.

@@ -47,6 +47,7 @@ fn measured_benchmark_run_end_to_end() {
                     run_index: 0,
                     repetitions: config.repetitions,
                     shards: config.shards,
+                    mutations: None,
                 };
                 let result =
                     driver.run_uploaded(platform.as_ref(), loaded.as_ref(), &spec, Some(0.01));

@@ -1,0 +1,174 @@
+//! Correctness anchor of the streaming-mutation subsystem: for random
+//! R-MAT base graphs and random insert/delete batches, the push–pull
+//! engine's incremental results must be **bit-identical** (WCC) or
+//! **validator-epsilon-equal** (PageRank) to a cold full recompute on
+//! the materialized post-mutation graph, at every pool width 1/2/4/8 —
+//! and the incremental outputs themselves must be width-invariant.
+//! Plus the compaction round-trip: folding the delta log equals
+//! building a fresh CSR from the merged edge list.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use graphalytics::core::{
+    random_batch, AlgorithmOutput, Csr, DeltaConfig, MutableGraph, MutationBatch,
+};
+use graphalytics::graph500::RmatConfig;
+use graphalytics::prelude::*;
+
+/// Enough pull iterations that a cold run is converged well past the
+/// validator's tolerance at these graph sizes (`2·0.85^150 ≈ 5.5e-11`,
+/// two orders under `ε·(1−d)/n` at n = 512) — the regime where the
+/// warm-start path engages and "converged" is the right answer.
+const PR_ITERATIONS: u32 = 150;
+
+fn rmat(scale: u32, seed: u64, directed: bool) -> Graph {
+    RmatConfig {
+        scale,
+        edge_factor: 6,
+        a: 0.55,
+        b: 0.2,
+        c: 0.2,
+        seed,
+        directed,
+        weighted: true,
+        keep_isolated: false,
+    }
+    .generate()
+}
+
+/// Three deterministic batches, each mutating ~5% of the base edges in
+/// both directions (inserts + deletes).
+fn batches_for(csr: &Csr, seed: u64) -> Vec<MutationBatch> {
+    let m = (csr.num_edges() / 20).max(4);
+    (0..3)
+        .map(|i| random_batch(csr, m, m, seed.wrapping_mul(0x9E37).wrapping_add(i)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn incremental_matches_cold_recompute_across_widths(
+        scale in 6u32..9,
+        seed in 0u64..1000,
+        directed in proptest::bool::ANY,
+    ) {
+        let inline = WorkerPool::inline();
+        let csr = Arc::new(rmat(scale, seed, directed).to_csr_with(&inline).unwrap());
+        let platform = platform_by_name("pushpull").unwrap();
+        let params =
+            AlgorithmParams { pagerank_iterations: PR_ITERATIONS, ..AlgorithmParams::default() };
+        let batches = batches_for(&csr, seed);
+
+        // The validator's mirror: apply the same batches to a plain
+        // core-side delta log and materialize the post-mutation graph.
+        let mut mirror = MutableGraph::with_config(
+            csr.clone(),
+            DeltaConfig { auto_compact: false, ..DeltaConfig::default() },
+        );
+        for b in &batches {
+            mirror.apply(b, &inline).unwrap();
+        }
+        let merged = Arc::new(mirror.materialize(&inline).unwrap());
+
+        // Cold full recomputes on the materialized post-mutation graph.
+        let cold_wcc = run_once(platform.as_ref(), &merged, Algorithm::Wcc, &params, &inline)
+            .unwrap()
+            .output;
+        let cold_pr =
+            run_once(platform.as_ref(), &merged, Algorithm::PageRank, &params, &inline)
+                .unwrap()
+                .output;
+
+        let mut width1: Option<(AlgorithmOutput, AlgorithmOutput)> = None;
+        for threads in [1u32, 2, 4, 8] {
+            let pool = if threads == 1 { WorkerPool::inline() } else { WorkerPool::new(threads) };
+            let loaded = platform.upload(csr.clone(), &pool).unwrap();
+            for (i, b) in batches.iter().enumerate() {
+                let mut ctx = RunContext::new(&pool);
+                platform.apply_mutations(loaded.as_ref(), b, &mut ctx).unwrap();
+                if i == 0 {
+                    // Populate the incremental caches after the first
+                    // batch so the remaining batches exercise the
+                    // maintenance paths (label merge/split, warm ranks)
+                    // rather than the first-run full compute.
+                    let mut ctx = RunContext::new(&pool);
+                    platform
+                        .run(loaded.as_ref(), Algorithm::Wcc, &params, &mut ctx)
+                        .unwrap();
+                    let mut ctx = RunContext::new(&pool);
+                    platform
+                        .run(loaded.as_ref(), Algorithm::PageRank, &params, &mut ctx)
+                        .unwrap();
+                }
+            }
+            let mut ctx = RunContext::new(&pool);
+            let wcc =
+                platform.run(loaded.as_ref(), Algorithm::Wcc, &params, &mut ctx).unwrap().output;
+            let mut ctx = RunContext::new(&pool);
+            let pr = platform
+                .run(loaded.as_ref(), Algorithm::PageRank, &params, &mut ctx)
+                .unwrap()
+                .output;
+            platform.delete(loaded);
+
+            // WCC: bit-identical to the cold recompute.
+            prop_assert_eq!(
+                &wcc, &cold_wcc,
+                "scale {} seed {} directed {} width {}: incremental WCC diverged",
+                scale, seed, directed, threads
+            );
+            // PageRank: within the validator's epsilon of the cold run.
+            let verdict = validate(&cold_pr, &pr).unwrap().into_result();
+            prop_assert!(
+                verdict.is_ok(),
+                "scale {} seed {} directed {} width {}: incremental PageRank outside epsilon: {:?}",
+                scale, seed, directed, threads, verdict.err()
+            );
+            // And the incremental outputs are width-invariant, bitwise.
+            match &width1 {
+                None => width1 = Some((wcc, pr)),
+                Some((w1_wcc, w1_pr)) => {
+                    prop_assert_eq!(w1_wcc, &wcc, "incremental WCC must not depend on width");
+                    prop_assert_eq!(w1_pr, &pr, "incremental PageRank must not depend on width");
+                }
+            }
+        }
+    }
+
+    /// Compaction round-trip: folding the log into a fresh base CSR is
+    /// exactly `Csr::from_graph` on the merged edge list — row for row,
+    /// weight for weight.
+    #[test]
+    fn compaction_equals_csr_from_merged_edge_list(
+        scale in 5u32..8,
+        seed in 0u64..1000,
+        directed in proptest::bool::ANY,
+    ) {
+        let inline = WorkerPool::inline();
+        let csr = Arc::new(rmat(scale, seed, directed).to_csr_with(&inline).unwrap());
+        let m = (csr.num_edges() / 10).max(4);
+        let batch = random_batch(&csr, m, m, seed ^ 0xC0FFEE);
+        let mut mg = MutableGraph::with_config(
+            csr,
+            DeltaConfig { auto_compact: false, ..DeltaConfig::default() },
+        );
+        mg.apply(&batch, &inline).unwrap();
+        let reference = Csr::from_graph(&mg.to_graph()).unwrap();
+        mg.compact(&inline).unwrap();
+        let compacted = mg.base();
+        prop_assert_eq!(compacted.vertex_ids(), reference.vertex_ids());
+        prop_assert_eq!(compacted.num_arcs(), reference.num_arcs());
+        for u in 0..reference.num_vertices() as u32 {
+            prop_assert_eq!(compacted.out_neighbors(u), reference.out_neighbors(u));
+            prop_assert_eq!(compacted.out_weights(u), reference.out_weights(u));
+            if reference.is_directed() {
+                prop_assert_eq!(compacted.in_neighbors(u), reference.in_neighbors(u));
+            }
+        }
+        prop_assert_eq!(mg.delta_arcs(), 0, "compaction resets the log");
+    }
+}

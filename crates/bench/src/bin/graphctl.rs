@@ -4,9 +4,10 @@
 //! ```text
 //! graphctl <addr> serve [workers]                  run a daemon in the foreground
 //! graphctl <addr> submit <platform> <dataset> <algorithm> [measured|analytic] [repetitions]
+//!          [--timeout-secs=<secs>]                 (deadline: run aborts → `timed-out`)
 //! graphctl <addr> status <id>                      one job's record
 //! graphctl <addr> wait <id> [timeout-secs]         block until the job finishes
-//! graphctl <addr> cancel <id>                      cancel a queued job
+//! graphctl <addr> cancel <id>                      cancel a queued or running job
 //! graphctl <addr> archive <id>                     render a job's Granula archive
 //! graphctl <addr> mutate <dataset> <insert> <delete> [seed]
 //! graphctl <addr> jobs | results | graphs | metrics | health
@@ -21,10 +22,14 @@ const USAGE: &str = "usage: graphctl <addr> <command> [args]
 commands:
   serve [workers]                                    run a daemon bound to <addr>
   submit <platform> <dataset> <algorithm> [mode] [n] enqueue a job (mode: measured|analytic,
-                                                     n: execute-phase repetitions, default 1)
+         [--timeout-secs=<secs>]                     n: execute-phase repetitions, default 1;
+                                                     a job still running past the deadline
+                                                     aborts into the `timed-out` state)
   status <id>                                        one job's record
   wait <id> [timeout-secs]                           block until the job finishes
-  cancel <id>                                        cancel a queued job
+  cancel <id>                                        cancel a queued or running job (a
+                                                     running job aborts at its next
+                                                     superstep boundary)
   archive <id>                                       fetch a finished job's Granula archive
                                                      and render it as an ASCII phase tree
   mutate <dataset> <insert> <delete> [seed]          apply one server-generated mutation
@@ -62,7 +67,20 @@ fn run(args: &[String]) -> Result<(), String> {
     let client = Client::new(addr);
     let output = match (command, rest) {
         ("submit", [platform, dataset, algorithm, rest @ ..]) => {
-            let (mode, repetitions) = match rest {
+            // `--timeout-secs=<secs>` may appear anywhere after the
+            // algorithm; the positional args keep their old grammar.
+            let mut timeout_secs = None;
+            let mut positional = Vec::new();
+            for arg in rest {
+                if let Some(raw) = arg.strip_prefix("--timeout-secs=") {
+                    let secs: f64 =
+                        raw.parse().map_err(|_| format!("bad timeout {raw:?}"))?;
+                    timeout_secs = Some(secs);
+                } else {
+                    positional.push(arg.clone());
+                }
+            }
+            let (mode, repetitions) = match positional.as_slice() {
                 [] => (JobMode::Measured, 1),
                 [mode, reps @ ..] => {
                     let mode = JobMode::from_str_opt(mode)
@@ -76,7 +94,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             };
             let id = client
-                .submit_repeated(platform, dataset, algorithm, mode, repetitions)
+                .submit_with_timeout(
+                    platform,
+                    dataset,
+                    algorithm,
+                    mode,
+                    repetitions,
+                    timeout_secs,
+                )
                 .map_err(|e| e.to_string())?;
             print_line(&id.to_string());
             return Ok(());

@@ -1,7 +1,7 @@
 //! `repro_bench` — the perf-trajectory emitter.
 //!
 //! Measures the hot paths this repository's refactors target and writes
-//! `BENCH_pr9.json`:
+//! `BENCH_pr10.json`:
 //!
 //! * **upload** — CSR build throughput (edges/s), sequential baseline vs
 //!   the pool build at widths 1/2/4/8, plus parallel edge-file parsing;
@@ -21,6 +21,10 @@
 //!   kernels with per-superstep tracing off vs on. Outputs must be
 //!   bit-identical and the EVPS cost of tracing must stay under 3%
 //!   (both asserted);
+//! * **fault_plane_overhead** — the fault-plane gate, same shape: the
+//!   same kernels with the fault/cancellation scope absent vs installed
+//!   with an empty script and an unfired token. Outputs bit-identical,
+//!   armed-but-idle checkpoint cost under 3% EVPS (both asserted);
 //! * **traversal** — the parallel traversal kernels: BFS and SSSP EVPS
 //!   at pool widths 1/2/4/8 on a larger instance (outputs asserted
 //!   identical across widths, width 4 ≥ width 1 asserted in full mode),
@@ -114,7 +118,7 @@ fn parse_args() -> Config {
         mutation_scale: 13,
         pagerank_iterations: 50,
         reps: 5,
-        out: "BENCH_pr9.json".to_string(),
+        out: "BENCH_pr10.json".to_string(),
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -590,6 +594,124 @@ fn bench_monitor_overhead(cfg: &Config) -> Json {
     ])
 }
 
+/// The fault-plane gate, same shape as the monitor gate: the same
+/// kernels with the fault/cancellation scope absent vs installed with an
+/// empty script and a live (never-fired) token. The armed-but-idle fault
+/// plane is pure per-superstep checkpoint cost — outputs must be
+/// bit-identical either way and the EVPS cost must stay under 3%, so the
+/// "cancellation is free until you use it" claim is re-proved by every
+/// committed artifact.
+fn bench_fault_plane_overhead(cfg: &Config) -> Json {
+    use graphalytics_core::fault::{self, CancelToken, FaultScript};
+
+    // Same scale floor as the monitor gate, for the same reason: the
+    // per-superstep checkpoint is a fixed cost, so the instance must be
+    // large enough that the ratio measures work, not dispatch noise.
+    let scale = cfg.kernel_scale.max(12);
+    let graph = Graph500Config::new(scale).with_seed(11).with_weights(true).generate();
+    let csr: Arc<Csr> = Arc::new(graph.try_to_csr().unwrap());
+    let vpe = (csr.num_vertices() + csr.num_edges()) as f64;
+    let params = AlgorithmParams {
+        source_vertex: Some(csr.id_of(0)),
+        pagerank_iterations: 10,
+        damping_factor: 0.85,
+        cdlp_iterations: 5,
+    };
+    let pool = WorkerPool::new(4);
+    let platform = platform_by_name("pregel").unwrap();
+    let loaded = platform.upload_sharded(csr.clone(), &ShardPlan::new(2), &pool).unwrap();
+
+    let run_armed = |armed: bool, algorithm: Algorithm| {
+        let _guard =
+            armed.then(|| fault::install(CancelToken::new(), FaultScript::empty()));
+        let mut ctx = RunContext::new(&pool);
+        platform.run(loaded.as_ref(), algorithm, &params, &mut ctx).unwrap()
+    };
+
+    let mut kernels = Vec::new();
+    let mut worst_pct = 0.0f64;
+    for algorithm in [Algorithm::Bfs, Algorithm::PageRank] {
+        let off = run_armed(false, algorithm);
+        let on = run_armed(true, algorithm);
+        assert_eq!(
+            off.output, on.output,
+            "an idle fault plane must not perturb {algorithm} output"
+        );
+        // Same measurement defenses as the monitor gate: batched samples
+        // (≥100 ms per timing), A/B/A drift correction, median ratio over
+        // all rounds, and best-of-three independent trials.
+        let t = Instant::now();
+        std::hint::black_box(run_armed(false, algorithm));
+        let single = t.elapsed().as_secs_f64().max(1e-6);
+        let batch = ((0.1 / single).ceil() as usize).clamp(1, 64);
+        let rounds = (cfg.reps * 4).max(16);
+        let time_batch = |armed: bool| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(run_armed(armed, algorithm));
+            }
+            t.elapsed().as_secs_f64() / batch as f64
+        };
+        let measure = || {
+            time_batch(true); // warm the armed side
+            let mut offs = Vec::with_capacity(rounds + 1);
+            let mut ons = Vec::with_capacity(rounds);
+            offs.push(time_batch(false));
+            for _ in 0..rounds {
+                ons.push(time_batch(true));
+                offs.push(time_batch(false));
+            }
+            let mut ratios: Vec<f64> =
+                (0..rounds).map(|i| 2.0 * ons[i] / (offs[i] + offs[i + 1])).collect();
+            ratios.sort_by(|a, b| a.total_cmp(b));
+            let off_best = offs.iter().copied().fold(f64::INFINITY, f64::min);
+            let on_best = ons.iter().copied().fold(f64::INFINITY, f64::min);
+            (off_best, on_best, (ratios[ratios.len() / 2] - 1.0) * 100.0)
+        };
+        let mut best = measure();
+        for trial in 2..=3 {
+            if best.2 <= 3.0 {
+                break;
+            }
+            eprintln!(
+                "fault_plane_overhead: {algorithm} measured {:.2}% — trial {trial} of 3",
+                best.2
+            );
+            let next = measure();
+            if next.2 < best.2 {
+                best = next;
+            }
+        }
+        let (secs_off, secs_on, overhead_pct) = best;
+        worst_pct = worst_pct.max(overhead_pct);
+        kernels.push(Json::obj(vec![
+            ("algorithm", Json::str(algorithm.acronym())),
+            ("disabled_secs", num(secs_off)),
+            ("armed_secs", num(secs_on)),
+            ("disabled_evps", num(vpe / secs_off)),
+            ("armed_evps", num(vpe / secs_on)),
+            ("overhead_pct", num(overhead_pct)),
+        ]));
+    }
+    platform.delete(loaded);
+    assert!(
+        worst_pct <= 3.0,
+        "the armed-but-idle fault plane costs {worst_pct:.2}% EVPS; the budget is 3%"
+    );
+
+    Json::obj(vec![
+        ("graph", Json::str(format!("graph500-{scale}"))),
+        ("vertices", Json::Num(csr.num_vertices() as f64)),
+        ("edges", Json::Num(csr.num_edges() as f64)),
+        ("engine", Json::str("pregel")),
+        ("shards", Json::Num(2.0)),
+        ("pool_threads", Json::Num(4.0)),
+        ("budget_pct", Json::Num(3.0)),
+        ("worst_overhead_pct", num(worst_pct)),
+        ("kernels", Json::Arr(kernels)),
+    ])
+}
+
 /// The parallel traversal kernels: BFS + SSSP wall time and EVPS at
 /// pool widths 1/2/4/8 on an instance large enough for the pool to pay
 /// for its dispatch, with outputs asserted bit-identical across widths.
@@ -934,6 +1056,8 @@ fn main() {
     let sharded = bench_sharded(&cfg);
     println!("repro_bench: measuring monitor overhead (tracing off vs on) ...");
     let monitor = bench_monitor_overhead(&cfg);
+    println!("repro_bench: measuring fault-plane overhead (disabled vs armed-idle) ...");
+    let fault_plane = bench_fault_plane_overhead(&cfg);
     println!("repro_bench: measuring traversal kernels (widths 1/2/4/8) ...");
     let traversal = bench_traversal(&cfg);
     println!("repro_bench: measuring streaming mutation (incremental vs full recompute) ...");
@@ -941,8 +1065,8 @@ fn main() {
 
     let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
     let report = Json::obj(vec![
-        ("pr", Json::Num(9.0)),
-        ("benchmark", Json::str("streaming graph mutation: delta-log adjacency, incremental wcc/pagerank recompute vs full rebuild")),
+        ("pr", Json::Num(10.0)),
+        ("benchmark", Json::str("fault-injection plane + cooperative cancellation: armed-idle checkpoint overhead vs disabled, chaos-tested degradation")),
         (
             "host",
             Json::obj(vec![
@@ -955,6 +1079,7 @@ fn main() {
         ("engines", engines),
         ("sharded", sharded),
         ("monitor_overhead", monitor),
+        ("fault_plane_overhead", fault_plane),
         ("traversal", traversal),
         ("mutation", mutation),
     ]);

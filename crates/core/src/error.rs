@@ -34,6 +34,15 @@ pub enum Error {
     SlaViolation { makespan_secs: f64, limit_secs: f64 },
     /// Output validation against the reference implementation failed.
     ValidationFailed(String),
+    /// The run observed cooperative cancellation at a checkpoint
+    /// (operator `DELETE /jobs/:id`, or a scripted cancel fault).
+    Cancelled,
+    /// The run's armed deadline passed before completion.
+    DeadlineExceeded { timeout_secs: f64 },
+    /// A fault deliberately injected by the fault plane (`core::fault`).
+    /// Transient faults are retried by the service with bounded backoff;
+    /// permanent ones are terminal.
+    Injected { site: &'static str, transient: bool },
     /// Anything else.
     Other(String),
 }
@@ -61,6 +70,14 @@ impl fmt::Display for Error {
                 "SLA violation: makespan {makespan_secs:.1}s exceeds limit {limit_secs:.1}s"
             ),
             Error::ValidationFailed(msg) => write!(f, "output validation failed: {msg}"),
+            Error::Cancelled => f.write_str("cancelled"),
+            Error::DeadlineExceeded { timeout_secs } => {
+                write!(f, "deadline exceeded: run did not finish within {timeout_secs:.3}s")
+            }
+            Error::Injected { site, transient } => {
+                let class = if *transient { "transient" } else { "permanent" };
+                write!(f, "injected {class} fault at {site}")
+            }
             Error::Other(msg) => f.write_str(msg),
         }
     }
@@ -86,6 +103,21 @@ impl Error {
     /// (crash or timeout), as opposed to a configuration/user error.
     pub fn breaks_sla(&self) -> bool {
         matches!(self, Error::OutOfMemory { .. } | Error::SlaViolation { .. })
+    }
+
+    /// True for injected-transient faults — the only class the service
+    /// retries with backoff.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Injected { transient: true, .. })
+    }
+
+    /// True for errors produced by the fault/cancellation plane itself
+    /// (as opposed to genuine configuration or data errors).
+    pub fn is_fault_control(&self) -> bool {
+        matches!(
+            self,
+            Error::Cancelled | Error::DeadlineExceeded { .. } | Error::Injected { .. }
+        )
     }
 }
 

@@ -140,6 +140,7 @@ impl Csr {
     /// Builds the CSR form of `g` on `pool`. Bit-identical to
     /// [`Csr::from_graph`] for every pool width (see the module docs).
     pub fn from_graph_with(g: &Graph, pool: &WorkerPool) -> Result<Csr> {
+        crate::fault::checkpoint(crate::fault::FaultSite::Build)?;
         let n = g.vertex_count();
         let vertex_ids: Box<[VertexId]> = g.vertices().into();
         let remap = Remap::new(&vertex_ids);
@@ -189,6 +190,7 @@ impl Csr {
         }
 
         // Pass 2 — per-worker counts → global offsets + exclusive cursors.
+        crate::fault::checkpoint(crate::fault::FaultSite::Build)?;
         let out_offsets = exclusive_offsets(pool, n, &mut out_counts);
         let in_offsets =
             if directed { exclusive_offsets(pool, n, &mut in_counts) } else { Vec::new() };

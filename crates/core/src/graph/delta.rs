@@ -419,6 +419,10 @@ impl MutableGraph {
     /// deletions, then insertions; finally auto-compacts when the log
     /// crosses the fill ratio (if the policy says so).
     pub fn apply(&mut self, batch: &MutationBatch, pool: &WorkerPool) -> Result<ApplyOutcome> {
+        // The checkpoint precedes any state change: a fault or cancel at
+        // this site skips the batch atomically, leaving the delta log
+        // exactly as it was (the chaos suite's invariant).
+        crate::fault::checkpoint(crate::fault::FaultSite::Mutate)?;
         self.validate_batch(batch)?;
         let deleted = self.apply_deletions(&batch.deletions);
         let (inserted, updated) = self.apply_insertions(&batch.insertions);
@@ -642,6 +646,9 @@ impl MutableGraph {
     /// the log. Vertex set and dense index order are preserved, so
     /// per-vertex state cached against the old base stays valid.
     pub fn compact(&mut self, pool: &WorkerPool) -> Result<f64> {
+        // Fail before building the replacement base: an aborted
+        // compaction leaves both the base and the log untouched.
+        crate::fault::checkpoint(crate::fault::FaultSite::Compact)?;
         let start = Instant::now();
         let fresh = self.materialize(pool)?;
         self.base = Arc::new(fresh);

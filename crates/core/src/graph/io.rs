@@ -233,6 +233,7 @@ fn parse_edges_chunked(
 
     let mut base_line = 0usize;
     for chunk in parsed {
+        crate::fault::checkpoint(crate::fault::FaultSite::Parse)?;
         if let Some((rel, message)) = chunk.error {
             // Chunks before the first failing one parsed fully, so their
             // line tallies give the exact absolute line number.

@@ -29,6 +29,7 @@
 pub mod algorithms;
 pub mod datasets;
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod output;
 pub mod params;
@@ -37,6 +38,7 @@ pub mod scale;
 pub mod validation;
 
 pub use error::{Error, Result};
+pub use fault::{CancelToken, FaultKind, FaultPlan, FaultScript, FaultSite, Injection};
 pub use graph::{
     random_batch, ApplyOutcome, Csr, DeltaConfig, DeltaStats, Edge, Graph, GraphBuilder,
     MutableGraph, MutationBatch, ShardCsr, ShardedCsr, VertexId,

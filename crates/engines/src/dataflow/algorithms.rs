@@ -6,6 +6,7 @@
 
 use std::sync::Arc;
 
+use graphalytics_core::fault::{self, FaultSite};
 use graphalytics_core::{Csr, VertexId};
 
 use graphalytics_cluster::WorkCounters;
@@ -74,6 +75,7 @@ where
     }
     let mut it = IterTimer::new("Round", c);
     while active_count > 0 {
+        fault::tick(FaultSite::Superstep);
         let round_active = active_count;
         c.supersteps += 1;
         // Ship active vertex views to edge partitions (replication).
@@ -196,6 +198,7 @@ pub fn pagerank(
     let mut rank = vec![inv_n; n];
     let mut it = IterTimer::new("Round", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         // Dangling aggregate: a narrow scan over the vertex dataset.
         c.vertices_processed += n as u64;
@@ -252,6 +255,7 @@ pub fn cdlp(
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     let mut it = IterTimer::new("Round", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.add_messages(n as u64, 12); // vertex views
         c.edges_scanned += total_arcs;

@@ -289,8 +289,9 @@ impl Platform for DataflowEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
+        ctx.check_cancelled()?;
         ctx.begin_trace();
-        let values = (|| -> Result<OutputValues> {
+        let values = graphalytics_core::fault::catch_abort(|| -> Result<OutputValues> {
             Ok(match algorithm {
                 Algorithm::Bfs => {
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
@@ -320,7 +321,7 @@ impl Platform for DataflowEngine {
                     OutputValues::F64(algorithms::sssp(g, root, pool, &mut c))
                 }
             })
-        })();
+        });
         ctx.absorb_trace();
         let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
+use graphalytics_core::fault::{self, FaultSite};
 use graphalytics_core::output::{AlgorithmOutput, OutputValues};
 use graphalytics_core::params::AlgorithmParams;
 use graphalytics_core::{Algorithm, Csr, VertexId};
@@ -129,6 +130,7 @@ pub fn run_gas<P: GasProgram>(
     let mut iteration = 0u32;
     let mut it = IterTimer::new("Superstep", counters);
     loop {
+        fault::tick(FaultSite::Superstep);
         if let Some(k) = fixed {
             if iteration >= k {
                 break;
@@ -318,8 +320,9 @@ impl Platform for GasEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
+        ctx.check_cancelled()?;
         ctx.begin_trace();
-        let values = (|| -> Result<OutputValues> {
+        let values = fault::catch_abort(|| -> Result<OutputValues> {
             Ok(match algorithm {
                 Algorithm::Bfs => {
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
@@ -353,7 +356,7 @@ impl Platform for GasEngine {
                     OutputValues::F64(run_gas(csr, &SsspGas { root }, pool, &mut c))
                 }
             })
-        })();
+        });
         ctx.absorb_trace();
         let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -412,6 +415,7 @@ impl Platform for GasEngine {
 fn streamed_lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     let mut it = IterTimer::new("Superstep", c);
+    fault::tick(FaultSite::Superstep);
     c.supersteps += 1;
     c.vertices_processed += n as u64;
     let (values, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut (u64, u64)| {

@@ -53,3 +53,4 @@ pub use profile::PerfProfile;
 pub use sharded::{upload_with_shards, ShardLayout, ShardPlan, ShardSet};
 
 pub use graphalytics_cluster::WorkCounters;
+pub use graphalytics_core::fault;

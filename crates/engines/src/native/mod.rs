@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
+use graphalytics_core::fault::{self, FaultSite};
 use graphalytics_core::output::{AlgorithmOutput, OutputValues};
 use graphalytics_core::params::AlgorithmParams;
 use graphalytics_core::{Algorithm, Csr, VertexId};
@@ -94,8 +95,9 @@ impl Platform for NativeEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut counters = WorkCounters::new();
+        ctx.check_cancelled()?;
         ctx.begin_trace();
-        let values = (|| -> Result<OutputValues> {
+        let values = fault::catch_abort(|| -> Result<OutputValues> {
             Ok(match algorithm {
                 Algorithm::Bfs => {
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
@@ -126,7 +128,7 @@ impl Platform for NativeEngine {
                     OutputValues::F64(dijkstra(csr, root, &mut counters))
                 }
             })
-        })();
+        });
         ctx.absorb_trace();
         let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -201,6 +203,7 @@ fn queue_bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
     let mut level = 0i64;
     let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active = frontier.len();
         c.supersteps += 1;
         c.vertices_processed += frontier.len() as u64;
@@ -235,6 +238,7 @@ fn pull_pagerank(csr: &Csr, iterations: u32, damping: f64, pool: &WorkerPool, c:
     let mut next = vec![0.0f64; n];
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let rank_ref = &rank;
@@ -314,6 +318,7 @@ fn sync_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;

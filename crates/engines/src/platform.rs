@@ -125,6 +125,11 @@ pub struct RunContext<'a> {
     /// harness turns it off when its `MonitorConfig` is disabled.
     tracing: bool,
     spans: Vec<crate::trace::SpanRecord>,
+    /// Cooperative cancellation handle for this run. Defaults to a fresh
+    /// (never-cancelled) token; the harness driver threads its job-level
+    /// token through so the service can abort running jobs at the next
+    /// superstep boundary.
+    cancel: graphalytics_core::fault::CancelToken,
 }
 
 impl<'a> RunContext<'a> {
@@ -135,7 +140,30 @@ impl<'a> RunContext<'a> {
 
     /// A context for repetition `run_index`.
     pub fn with_run_index(pool: &'a WorkerPool, run_index: u64) -> Self {
-        RunContext { pool, run_index, phases: Vec::new(), tracing: true, spans: Vec::new() }
+        RunContext {
+            pool,
+            run_index,
+            phases: Vec::new(),
+            tracing: true,
+            spans: Vec::new(),
+            cancel: graphalytics_core::fault::CancelToken::new(),
+        }
+    }
+
+    /// Attaches the job-level cancellation token to this context.
+    pub fn set_cancel(&mut self, token: graphalytics_core::fault::CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The cancellation token engines observe (also checked by the
+    /// thread-local fault scope at superstep boundaries).
+    pub fn cancel_token(&self) -> &graphalytics_core::fault::CancelToken {
+        &self.cancel
+    }
+
+    /// Structured cancellation/deadline verdict for this run.
+    pub fn check_cancelled(&self) -> Result<()> {
+        self.cancel.check()
     }
 
     /// Enables or disables per-superstep span tracing for runs through

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
+use graphalytics_core::fault::{self, FaultSite};
 use graphalytics_core::output::{AlgorithmOutput, OutputValues};
 use graphalytics_core::params::AlgorithmParams;
 use graphalytics_core::{Algorithm, Csr};
@@ -178,6 +179,7 @@ pub fn run_pregel<P: VertexProgram>(
     let mut superstep = 0u64;
     let mut it = IterTimer::new("Superstep", counters);
     loop {
+        fault::tick(FaultSite::Superstep);
         let active_count =
             if it.is_enabled() { active.iter().filter(|&&a| a).count() } else { 0 };
         counters.supersteps += 1;
@@ -375,8 +377,9 @@ impl Platform for PregelEngine {
         let csr = exec.csr();
         let start = Instant::now();
         let mut counters = WorkCounters::new();
+        ctx.check_cancelled()?;
         ctx.begin_trace();
-        let values = (|| -> Result<OutputValues> {
+        let values = fault::catch_abort(|| -> Result<OutputValues> {
             Ok(match algorithm {
                 Algorithm::Bfs => {
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
@@ -406,7 +409,7 @@ impl Platform for PregelEngine {
                     OutputValues::F64(exec.run(&SsspProgram { root }, &mut counters))
                 }
             })
-        })();
+        });
         ctx.absorb_trace();
         let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();

@@ -109,6 +109,7 @@ pub fn run_pregel_sharded<P: VertexProgram>(
     let tracing = trace::active();
     let mut it = IterTimer::new("Superstep", counters);
     loop {
+        graphalytics_core::fault::tick(graphalytics_core::fault::FaultSite::Superstep);
         let active_count =
             if tracing { active.iter().filter(|&&a| a).count() } else { 0 };
         counters.supersteps += 1;

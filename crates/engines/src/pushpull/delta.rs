@@ -31,6 +31,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use graphalytics_core::fault::{self, FaultSite};
 use graphalytics_core::output::{AlgorithmOutput, OutputValues};
 use graphalytics_core::params::AlgorithmParams;
 use graphalytics_core::pool::WorkerPool;
@@ -126,6 +127,10 @@ pub(super) fn apply(
     batch: &MutationBatch,
     ctx: &mut RunContext<'_>,
 ) -> Result<Mutation> {
+    // Before any state change: an aborted apply must leave the delta log
+    // exactly as it was.
+    fault::checkpoint(FaultSite::Mutate)?;
+    ctx.check_cancelled()?;
     let pool = ctx.pool;
     let start = Instant::now();
     let mut guard = g.delta.lock().unwrap();
@@ -190,33 +195,38 @@ pub(super) fn run_incremental(
     let state = guard.as_mut().expect("incremental run requires mutation state");
     let start = Instant::now();
     let mut c = WorkCounters::new();
+    ctx.check_cancelled()?;
     ctx.begin_trace();
-    let values = match algorithm {
-        Algorithm::Wcc => {
-            let DeltaState { graph, wcc, .. } = state;
-            if wcc.is_none() {
-                *wcc = Some(full_wcc(graph, &mut c));
+    let values = fault::catch_abort(|| -> Result<OutputValues> {
+        Ok(match algorithm {
+            Algorithm::Wcc => {
+                let DeltaState { graph, wcc, .. } = state;
+                if wcc.is_none() {
+                    *wcc = Some(full_wcc(graph, &mut c));
+                }
+                let labels = wcc.as_ref().unwrap();
+                c.supersteps += 1;
+                c.vertices_processed += labels.len() as u64;
+                let out: Vec<VertexId> =
+                    labels.iter().map(|&l| graph.base().id_of(l)).collect();
+                OutputValues::Id(out)
             }
-            let labels = wcc.as_ref().unwrap();
-            c.supersteps += 1;
-            c.vertices_processed += labels.len() as u64;
-            let out: Vec<VertexId> = labels.iter().map(|&l| graph.base().id_of(l)).collect();
-            OutputValues::Id(out)
-        }
-        Algorithm::PageRank => OutputValues::F64(incremental_pagerank(
-            state,
-            params.pagerank_iterations,
-            params.damping_factor,
-            pool,
-            &mut c,
-        )),
-        other => {
-            return Err(Error::InvalidParameters(format!(
-                "no incremental path for {other}"
-            )))
-        }
-    };
+            Algorithm::PageRank => OutputValues::F64(incremental_pagerank(
+                state,
+                params.pagerank_iterations,
+                params.damping_factor,
+                pool,
+                &mut c,
+            )),
+            other => {
+                return Err(Error::InvalidParameters(format!(
+                    "no incremental path for {other}"
+                )))
+            }
+        })
+    });
     ctx.absorb_trace();
+    let values = values?;
     let wall_seconds = start.elapsed().as_secs_f64();
     ctx.record_phase("ProcessGraph", wall_seconds);
     Ok(Execution {

@@ -32,6 +32,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
+use graphalytics_core::fault::{self, FaultSite};
 use graphalytics_core::output::{AlgorithmOutput, OutputValues};
 use graphalytics_core::params::AlgorithmParams;
 use graphalytics_core::{Algorithm, Csr, VertexId};
@@ -602,8 +603,9 @@ impl Platform for PushPullEngine {
         }
         let start = Instant::now();
         let mut c = WorkCounters::new();
+        ctx.check_cancelled()?;
         ctx.begin_trace();
-        let values = (|| -> Result<OutputValues> {
+        let values = fault::catch_abort(|| -> Result<OutputValues> {
             Ok(match algorithm {
                 Algorithm::Bfs => {
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
@@ -630,7 +632,7 @@ impl Platform for PushPullEngine {
                     OutputValues::F64(exec.sssp(root, pool, &mut c))
                 }
             })
-        })();
+        });
         ctx.absorb_trace();
         let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -739,6 +741,7 @@ fn bfs_kernel<const TRACED: bool>(
     let mut level = 0i64;
     let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
     while !frontier.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active = frontier.len();
         let pulling = dir.choose(frontier_degree, active, n);
         c.supersteps += 1;
@@ -891,6 +894,7 @@ fn pull_pagerank(
     let mut rank = vec![inv_n; n];
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let rank_ref = &rank;
@@ -939,6 +943,7 @@ fn wcc_kernel<const TRACED: bool>(csr: &Csr, c: &mut WorkCounters) -> Vec<Vertex
     let mut next = Frontier::new(n);
     let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
     while !active.is_empty() {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += active.len() as u64;
         // Accumulate the per-edge tallies in a register and flush once
@@ -988,6 +993,7 @@ fn pull_cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;
@@ -1033,6 +1039,7 @@ pub fn label_correcting_sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<
     let mut next = Frontier::new(n);
     let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active_count = active.len();
         c.supersteps += 1;
         c.vertices_processed += active_count as u64;
@@ -1212,6 +1219,7 @@ fn delta_sssp_kernel<const TRACED: bool>(
     let mut scratch: Vec<(u32, f64)> = Vec::new();
     let mut it = TRACED.then(|| IterTimer::new("Iteration", c));
     while let Some((&bucket, _)) = buckets.first_key_value() {
+        fault::tick(FaultSite::Superstep);
         settled.clear();
         // Light rounds: drain bucket `bucket` to its local fixpoint —
         // first the map's entry, then whatever each round re-enqueued

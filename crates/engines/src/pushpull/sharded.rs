@@ -39,6 +39,7 @@ use std::time::Instant;
 
 use graphalytics_cluster::WorkCounters;
 use graphalytics_core::{Csr, VertexId};
+use graphalytics_core::fault::{self, FaultSite};
 
 use crate::common::frontier::Frontier;
 use crate::common::pool::{SharedSlice, WorkerPool};
@@ -221,6 +222,7 @@ pub(super) fn sharded_bfs(g: &PushPullShardedGraph, root: u32, c: &mut WorkCount
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active = frontier.len();
         let pulling = dir.choose(frontier_degree, active, n);
         c.supersteps += 1;
@@ -372,6 +374,7 @@ pub(super) fn sharded_pagerank(
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let rank_ref = &rank;
@@ -441,6 +444,7 @@ pub(super) fn sharded_wcc(g: &PushPullShardedGraph, c: &mut WorkCounters) -> Vec
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active_count = active.len();
         c.supersteps += 1;
         c.vertices_processed += active_count as u64;
@@ -527,6 +531,7 @@ pub(super) fn sharded_cdlp(
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;
@@ -747,6 +752,7 @@ fn sharded_delta_sssp(
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     while let Some((&bucket, _)) = buckets.first_key_value() {
+        fault::tick(FaultSite::Superstep);
         settled.clear();
         while let Some(current) = buckets.remove(&bucket) {
             active.clear();
@@ -813,6 +819,7 @@ fn sharded_label_correcting_sssp(
     let tracing = trace::active();
     let mut it = IterTimer::new("Iteration", c);
     while !active.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active_count = active.len();
         c.supersteps += 1;
         c.vertices_processed += active_count as u64;

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use graphalytics_core::error::Result;
+use graphalytics_core::fault::{self, FaultSite};
 use graphalytics_core::output::{AlgorithmOutput, OutputValues};
 use graphalytics_core::params::AlgorithmParams;
 use graphalytics_core::{Algorithm, Csr, VertexId};
@@ -236,8 +237,9 @@ impl Platform for SpmvEngine {
         let pool = ctx.pool;
         let start = Instant::now();
         let mut c = WorkCounters::new();
+        ctx.check_cancelled()?;
         ctx.begin_trace();
-        let values = (|| -> Result<OutputValues> {
+        let values = fault::catch_abort(|| -> Result<OutputValues> {
             Ok(match algorithm {
                 Algorithm::Bfs => {
                     let root = graphalytics_core::algorithms::resolve_root(csr, params)?;
@@ -265,7 +267,7 @@ impl Platform for SpmvEngine {
                     OutputValues::F64(sssp(csr, root, &mut c))
                 }
             })
-        })();
+        });
         ctx.absorb_trace();
         let values = values?;
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -326,6 +328,7 @@ fn bfs(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<i64> {
     let kernel = MinPlus;
     let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active = frontier.len();
         c.supersteps += 1;
         c.vertices_processed += n as u64; // dense vector pass per iteration
@@ -374,6 +377,7 @@ fn pagerank(
     let mut rank = vec![inv_n; n];
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         let dangling: f64 =
             (0..n).filter(|&u| degrees[u] == 0).map(|u| rank[u]).sum();
@@ -392,6 +396,7 @@ fn wcc(csr: &Csr, c: &mut WorkCounters) -> Vec<VertexId> {
     let mut label: Vec<f64> = (0..n).map(|i| i as f64).collect();
     let mut it = IterTimer::new("Iteration", c);
     loop {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let mut changed = false;
@@ -434,6 +439,7 @@ fn cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> 
     let mut labels: Vec<VertexId> = (0..n as u32).map(|u| csr.id_of(u)).collect();
     let mut it = IterTimer::new("Iteration", c);
     for _ in 0..iterations {
+        fault::tick(FaultSite::Superstep);
         c.supersteps += 1;
         c.vertices_processed += n as u64;
         let labels_ref = &labels;
@@ -471,6 +477,7 @@ fn cdlp(csr: &Csr, iterations: u32, pool: &WorkerPool, c: &mut WorkCounters) -> 
 fn lcc(csr: &Csr, pool: &WorkerPool, c: &mut WorkCounters) -> Vec<f64> {
     let n = csr.num_vertices();
     let mut it = IterTimer::new("Iteration", c);
+    fault::tick(FaultSite::Superstep);
     c.supersteps += 1;
     c.vertices_processed += n as u64;
     let (values, tallies) = crate::common::map_vertices(pool, n, |v, tally: &mut (u64, u64)| {
@@ -516,6 +523,7 @@ fn sssp(csr: &Csr, root: u32, c: &mut WorkCounters) -> Vec<f64> {
     let mut frontier = Frontier::singleton(n, root);
     let mut it = IterTimer::new("Iteration", c);
     while !frontier.is_empty() {
+        fault::tick(FaultSite::Superstep);
         let active = frontier.len();
         c.supersteps += 1;
         c.vertices_processed += n as u64;

@@ -30,6 +30,7 @@ use graphalytics_cluster::memory::MemoryOutcome;
 use graphalytics_cluster::partition::{estimate_replication, PartitionStrategy};
 use graphalytics_cluster::{ClusterSpec, NetworkSpec, WorkCounters};
 use graphalytics_core::datasets::DatasetSpec;
+use graphalytics_core::fault::{self, CancelToken, FaultScript, FaultSite};
 use graphalytics_core::pool::WorkerPool;
 use graphalytics_core::{random_batch, Algorithm, Csr, DeltaConfig, MutableGraph, MutationBatch};
 use graphalytics_engines::profile::NetworkKind;
@@ -73,6 +74,11 @@ pub struct JobSpec {
     /// post-mutation graph. Rejected as `Unsupported` on platforms
     /// without a mutation path.
     pub mutations: Option<MutationScript>,
+    /// Optional wall-clock deadline for the whole job. The driver arms
+    /// it on its [`CancelToken`](graphalytics_core::fault::CancelToken)
+    /// before the first phase; the first checkpoint past the deadline
+    /// aborts the run with [`JobStatus::TimedOut`].
+    pub timeout_secs: Option<f64>,
 }
 
 impl JobSpec {
@@ -86,6 +92,7 @@ impl JobSpec {
             repetitions: 1,
             shards: 1,
             mutations: None,
+            timeout_secs: None,
         }
     }
 
@@ -104,6 +111,12 @@ impl JobSpec {
     /// Builder-style mutation script.
     pub fn with_mutations(mut self, script: MutationScript) -> Self {
         self.mutations = Some(script);
+        self
+    }
+
+    /// Builder-style job deadline.
+    pub fn with_timeout_secs(mut self, timeout_secs: f64) -> Self {
+        self.timeout_secs = Some(timeout_secs);
         self
     }
 }
@@ -178,6 +191,15 @@ pub enum JobStatus {
     /// reference/engine itself failed, in which case the benchmark run
     /// records the failure instead of dying.
     ValidationFailed(String),
+    /// The run observed cooperative cancellation at a checkpoint and
+    /// aborted cleanly (rendered `F`).
+    Cancelled,
+    /// The run's armed deadline passed before completion (rendered `F`).
+    TimedOut,
+    /// The fault plane injected a fault that terminated the run. The
+    /// service retries `transient` faults with bounded backoff; permanent
+    /// ones are terminal.
+    Faulted { transient: bool, message: String },
 }
 
 impl JobStatus {
@@ -186,15 +208,41 @@ impl JobStatus {
         *self == JobStatus::Completed
     }
 
+    /// True for injected-transient faults — the only status the service
+    /// retries.
+    pub fn is_transient_fault(&self) -> bool {
+        matches!(self, JobStatus::Faulted { transient: true, .. })
+    }
+
     /// The paper's figure annotation: `F` for failures, `NA` for
     /// unimplemented algorithms.
     pub fn figure_mark(&self) -> &'static str {
         match self {
             JobStatus::Completed => "",
             JobStatus::Unsupported => "NA",
-            JobStatus::OutOfMemory | JobStatus::SlaViolation | JobStatus::ValidationFailed(_) => {
-                "F"
+            JobStatus::OutOfMemory
+            | JobStatus::SlaViolation
+            | JobStatus::ValidationFailed(_)
+            | JobStatus::Cancelled
+            | JobStatus::TimedOut
+            | JobStatus::Faulted { .. } => "F",
+        }
+    }
+
+    /// Structured status for a phase-level error: cancellation, deadline,
+    /// and injected faults keep their identity; anything else degrades to
+    /// the legacy classification.
+    pub fn from_error(e: &graphalytics_core::Error) -> JobStatus {
+        use graphalytics_core::Error;
+        match e {
+            Error::Cancelled => JobStatus::Cancelled,
+            Error::DeadlineExceeded { .. } => JobStatus::TimedOut,
+            Error::Injected { transient, .. } => {
+                JobStatus::Faulted { transient: *transient, message: e.to_string() }
             }
+            Error::OutOfMemory { .. } => JobStatus::OutOfMemory,
+            Error::Unsupported { .. } => JobStatus::Unsupported,
+            other => JobStatus::ValidationFailed(other.to_string()),
         }
     }
 }
@@ -308,6 +356,16 @@ pub struct Driver {
     /// restores the pre-monitor behaviour). Strictly data-plane passive:
     /// outputs are bit-identical either way.
     pub monitor: MonitorConfig,
+    /// Cooperative cancellation handle for jobs this driver runs. The
+    /// owner (e.g. the service's `DELETE /jobs/:id`) cancels it; running
+    /// kernels observe it at the next superstep boundary. Also carries
+    /// any per-job deadline from [`JobSpec::timeout_secs`].
+    pub cancel: CancelToken,
+    /// Injection schedule for this driver's jobs (empty by default —
+    /// the fault plane is a thread-local no-op then). The service derives
+    /// one per (job, attempt) from its configured
+    /// [`FaultPlan`](graphalytics_core::fault::FaultPlan).
+    pub faults: FaultScript,
 }
 
 impl Default for Driver {
@@ -318,6 +376,8 @@ impl Default for Driver {
             seed: 0xB5ED,
             pool: WorkerPool::shared(),
             monitor: MonitorConfig::default(),
+            cancel: CancelToken::new(),
+            faults: FaultScript::empty(),
         }
     }
 }
@@ -349,12 +409,24 @@ struct Admission {
 }
 
 impl Driver {
+    /// Arms the job deadline (if any) and installs the thread-local
+    /// fault/cancellation scope for one job's lifecycle. Kernels observe
+    /// the token and injection schedule at their checkpoints; dropping
+    /// the guard restores any outer scope.
+    fn fault_scope(&self, spec: &JobSpec) -> fault::FaultGuard {
+        if let Some(timeout) = spec.timeout_secs {
+            self.cancel.arm_deadline(std::time::Duration::from_secs_f64(timeout.max(0.0)));
+        }
+        fault::install(self.cancel.clone(), self.faults.clone())
+    }
+
     /// Runs one job through the full lifecycle. Measured mode performs
     /// upload (timed) → execute×N → validate → delete; use
     /// [`Driver::run_uploaded`] directly to share one upload across
     /// several jobs (the [`Runner`](crate::runner::Runner) shares per
     /// (platform, dataset)).
     pub fn run(&self, platform: &dyn Platform, spec: &JobSpec, mode: RunMode<'_>) -> JobResult {
+        let _scope = self.fault_scope(spec);
         match mode {
             RunMode::Analytic => self.run_analytic(platform, spec),
             RunMode::Measured { csr } => {
@@ -367,6 +439,10 @@ impl Driver {
                     return result;
                 }
                 if let Some(admission) = self.admit(platform, spec, Some(csr), &mut result) {
+                    if let Err(e) = fault::checkpoint(FaultSite::Upload) {
+                        result.status = JobStatus::from_error(&e);
+                        return result;
+                    }
                     let upload_start = Instant::now();
                     match graphalytics_engines::upload_with_shards(
                         platform,
@@ -386,8 +462,8 @@ impl Driver {
                                         &script,
                                     ) {
                                         Ok(replay) => Some(replay),
-                                        Err(message) => {
-                                            result.status = JobStatus::ValidationFailed(message);
+                                        Err(e) => {
+                                            result.status = JobStatus::from_error(&e);
                                             platform.delete(loaded);
                                             return result;
                                         }
@@ -406,8 +482,11 @@ impl Driver {
                             platform.delete(loaded);
                         }
                         Err(e) => {
-                            result.status =
-                                JobStatus::ValidationFailed(format!("upload failed: {e}"));
+                            result.status = if e.is_fault_control() {
+                                JobStatus::from_error(&e)
+                            } else {
+                                JobStatus::ValidationFailed(format!("upload failed: {e}"))
+                            };
                         }
                     }
                 }
@@ -427,6 +506,7 @@ impl Driver {
         spec: &JobSpec,
         measured_upload_secs: Option<f64>,
     ) -> JobResult {
+        let _scope = self.fault_scope(spec);
         let mut result = self.blank_result(platform, spec);
         let csr = loaded.csr();
         match self.admit_sized(
@@ -458,7 +538,7 @@ impl Driver {
         loaded: &dyn LoadedGraph,
         csr: &Arc<Csr>,
         script: &MutationScript,
-    ) -> Result<MutationReplay, String> {
+    ) -> Result<MutationReplay, graphalytics_core::Error> {
         let batches = script.batches_for(csr);
         let mut mirror = MutableGraph::with_config(
             csr.clone(),
@@ -468,12 +548,13 @@ impl Driver {
         let mut phases: Vec<PhaseRecord> = Vec::new();
         for batch in &batches {
             let mut ctx = RunContext::new(&self.pool);
+            ctx.set_cancel(self.cancel.clone());
             let outcome = platform
                 .apply_mutations(loaded, batch, &mut ctx)
-                .map_err(|e| format!("mutation apply failed: {e}"))?;
+                .map_err(|e| stage_error("mutation apply failed", e))?;
             mirror
                 .apply(batch, &self.pool)
-                .map_err(|e| format!("mutation mirror diverged: {e}"))?;
+                .map_err(|e| stage_error("mutation mirror diverged", e))?;
             summary.inserted += outcome.inserted;
             summary.deleted += outcome.deleted;
             summary.updated += outcome.updated;
@@ -485,7 +566,7 @@ impl Driver {
         }
         let merged = mirror
             .materialize(&self.pool)
-            .map_err(|e| format!("mutation mirror materialize failed: {e}"))?;
+            .map_err(|e| stage_error("mutation mirror materialize failed", e))?;
         Ok(MutationReplay { merged: Arc::new(merged), summary, phases })
     }
 
@@ -635,7 +716,15 @@ impl Driver {
         let repetitions = spec.repetitions.max(1);
         let mut walls: Vec<f64> = Vec::with_capacity(repetitions as usize);
         for rep in 0..repetitions as u64 {
+            // Even engines whose kernels converge in one superstep hit a
+            // boundary here, so cancellation/deadline is observed at
+            // least once per repetition.
+            if let Err(e) = fault::checkpoint(FaultSite::Repetition) {
+                result.status = JobStatus::from_error(&e);
+                return result;
+            }
             let mut ctx = RunContext::with_run_index(&self.pool, spec.run_index + rep);
+            ctx.set_cancel(self.cancel.clone());
             ctx.set_tracing(self.monitor.enabled);
             archiver.begin("ExecuteReal");
             let execution = platform.run(loaded, spec.algorithm, &params, &mut ctx);
@@ -696,7 +785,7 @@ impl Driver {
                     walls.push(exec.wall_seconds);
                 }
                 Err(e) => {
-                    result.status = JobStatus::ValidationFailed(e.to_string());
+                    result.status = JobStatus::from_error(&e);
                     return result;
                 }
             }
@@ -900,6 +989,17 @@ impl Driver {
     }
 }
 
+/// Wraps a stage failure in its stage prefix — except fault-plane errors
+/// (cancel/deadline/injection), which keep their identity so
+/// [`JobStatus::from_error`] classifies them structurally.
+fn stage_error(stage: &str, e: graphalytics_core::Error) -> graphalytics_core::Error {
+    if e.is_fault_control() {
+        e
+    } else {
+        graphalytics_core::Error::Other(format!("{stage}: {e}"))
+    }
+}
+
 fn job_name(spec: &JobSpec) -> String {
     format!("{}@{}", spec.algorithm, spec.dataset.id)
 }
@@ -996,6 +1096,7 @@ mod tests {
             repetitions: 1,
             shards: 1,
             mutations: None,
+            timeout_secs: None,
         }
     }
 

@@ -113,6 +113,7 @@ pub fn run_measured(suite: &ExperimentSuite, scale_divisor: u64) -> MeasuredShar
                         repetitions: 1,
                         shards,
                         mutations: None,
+                        timeout_secs: None,
                     };
                     suite.driver.run(p.as_ref(), &spec, RunMode::Measured { csr: &csr })
                 })

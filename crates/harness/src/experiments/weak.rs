@@ -127,6 +127,7 @@ pub fn run_measured(suite: &ExperimentSuite, base_divisor: u64) -> MeasuredWeak 
                         repetitions: 1,
                         shards: *shards,
                         mutations: None,
+                        timeout_secs: None,
                     };
                     suite.driver.run(p.as_ref(), &spec, RunMode::Measured { csr })
                 })

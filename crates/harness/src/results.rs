@@ -106,6 +106,12 @@ pub fn result_json(r: &JobResult) -> Json {
                 JobStatus::OutOfMemory => "oom".to_string(),
                 JobStatus::SlaViolation => "sla-violation".to_string(),
                 JobStatus::ValidationFailed(m) => format!("validation-failed: {m}"),
+                JobStatus::Cancelled => "cancelled".to_string(),
+                JobStatus::TimedOut => "timed-out".to_string(),
+                JobStatus::Faulted { transient, message } => {
+                    let class = if *transient { "transient" } else { "permanent" };
+                    format!("faulted ({class}): {message}")
+                }
             }),
         ),
         ("vertices", Json::Num(r.vertices as f64)),

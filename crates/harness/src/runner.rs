@@ -124,6 +124,7 @@ impl Runner {
                     repetitions,
                     shards: self.config.shards,
                     mutations: None,
+                    timeout_secs: None,
                 };
                 match &csr {
                     Some(csr) => {

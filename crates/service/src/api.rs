@@ -4,11 +4,15 @@
 //! |----------------------|------------------------------------------------|
 //! | `GET /`              | endpoint index                                 |
 //! | `GET /health`        | liveness probe                                 |
-//! | `POST /jobs`         | submit a job (202 + id)                        |
+//! | `POST /jobs`         | submit a job (202 + id; optional               |
+//! |                      | `timeout_secs` deadline; 429 when the bounded  |
+//! |                      | queue is full)                                 |
 //! | `GET /jobs`          | list all jobs                                  |
 //! | `GET /jobs/:id`      | one job, with its result when finished         |
 //! | `GET /jobs/:id/archive` | a finished job's full Granula archive       |
-//! | `DELETE /jobs/:id`   | cancel a queued job                            |
+//! | `DELETE /jobs/:id`   | cancel a queued (200) or running (202) job —   |
+//! |                      | a running job aborts at the next superstep     |
+//! |                      | boundary via its cancellation token            |
 //! | `GET /results`       | the full results database (JSON export)        |
 //! | `GET /graphs`        | resident graph store entries + configuration   |
 //! | `POST /graphs/:id/mutations` | apply a streaming mutation batch to a  |
@@ -27,7 +31,7 @@ use graphalytics_granula::json::Json;
 use graphalytics_harness::results::result_json;
 
 use crate::http::{Request, Response};
-use crate::jobs::{CancelError, JobMode, JobRecord, JobRequest, JobState};
+use crate::jobs::{CancelError, JobMode, JobRecord, JobRequest, JobState, SubmitError};
 use crate::server::ServiceState;
 
 /// Routes one request.
@@ -141,6 +145,21 @@ fn parse_submission(body: &str) -> Result<JobRequest, String> {
             n as u32
         }
     };
+    let timeout_millis = match json.get("timeout_secs") {
+        None => None,
+        Some(value) => {
+            let secs = value
+                .as_f64()
+                .ok_or_else(|| "field `timeout_secs` must be a number".to_string())?;
+            if !secs.is_finite() || secs <= 0.0 || secs > 86_400.0 {
+                return Err(
+                    "field `timeout_secs` must be a positive number of seconds (≤ 86400)"
+                        .to_string(),
+                );
+            }
+            Some((secs * 1000.0).ceil() as u64)
+        }
+    };
     Ok(JobRequest {
         platform: platform.to_string(),
         dataset: dataset.id.to_string(),
@@ -148,6 +167,7 @@ fn parse_submission(body: &str) -> Result<JobRequest, String> {
         mode,
         repetitions,
         shards,
+        timeout_millis,
     })
 }
 
@@ -156,16 +176,24 @@ fn submit(state: &ServiceState, request: &Request) -> Response {
         return Response::error(400, "request body is not UTF-8");
     };
     match parse_submission(body) {
-        Ok(job) => {
-            let id = state.queue.submit(job);
-            Response::json(
+        Ok(job) => match state.queue.submit(job) {
+            Ok(id) => Response::json(
                 202,
                 &Json::obj(vec![
                     ("id", Json::Num(id as f64)),
                     ("state", Json::str("queued")),
                 ]),
-            )
-        }
+            ),
+            // Bounded-queue backpressure: a full queue is a structured
+            // 429, not an unbounded buffer — the client retries later.
+            Err(SubmitError::QueueFull { capacity }) => {
+                state.metrics.counter("jobs_rejected_total").inc();
+                Response::error(
+                    429,
+                    format!("job queue is full ({capacity} open jobs); retry later"),
+                )
+            }
+        },
         Err(message) => Response::error(400, message),
     }
 }
@@ -183,6 +211,12 @@ pub fn job_json(record: &JobRecord) -> Json {
         ("shards".to_string(), Json::Num(record.request.shards as f64)),
         ("state".to_string(), Json::str(record.state.as_str())),
     ];
+    if let Some(millis) = record.request.timeout_millis {
+        fields.push(("timeout_secs".to_string(), Json::Num(millis as f64 / 1000.0)));
+    }
+    if record.cancel_requested {
+        fields.push(("cancel_requested".to_string(), Json::Bool(true)));
+    }
     if let JobState::Failed(message) = &record.state {
         fields.push(("error".to_string(), Json::str(message)));
     }
@@ -218,10 +252,17 @@ fn cancel_job(state: &ServiceState, raw_id: &str) -> Response {
         Err(resp) => return resp,
     };
     match state.queue.cancel(id) {
+        // A queued job cancels immediately (200). A running job gets its
+        // token signalled and aborts at the next superstep boundary — the
+        // 202 acknowledges the request; poll `GET /jobs/:id` for the
+        // `cancelled` terminal state.
+        Ok(record) if record.state == JobState::Running => {
+            Response::json(202, &job_json(&record))
+        }
         Ok(record) => Response::json(200, &job_json(&record)),
         Err(CancelError::NotFound) => Response::error(404, format!("no job {id}")),
         Err(CancelError::NotCancellable(job_state)) => {
-            Response::error(409, format!("job {id} is {job_state}, not queued"))
+            Response::error(409, format!("job {id} is {job_state}, already terminal"))
         }
     }
 }
@@ -531,6 +572,12 @@ fn metrics(state: &ServiceState, request: &Request) -> Response {
                     ("completed", Json::Num(counts.completed as f64)),
                     ("failed", Json::Num(counts.failed as f64)),
                     ("cancelled", Json::Num(counts.cancelled as f64)),
+                    ("timed_out", Json::Num(counts.timed_out as f64)),
+                    ("queue_capacity", Json::Num(state.queue.capacity() as f64)),
+                    (
+                        "queue_open",
+                        Json::Num((counts.queued + counts.running) as f64),
+                    ),
                 ]),
             ),
             (
@@ -692,6 +739,22 @@ mod tests {
                 r#"{"platform":"pregel","dataset":"G22","algorithm":"bfs","shards":"two"}"#,
                 "field `shards` must be a positive integer",
             ),
+            (
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","timeout_secs":"soon"}"#,
+                "field `timeout_secs` must be a number",
+            ),
+            (
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","timeout_secs":0}"#,
+                "field `timeout_secs` must be a positive number",
+            ),
+            (
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","timeout_secs":-2.5}"#,
+                "field `timeout_secs` must be a positive number",
+            ),
+            (
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","timeout_secs":90000}"#,
+                "field `timeout_secs` must be a positive number",
+            ),
         ];
         for (body, expected) in cases {
             let resp = handle(&state, &post("/jobs", body));
@@ -742,6 +805,44 @@ mod tests {
         let view = handle(&state, &get("/jobs/3"));
         let body = Json::parse(&view.body).unwrap();
         assert_eq!(body.get("shards").and_then(Json::as_u64), Some(4));
+        // A deadline is parsed to millisecond precision and echoed back.
+        let resp = handle(
+            &state,
+            &post(
+                "/jobs",
+                r#"{"platform":"native","dataset":"G22","algorithm":"bfs","timeout_secs":1.5}"#,
+            ),
+        );
+        assert_eq!(resp.status, 202);
+        assert_eq!(state.queue.get(4).unwrap().request.timeout_millis, Some(1500));
+        let view = handle(&state, &get("/jobs/4"));
+        let body = Json::parse(&view.body).unwrap();
+        assert_eq!(body.get("timeout_secs").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_429() {
+        let config = ServiceConfig { queue_capacity: 1, ..ServiceConfig::default() };
+        let state = ServiceState::new(&config);
+        let body = r#"{"platform":"native","dataset":"G22","algorithm":"bfs"}"#;
+        assert_eq!(handle(&state, &post("/jobs", body)).status, 202);
+        let resp = handle(&state, &post("/jobs", body));
+        assert_eq!(resp.status, 429);
+        assert!(resp.body.contains("queue is full"), "{}", resp.body);
+        let metrics = handle(&state, &get("/metrics"));
+        let json = Json::parse(&metrics.body).unwrap();
+        let jobs = json.get("jobs").unwrap();
+        assert_eq!(jobs.get("queue_capacity").and_then(Json::as_u64), Some(1));
+        assert_eq!(jobs.get("queue_open").and_then(Json::as_u64), Some(1));
+        // Cancelling the queued job frees the slot for the next submit.
+        let del = Request {
+            method: "DELETE".into(),
+            path: "/jobs/1".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(handle(&state, &del).status, 200);
+        assert_eq!(handle(&state, &post("/jobs", body)).status, 202);
     }
 
     #[test]
@@ -785,8 +886,10 @@ mod tests {
             mode: crate::jobs::JobMode::Measured,
             repetitions: 1,
             shards: 2,
+            timeout_millis: None,
         };
-        let result = state.execute(&request).unwrap();
+        let token = graphalytics_core::fault::CancelToken::new();
+        let result = state.execute(1, &request, &token, 0).unwrap();
         assert!(result.status.is_success(), "{:?}", result.status);
         state.results.insert(result);
         let resp = handle(&state, &get("/metrics"));

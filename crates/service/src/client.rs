@@ -6,10 +6,39 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use graphalytics_core::fault::Backoff;
 use graphalytics_granula::json::Json;
 
 use crate::http::read_response;
 use crate::jobs::JobMode;
+
+/// Client-side retry of *transient transport* failures: connect refusals
+/// and, for idempotent `GET`s, mid-response read failures. Retries use
+/// jittered exponential backoff seeded deterministically, so test runs
+/// are reproducible. `POST`/`DELETE` bodies that already reached the
+/// server are never replayed (no double submission).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection attempts per call (1 = no retry).
+    pub attempts: u32,
+    /// Base delay of the jittered exponential backoff.
+    pub base: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, base: Duration::from_millis(25), seed: 0xC11E }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, failures surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy { attempts: 1, ..RetryPolicy::default() }
+    }
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -46,13 +75,20 @@ pub type ClientResult<T> = Result<T, ClientError>;
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    retry: RetryPolicy,
 }
 
 impl Client {
     /// A client for `addr` (`"127.0.0.1:8077"` or anything
-    /// `TcpStream::connect` accepts).
+    /// `TcpStream::connect` accepts), with the default retry policy.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into() }
+        Client { addr: addr.into(), retry: RetryPolicy::default() }
+    }
+
+    /// Replaces the transport retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
     }
 
     /// The target address.
@@ -61,17 +97,49 @@ impl Client {
     }
 
     /// One raw round trip: status code + body text, no JSON expectations
-    /// (the Prometheus exposition endpoint serves plain text).
+    /// (the Prometheus exposition endpoint serves plain text). Transient
+    /// transport failures are retried per the client's [`RetryPolicy`]:
+    /// connect failures for every method (the request never left this
+    /// process), post-connect failures only for `GET` (anything else may
+    /// have already mutated server state and must not be replayed).
     pub fn request_raw(
         &self,
         method: &str,
         path: &str,
         body: Option<&Json>,
     ) -> ClientResult<(u16, String)> {
+        let payload = body.map(Json::to_string_compact).unwrap_or_default();
+        let attempts = self.retry.attempts.max(1);
+        let backoff = Backoff::new(self.retry.base, Duration::from_secs(1), self.retry.seed);
+        let mut attempt = 0u32;
+        loop {
+            let connected = std::cell::Cell::new(false);
+            let result = self.attempt_raw(method, path, &payload, &connected);
+            match result {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    let retryable = !connected.get() || method == "GET";
+                    if !retryable || attempt + 1 >= attempts {
+                        return Err(e.into());
+                    }
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn attempt_raw(
+        &self,
+        method: &str,
+        path: &str,
+        payload: &str,
+        connected: &std::cell::Cell<bool>,
+    ) -> std::io::Result<(u16, String)> {
         let stream = TcpStream::connect(&self.addr)?;
+        connected.set(true);
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
         let mut writer = BufWriter::new(&stream);
-        let payload = body.map(Json::to_string_compact).unwrap_or_default();
         write!(
             writer,
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
@@ -80,7 +148,7 @@ impl Client {
         )?;
         writer.flush()?;
         let mut reader = BufReader::new(&stream);
-        Ok(read_response(&mut reader)?)
+        read_response(&mut reader)
     }
 
     /// One round trip. 4xx/5xx responses become [`ClientError::Api`] with
@@ -125,13 +193,32 @@ impl Client {
         mode: JobMode,
         repetitions: u32,
     ) -> ClientResult<u64> {
-        let body = Json::obj(vec![
+        self.submit_with_timeout(platform, dataset, algorithm, mode, repetitions, None)
+    }
+
+    /// Submits a job with an optional per-job deadline: a run still going
+    /// after `timeout_secs` is aborted at the next superstep boundary and
+    /// lands in the `timed-out` terminal state.
+    pub fn submit_with_timeout(
+        &self,
+        platform: &str,
+        dataset: &str,
+        algorithm: &str,
+        mode: JobMode,
+        repetitions: u32,
+        timeout_secs: Option<f64>,
+    ) -> ClientResult<u64> {
+        let mut fields = vec![
             ("platform", Json::str(platform)),
             ("dataset", Json::str(dataset)),
             ("algorithm", Json::str(algorithm)),
             ("mode", Json::str(mode.as_str())),
             ("repetitions", Json::Num(repetitions as f64)),
-        ]);
+        ];
+        if let Some(secs) = timeout_secs {
+            fields.push(("timeout_secs", Json::Num(secs)));
+        }
+        let body = Json::obj(fields);
         let response = self.request("POST", "/jobs", Some(&body))?;
         response
             .get("id")
@@ -170,7 +257,9 @@ impl Client {
         }
     }
 
-    /// Cancels a queued job.
+    /// Cancels a queued or running job. A queued job cancels immediately;
+    /// a running one has its token signalled and reaches the `cancelled`
+    /// terminal state at its next superstep boundary ([`Client::wait`]).
     pub fn cancel(&self, id: u64) -> ClientResult<Json> {
         self.request("DELETE", &format!("/jobs/{id}"), None)
     }
@@ -252,12 +341,46 @@ mod tests {
 
     #[test]
     fn connect_failure_is_io_error() {
-        // Reserved port 1 on loopback: nothing listens there.
+        // Reserved port 1 on loopback: nothing listens there. Retries are
+        // exhausted (bounded) and the terminal error is still Io.
         let client = Client::new("127.0.0.1:1");
         match client.health() {
             Err(ClientError::Io(_)) => {}
             other => panic!("expected Io error, got {other:?}"),
         }
+        // A no-retry policy fails fast with the same error class.
+        let client = Client::new("127.0.0.1:1").with_retry(RetryPolicy::none());
+        match client.health() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_retries_after_dropped_connection() {
+        use std::io::{Read as _, Write as _};
+        // A listener that slams the first connection shut (transient
+        // transport failure) and serves a real response on the second:
+        // an idempotent GET must transparently retry and succeed.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let body = r#"{"status":"ok"}"#;
+            let response = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len(),
+            );
+            stream.write_all(response.as_bytes()).unwrap();
+        });
+        let client = Client::new(addr.to_string());
+        let health = client.health().expect("second attempt succeeds");
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        server.join().unwrap();
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
+use graphalytics_core::fault::CancelToken;
 use graphalytics_core::Algorithm;
 use graphalytics_harness::JobResult;
 
@@ -57,6 +58,10 @@ pub struct JobRequest {
     /// `1..=MAX_SHARDS` at the API; platforms without a sharded run path
     /// report such jobs as unsupported).
     pub shards: u32,
+    /// Optional per-job deadline in milliseconds (from the submission's
+    /// `"timeout_secs"`). The worker arms it on the job's cancel token;
+    /// a run past the deadline terminates as `timed-out`.
+    pub timeout_millis: Option<u64>,
 }
 
 /// Upper bound the API accepts for per-job repetitions.
@@ -75,8 +80,13 @@ pub enum JobState {
     Completed,
     /// The request could not be executed at all.
     Failed(String),
-    /// Cancelled while still queued.
+    /// Cancelled: either while still queued, or — via the job's
+    /// [`CancelToken`] — while running, in which case the driver aborted
+    /// at the next superstep boundary.
     Cancelled,
+    /// The job's deadline passed while running; the driver aborted at
+    /// the next superstep boundary.
+    TimedOut,
 }
 
 impl JobState {
@@ -87,6 +97,7 @@ impl JobState {
             JobState::Completed => "completed",
             JobState::Failed(_) => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed-out",
         }
     }
 
@@ -104,6 +115,17 @@ pub struct JobRecord {
     pub state: JobState,
     /// Present once the state is `Completed`.
     pub result: Option<JobResult>,
+    /// A cancel arrived while the job was running; the token is signalled
+    /// and the job will terminate at its next checkpoint.
+    pub cancel_requested: bool,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — structured backpressure; the
+    /// API maps this to `429 Too Many Requests`.
+    QueueFull { capacity: usize },
 }
 
 /// Why a cancellation was refused.
@@ -122,11 +144,17 @@ pub struct JobCounts {
     pub completed: u64,
     pub failed: u64,
     pub cancelled: u64,
+    pub timed_out: u64,
 }
 
 impl JobCounts {
     pub fn submitted(&self) -> u64 {
-        self.queued + self.running + self.completed + self.failed + self.cancelled
+        self.queued
+            + self.running
+            + self.completed
+            + self.failed
+            + self.cancelled
+            + self.timed_out
     }
 }
 
@@ -135,35 +163,74 @@ struct QueueInner {
     next_id: u64,
     pending: VecDeque<u64>,
     jobs: HashMap<u64, JobRecord>,
+    /// Cancel tokens of currently running jobs, so `cancel` can signal a
+    /// worker mid-run. Inserted by `next_job`, removed by `finish`.
+    tokens: HashMap<u64, CancelToken>,
 }
 
-/// The thread-safe job queue.
-#[derive(Default)]
+/// The thread-safe job queue, bounded to `capacity` open
+/// (queued + running) jobs.
 pub struct JobQueue {
     inner: Mutex<QueueInner>,
     ready: Condvar,
     stopping: AtomicBool,
+    capacity: usize,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        Self::bounded(usize::MAX)
+    }
 }
 
 impl JobQueue {
+    /// An effectively unbounded queue (unit tests, ad-hoc embedding).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A queue refusing submissions beyond `capacity` open jobs.
+    pub fn bounded(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::default(),
+            ready: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Enqueues a request and returns its job id.
-    pub fn submit(&self, request: JobRequest) -> u64 {
+    /// Enqueues a request and returns its job id, or structured
+    /// backpressure when the bounded queue is full (open = queued +
+    /// running; terminal jobs never count against the bound).
+    pub fn submit(&self, request: JobRequest) -> Result<u64, SubmitError> {
         let mut inner = self.lock();
+        let open = inner
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+            .count();
+        if open >= self.capacity {
+            return Err(SubmitError::QueueFull { capacity: self.capacity });
+        }
         inner.next_id += 1;
         let id = inner.next_id;
-        inner.jobs.insert(id, JobRecord { id, request, state: JobState::Queued, result: None });
+        inner.jobs.insert(
+            id,
+            JobRecord { id, request, state: JobState::Queued, result: None, cancel_requested: false },
+        );
         inner.pending.push_back(id);
         drop(inner);
         self.ready.notify_one();
-        id
+        Ok(id)
     }
 
     /// A snapshot of one job.
@@ -179,17 +246,33 @@ impl JobQueue {
         jobs
     }
 
-    /// Cancels a job that is still queued.
+    /// Cancels a queued or running job. Queued jobs flip to `Cancelled`
+    /// immediately (they never dispatch). Running jobs have their
+    /// [`CancelToken`] signalled — the worker observes it at the next
+    /// superstep boundary and finishes the job as `Cancelled`; until then
+    /// the returned record reports `running` with `cancel_requested`.
+    /// Terminal jobs are [`CancelError::NotCancellable`].
     pub fn cancel(&self, id: u64) -> Result<JobRecord, CancelError> {
         let mut inner = self.lock();
         let record = inner.jobs.get_mut(&id).ok_or(CancelError::NotFound)?;
-        if record.state != JobState::Queued {
-            return Err(CancelError::NotCancellable(record.state.as_str()));
+        match record.state {
+            JobState::Queued => {
+                record.state = JobState::Cancelled;
+                let record = record.clone();
+                // The id stays in `pending`; `next_job` skips cancelled
+                // entries.
+                Ok(record)
+            }
+            JobState::Running => {
+                record.cancel_requested = true;
+                let record = record.clone();
+                if let Some(token) = inner.tokens.get(&id) {
+                    token.cancel();
+                }
+                Ok(record)
+            }
+            _ => Err(CancelError::NotCancellable(record.state.as_str())),
         }
-        record.state = JobState::Cancelled;
-        let record = record.clone();
-        // The id stays in `pending`; `next_job` skips cancelled entries.
-        Ok(record)
     }
 
     /// Job counts by state.
@@ -203,6 +286,7 @@ impl JobQueue {
                 JobState::Completed => counts.completed += 1,
                 JobState::Failed(_) => counts.failed += 1,
                 JobState::Cancelled => counts.cancelled += 1,
+                JobState::TimedOut => counts.timed_out += 1,
             }
         }
         counts
@@ -212,7 +296,7 @@ impl JobQueue {
     /// shuts down (`None`). Worker-pool entry point. After `shutdown` the
     /// backlog is *abandoned*, not drained: a daemon being stopped must
     /// not first execute hours of queued benchmarks.
-    pub fn next_job(&self) -> Option<(u64, JobRequest)> {
+    pub fn next_job(&self) -> Option<(u64, JobRequest, CancelToken)> {
         let mut inner = self.lock();
         loop {
             if self.stopping.load(Ordering::SeqCst) {
@@ -222,7 +306,10 @@ impl JobQueue {
                 if let Some(record) = inner.jobs.get_mut(&id) {
                     if record.state == JobState::Queued {
                         record.state = JobState::Running;
-                        return Some((id, record.request.clone()));
+                        let request = record.request.clone();
+                        let token = CancelToken::new();
+                        inner.tokens.insert(id, token.clone());
+                        return Some((id, request, token));
                     }
                     // Cancelled while queued: skip.
                 }
@@ -235,6 +322,7 @@ impl JobQueue {
     pub fn finish(&self, id: u64, state: JobState, result: Option<JobResult>) {
         debug_assert!(state.is_terminal());
         let mut inner = self.lock();
+        inner.tokens.remove(&id);
         if let Some(record) = inner.jobs.get_mut(&id) {
             record.state = state;
             record.result = result;
@@ -261,14 +349,15 @@ mod tests {
             mode: JobMode::Measured,
             repetitions: 1,
             shards: 1,
+            timeout_millis: None,
         }
     }
 
     #[test]
     fn submit_assigns_sequential_ids() {
         let q = JobQueue::new();
-        assert_eq!(q.submit(request(Algorithm::Bfs)), 1);
-        assert_eq!(q.submit(request(Algorithm::Wcc)), 2);
+        assert_eq!(q.submit(request(Algorithm::Bfs)), Ok(1));
+        assert_eq!(q.submit(request(Algorithm::Wcc)), Ok(2));
         assert_eq!(q.counts().queued, 2);
         assert_eq!(q.list().len(), 2);
         assert_eq!(q.get(1).unwrap().state, JobState::Queued);
@@ -278,14 +367,14 @@ mod tests {
     #[test]
     fn fifo_dispatch_and_finish() {
         let q = JobQueue::new();
-        let a = q.submit(request(Algorithm::Bfs));
-        let b = q.submit(request(Algorithm::Wcc));
-        let (id1, req1) = q.next_job().unwrap();
+        let a = q.submit(request(Algorithm::Bfs)).unwrap();
+        let b = q.submit(request(Algorithm::Wcc)).unwrap();
+        let (id1, req1, _) = q.next_job().unwrap();
         assert_eq!((id1, req1.algorithm), (a, Algorithm::Bfs));
         assert_eq!(q.get(a).unwrap().state, JobState::Running);
         q.finish(a, JobState::Completed, None);
         assert_eq!(q.get(a).unwrap().state, JobState::Completed);
-        let (id2, _) = q.next_job().unwrap();
+        let (id2, _, _) = q.next_job().unwrap();
         assert_eq!(id2, b);
         q.finish(b, JobState::Failed("boom".into()), None);
         let counts = q.counts();
@@ -293,22 +382,49 @@ mod tests {
     }
 
     #[test]
-    fn cancel_only_while_queued() {
+    fn cancel_queued_and_running() {
         let q = JobQueue::new();
-        let a = q.submit(request(Algorithm::Bfs));
-        let b = q.submit(request(Algorithm::Wcc));
+        let a = q.submit(request(Algorithm::Bfs)).unwrap();
+        let b = q.submit(request(Algorithm::Wcc)).unwrap();
         // Cancel a queued job: it never dispatches.
         assert_eq!(q.cancel(b).map(|r| r.state).ok(), Some(JobState::Cancelled));
         assert_eq!(q.cancel(b).err(), Some(CancelError::NotCancellable("cancelled")));
         assert_eq!(q.cancel(42).err(), Some(CancelError::NotFound));
-        let (id, _) = q.next_job().unwrap();
+        let (id, _, token) = q.next_job().unwrap();
         assert_eq!(id, a);
-        // Running jobs cannot be cancelled.
-        assert_eq!(q.cancel(a).err(), Some(CancelError::NotCancellable("running")));
-        // The cancelled job is skipped: the next dispatch is a later one.
-        let c = q.submit(request(Algorithm::PageRank));
-        let (id, _) = q.next_job().unwrap();
+        // Cancelling a running job signals its token; the record stays
+        // `running` (with cancel_requested) until the worker observes it.
+        assert!(!token.is_cancelled());
+        let record = q.cancel(a).unwrap();
+        assert_eq!(record.state, JobState::Running);
+        assert!(record.cancel_requested);
+        assert!(token.is_cancelled(), "running cancel must signal the token");
+        // The worker observes the token and reports the terminal state.
+        q.finish(a, JobState::Cancelled, None);
+        assert_eq!(q.cancel(a).err(), Some(CancelError::NotCancellable("cancelled")));
+        // The queued-cancelled job is skipped: the next dispatch is a
+        // later one.
+        let c = q.submit(request(Algorithm::PageRank)).unwrap();
+        let (id, _, _) = q.next_job().unwrap();
         assert_eq!(id, c, "cancelled job is never dispatched");
+    }
+
+    #[test]
+    fn bounded_queue_backpressure() {
+        let q = JobQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        q.submit(request(Algorithm::Bfs)).unwrap();
+        q.submit(request(Algorithm::Wcc)).unwrap();
+        assert_eq!(
+            q.submit(request(Algorithm::PageRank)),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        // Dispatching does not free a slot (running still counts)...
+        let (id, _, _) = q.next_job().unwrap();
+        assert!(q.submit(request(Algorithm::PageRank)).is_err());
+        // ...finishing does.
+        q.finish(id, JobState::Completed, None);
+        assert!(q.submit(request(Algorithm::PageRank)).is_ok());
     }
 
     #[test]
@@ -317,8 +433,8 @@ mod tests {
         std::thread::scope(|scope| {
             let consumer = scope.spawn(|| q.next_job());
             std::thread::sleep(std::time::Duration::from_millis(20));
-            q.submit(request(Algorithm::PageRank));
-            let (id, req) = consumer.join().unwrap().unwrap();
+            q.submit(request(Algorithm::PageRank)).unwrap();
+            let (id, req, _) = consumer.join().unwrap().unwrap();
             assert_eq!(id, 1);
             assert_eq!(req.algorithm, Algorithm::PageRank);
         });
@@ -327,8 +443,8 @@ mod tests {
     #[test]
     fn shutdown_abandons_queued_backlog() {
         let q = JobQueue::new();
-        q.submit(request(Algorithm::Bfs));
-        q.submit(request(Algorithm::Wcc));
+        q.submit(request(Algorithm::Bfs)).unwrap();
+        q.submit(request(Algorithm::Wcc)).unwrap();
         q.shutdown();
         assert!(q.next_job().is_none(), "backlog must not be drained after shutdown");
         assert_eq!(q.counts().queued, 2, "abandoned jobs stay queued");
@@ -353,7 +469,9 @@ mod tests {
         assert_eq!(JobMode::from_str_opt("analytic"), Some(JobMode::Analytic));
         assert_eq!(JobMode::from_str_opt("nope"), None);
         assert!(JobState::Failed("x".into()).is_terminal());
+        assert!(JobState::TimedOut.is_terminal());
         assert!(!JobState::Running.is_terminal());
         assert_eq!(JobState::Queued.as_str(), "queued");
+        assert_eq!(JobState::TimedOut.as_str(), "timed-out");
     }
 }

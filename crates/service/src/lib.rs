@@ -16,10 +16,13 @@
 //!   graphs (`POST /graphs/:id/mutations`): batched edge
 //!   insertions/deletions with auto-compaction; measured jobs targeting a
 //!   mutated dataset run on its materialized post-mutation snapshot;
-//! * [`jobs`] — the asynchronous job queue: submit a `(platform, dataset,
-//!   algorithm)` job, poll its state, cancel while queued; a worker pool
-//!   drains the queue through the harness `Driver` into a shared
-//!   thread-safe `ResultsDatabase`;
+//! * [`jobs`] — the asynchronous, *bounded* job queue: submit a
+//!   `(platform, dataset, algorithm)` job (optionally with a deadline),
+//!   poll its state, cancel while queued **or running** (a running job's
+//!   cancellation token aborts the driver at the next superstep
+//!   boundary); a worker pool drains the queue through the harness
+//!   `Driver` into a shared thread-safe `ResultsDatabase`, retrying jobs
+//!   that fail on injected transient faults with jittered backoff;
 //! * [`http`] + [`api`] + [`server`] — a std-only HTTP/1.1 daemon over
 //!   `std::net::TcpListener` serving `POST /jobs`, `GET /jobs/:id`,
 //!   `GET /results`, `GET /graphs` and `GET /metrics` (EPS/EVPS
@@ -47,8 +50,8 @@ pub mod mutations;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, ClientError, ClientResult};
-pub use jobs::{JobMode, JobQueue, JobRecord, JobRequest, JobState};
+pub use client::{Client, ClientError, ClientResult, RetryPolicy};
+pub use jobs::{JobMode, JobQueue, JobRecord, JobRequest, JobState, SubmitError};
 pub use mutations::{BatchReport, MutationMetrics, MutationStore};
 pub use server::{Service, ServiceConfig, ServiceState};
 pub use store::{GraphStore, GraphStoreConfig, StoreMetrics};

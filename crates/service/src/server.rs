@@ -15,10 +15,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use graphalytics_cluster::ClusterSpec;
+use graphalytics_core::fault::{Backoff, CancelToken, FaultPlan, FaultScript};
 use graphalytics_core::pool::WorkerPool;
 use graphalytics_engines::platform_by_name;
 use graphalytics_granula::{MetricsRegistry, PerformanceArchive};
-use graphalytics_harness::{Driver, JobResult, JobSpec, ResultsDatabase, RunMode};
+use graphalytics_harness::{Driver, JobResult, JobSpec, JobStatus, ResultsDatabase, RunMode};
 
 use crate::api;
 use crate::http::{Request, Response};
@@ -42,6 +43,19 @@ pub struct ServiceConfig {
     /// spawning their own thread set and oversubscribing the host; the
     /// pool serializes their parallel sections instead.
     pub pool_threads: u32,
+    /// Maximum open (queued + running) jobs. A full queue rejects new
+    /// submissions with a structured 429 rather than buffering without
+    /// bound — multi-tenant backpressure instead of OOM-by-queue.
+    pub queue_capacity: usize,
+    /// Optional fault-injection plan applied to every executed job
+    /// (chaos testing). `None` — the default — compiles the fault plane
+    /// down to a no-op checkpoint per superstep.
+    pub fault_plan: Option<FaultPlan>,
+    /// Total execution attempts for a job that fails on an *injected
+    /// transient* fault (first run + retries). `1` disables retries.
+    pub retry_attempts: u32,
+    /// Base delay of the jittered exponential backoff between retries.
+    pub retry_base_millis: u64,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +66,10 @@ impl Default for ServiceConfig {
             store: GraphStoreConfig::default(),
             seed: 0xB5ED,
             pool_threads: 0,
+            queue_capacity: 256,
+            fault_plan: None,
+            retry_attempts: 3,
+            retry_base_millis: 50,
         }
     }
 }
@@ -72,6 +90,10 @@ pub struct ServiceState {
     /// run counters, exported by `GET /metrics` (JSON or Prometheus).
     pub metrics: MetricsRegistry,
     pub seed: u64,
+    /// Fault-injection plan for chaos runs; `None` keeps the plane off.
+    fault_plan: Option<FaultPlan>,
+    retry_attempts: u32,
+    retry_base_millis: u64,
     started: Instant,
     /// Finished jobs' Granula archives, keyed by job id — served whole by
     /// `GET /jobs/:id/archive` (the queue's job copies never carry them).
@@ -92,11 +114,14 @@ impl ServiceState {
         ServiceState {
             store: GraphStore::new(config.store, pool.clone()),
             mutations: MutationStore::new(pool.clone()),
-            queue: JobQueue::new(),
+            queue: JobQueue::bounded(config.queue_capacity),
             results: ResultsDatabase::new(),
             pool,
             metrics: MetricsRegistry::new(),
             seed: config.seed,
+            fault_plan: config.fault_plan.clone(),
+            retry_attempts: config.retry_attempts.max(1),
+            retry_base_millis: config.retry_base_millis,
             started: Instant::now(),
             archives: std::sync::Mutex::new(std::collections::BTreeMap::new()),
         }
@@ -121,13 +146,35 @@ impl ServiceState {
     /// phased lifecycle (measured mode: upload → execute×repetitions →
     /// validate → delete, with the cached store graph). `Err` is a
     /// request-level failure (the driver never ran); benchmark verdicts
-    /// (oom, unsupported, …) come back inside the `JobResult`.
-    pub fn execute(&self, request: &JobRequest) -> Result<JobResult, String> {
+    /// (oom, unsupported, cancelled, timed-out, faulted, …) come back
+    /// inside the `JobResult`. The `token` wires `DELETE /jobs/:id` into
+    /// the run: cancelling it aborts the driver at the next superstep
+    /// boundary. `attempt` seeds the fault plan so retries of a
+    /// transient-faulted job draw a fresh (but still deterministic)
+    /// injection script.
+    pub fn execute(
+        &self,
+        id: u64,
+        request: &JobRequest,
+        token: &CancelToken,
+        attempt: u32,
+    ) -> Result<JobResult, String> {
         let dataset = graphalytics_core::datasets::dataset(&request.dataset)
             .ok_or_else(|| format!("unknown dataset {}", request.dataset))?;
         let platform = platform_by_name(&request.platform)
             .ok_or_else(|| format!("unknown platform {}", request.platform))?;
-        let driver = Driver { seed: self.seed, pool: self.pool.clone(), ..Driver::default() };
+        let faults = self
+            .fault_plan
+            .as_ref()
+            .map(|plan| plan.script_for(id, attempt))
+            .unwrap_or_else(FaultScript::empty);
+        let driver = Driver {
+            seed: self.seed,
+            pool: self.pool.clone(),
+            cancel: token.clone(),
+            faults,
+            ..Driver::default()
+        };
         let spec = JobSpec {
             dataset,
             algorithm: request.algorithm,
@@ -136,6 +183,7 @@ impl ServiceState {
             repetitions: request.repetitions.max(1),
             shards: request.shards.max(1),
             mutations: None,
+            timeout_secs: request.timeout_millis.map(|ms| ms as f64 / 1000.0),
         };
         let result = match request.mode {
             JobMode::Analytic => driver.run(platform.as_ref(), &spec, RunMode::Analytic),
@@ -218,15 +266,39 @@ impl Drop for Service {
 }
 
 fn worker_loop(state: &ServiceState) {
-    while let Some((id, request)) = state.queue.next_job() {
-        // A panicking engine must cost one job, not a pool thread: an
-        // unwinding worker would leave the job `running` forever and
-        // silently shrink the pool until the daemon stops executing.
+    while let Some((id, request, token)) = state.queue.next_job() {
         let started = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.execute(&request)
-        }))
-        .unwrap_or_else(|panic| Err(panic_message(&panic)));
+        let backoff = Backoff::new(
+            Duration::from_millis(state.retry_base_millis),
+            Duration::from_secs(2),
+            state.seed ^ id,
+        );
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            // A panicking engine must cost one job, not a pool thread:
+            // an unwinding worker would leave the job `running` forever
+            // and silently shrink the pool until the daemon stops
+            // executing. Panics are terminal — never retried.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                state.execute(id, &request, &token, attempt)
+            }))
+            .unwrap_or_else(|panic| Err(panic_message(&panic)));
+            match run {
+                // Only *injected transient* faults are retried, with
+                // jittered exponential backoff and a bounded attempt
+                // budget; a cancelled token ends the job immediately.
+                Ok(ref result)
+                    if result.status.is_transient_fault()
+                        && attempt + 1 < state.retry_attempts
+                        && !token.is_cancelled() =>
+                {
+                    state.metrics.counter("jobs_retried_total").inc();
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                }
+                other => break other,
+            }
+        };
         let wall = started.elapsed().as_secs_f64();
         state.metrics.histogram("job_seconds").observe_secs(wall);
         state
@@ -234,17 +306,39 @@ fn worker_loop(state: &ServiceState) {
             .histogram(&format!("job_seconds_{}", request.platform))
             .observe_secs(wall);
         match outcome {
-            Ok(mut result) => {
-                state.metrics.counter("jobs_executed_total").inc();
-                // The archive lives once, keyed by job id for
-                // `GET /jobs/:id/archive` — the queue's and the results
-                // database's copies never carry it.
-                if let Some(archive) = result.archive.take() {
-                    state.store_archive(id, archive);
+            Ok(mut result) => match result.status {
+                JobStatus::Cancelled => {
+                    state.metrics.counter("jobs_cancelled_running_total").inc();
+                    state.queue.finish(id, JobState::Cancelled, Some(result));
                 }
-                state.results.insert(result.clone());
-                state.queue.finish(id, JobState::Completed, Some(result));
-            }
+                JobStatus::TimedOut => {
+                    state.metrics.counter("jobs_timed_out_total").inc();
+                    state.queue.finish(id, JobState::TimedOut, Some(result));
+                }
+                JobStatus::Faulted { transient, ref message } => {
+                    // Structured terminal failure: retries exhausted (or
+                    // the fault was permanent). The record keeps the
+                    // result so clients can see which injection fired.
+                    state.metrics.counter("jobs_faulted_total").inc();
+                    let class = if transient { "transient" } else { "permanent" };
+                    let detail = format!("injected {class} fault: {message}");
+                    state.queue.finish(id, JobState::Failed(detail), Some(result));
+                }
+                _ => {
+                    // Completed and benchmark verdicts (oom, unsupported,
+                    // sla-violation, validation-failed) all land in the
+                    // results database; only `completed` is a success.
+                    state.metrics.counter("jobs_executed_total").inc();
+                    // The archive lives once, keyed by job id for
+                    // `GET /jobs/:id/archive` — the queue's and the
+                    // results database's copies never carry it.
+                    if let Some(archive) = result.archive.take() {
+                        state.store_archive(id, archive);
+                    }
+                    state.results.insert(result.clone());
+                    state.queue.finish(id, JobState::Completed, Some(result));
+                }
+            },
             Err(message) => {
                 state.metrics.counter("jobs_panicked_total").inc();
                 state.queue.finish(id, JobState::Failed(message), None);

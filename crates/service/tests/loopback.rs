@@ -22,6 +22,7 @@ fn start_service(workers: usize) -> (Service, Client) {
         store: GraphStoreConfig { scale_divisor: 8192, ..GraphStoreConfig::default() },
         seed: 0xB5ED,
         pool_threads: 2,
+        ..ServiceConfig::default()
     })
     .expect("bind ephemeral port");
     let client = Client::new(service.addr().to_string());
@@ -390,5 +391,129 @@ fn queued_jobs_can_be_cancelled() {
     let jobs = client.metrics().unwrap().get("jobs").cloned().unwrap();
     assert_eq!(jobs.get("cancelled").and_then(Json::as_u64), Some(1));
     assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(2));
+    service.shutdown();
+}
+
+/// A daemon whose fault plan injects into every executed job.
+fn start_faulty_service(
+    workers: usize,
+    plan: graphalytics_core::fault::FaultPlan,
+) -> (Service, Client) {
+    let service = Service::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        store: GraphStoreConfig { scale_divisor: 8192, ..GraphStoreConfig::default() },
+        seed: 0xB5ED,
+        pool_threads: 2,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(service.addr().to_string());
+    (service, client)
+}
+
+/// One monitor counter out of the `GET /metrics` JSON.
+fn monitor_counter(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get("monitor")
+        .and_then(|m| m.get("counters"))
+        .and_then(Json::as_arr)
+        .and_then(|rows| {
+            rows.iter()
+                .find(|c| c.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|c| c.get("value").and_then(Json::as_u64))
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn running_jobs_cancel_at_superstep_boundaries() {
+    use graphalytics_core::fault::{FaultKind, FaultPlan, FaultSite, Injection};
+    use std::time::Instant;
+    // Every job stalls 5 s at its first superstep — a wide window to
+    // catch the job mid-run and cancel it.
+    let plan = FaultPlan::scripted(vec![Injection::new(
+        FaultSite::Superstep,
+        0,
+        FaultKind::Stall { millis: 5_000 },
+    )]);
+    let (service, client) = start_faulty_service(1, plan);
+    let id = client.submit("native", "G22", "bfs", JobMode::Measured).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let record = client.job(id).unwrap();
+        if record.get("state").and_then(Json::as_str) == Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let cancelled_at = Instant::now();
+    // Running-cancel is acknowledged (202) with the record still running
+    // and the cancellation flagged; the driver aborts at the next
+    // superstep boundary.
+    let ack = client.cancel(id).expect("running job accepts cancellation");
+    assert_eq!(ack.get("state").and_then(Json::as_str), Some("running"));
+    assert_eq!(ack.get("cancel_requested"), Some(&Json::Bool(true)));
+    let record = client.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(record.get("state").and_then(Json::as_str), Some("cancelled"), "{record:?}");
+    let result = record.get("result").expect("cancelled job keeps its structured result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("cancelled"));
+    // Prompt abort: nowhere near the 5 s the stall would have burned.
+    assert!(cancelled_at.elapsed() < Duration::from_secs(4), "abort was not prompt");
+    let metrics = client.metrics().unwrap();
+    let jobs = metrics.get("jobs").unwrap();
+    assert_eq!(jobs.get("cancelled").and_then(Json::as_u64), Some(1));
+    assert_eq!(monitor_counter(&metrics, "jobs_cancelled_running_total"), 1);
+    // The daemon survived and keeps serving.
+    assert_eq!(client.health().unwrap().get("status").and_then(Json::as_str), Some("ok"));
+    service.shutdown();
+}
+
+#[test]
+fn deadline_expiry_times_out_the_job() {
+    use graphalytics_core::fault::{FaultKind, FaultPlan, FaultSite, Injection};
+    // The stall guarantees the run outlives its 400 ms deadline.
+    let plan = FaultPlan::scripted(vec![Injection::new(
+        FaultSite::Superstep,
+        0,
+        FaultKind::Stall { millis: 5_000 },
+    )]);
+    let (service, client) = start_faulty_service(1, plan);
+    let id = client
+        .submit_with_timeout("native", "G22", "bfs", JobMode::Measured, 1, Some(0.4))
+        .unwrap();
+    let record = client.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(record.get("state").and_then(Json::as_str), Some("timed-out"), "{record:?}");
+    assert_eq!(record.get("timeout_secs").and_then(Json::as_f64), Some(0.4));
+    let result = record.get("result").expect("timed-out job keeps its structured result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("timed-out"));
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.get("jobs").and_then(|j| j.get("timed_out")), Some(&Json::Num(1.0)));
+    assert_eq!(monitor_counter(&metrics, "jobs_timed_out_total"), 1);
+    assert_eq!(client.health().unwrap().get("status").and_then(Json::as_str), Some("ok"));
+    service.shutdown();
+}
+
+#[test]
+fn transient_faults_retry_to_completion() {
+    use graphalytics_core::fault::{FaultKind, FaultPlan, FaultSite, Injection};
+    // `once` = first attempt only: the retry runs fault-free and the job
+    // completes as if nothing happened.
+    let plan = FaultPlan::scripted(vec![Injection::once(
+        FaultSite::Superstep,
+        0,
+        FaultKind::Transient,
+    )]);
+    let (service, client) = start_faulty_service(1, plan);
+    let id = client.submit("native", "G22", "bfs", JobMode::Measured).unwrap();
+    let record = client.wait(id, Duration::from_secs(120)).unwrap();
+    assert_eq!(record.get("state").and_then(Json::as_str), Some("completed"), "{record:?}");
+    let result = record.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("completed"));
+    let metrics = client.metrics().unwrap();
+    assert_eq!(monitor_counter(&metrics, "jobs_retried_total"), 1);
+    assert_eq!(metrics.get("jobs").and_then(|j| j.get("failed")), Some(&Json::Num(0.0)));
     service.shutdown();
 }

@@ -48,6 +48,7 @@ fn measured_benchmark_run_end_to_end() {
                     repetitions: config.repetitions,
                     shards: config.shards,
                     mutations: None,
+                    timeout_secs: None,
                 };
                 let result =
                     driver.run_uploaded(platform.as_ref(), loaded.as_ref(), &spec, Some(0.01));
